@@ -1,0 +1,45 @@
+# BRISK build and evaluation targets. Standard library only; Go ≥ 1.22.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz eval examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (slower).
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper experiment (see bench_test.go, EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the decoders.
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/record/
+	$(GO) test -fuzz FuzzRecv -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/picl/
+	$(GO) test -fuzz FuzzDecoder -fuzztime 30s ./internal/xdr/
+
+# Regenerate every table of the paper's evaluation.
+eval:
+	$(GO) run ./cmd/briskbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/causal
+	$(GO) run ./examples/clocksync
+	$(GO) run ./examples/profiling
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,307 @@
+package brisk_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"brisk"
+	"brisk/internal/vclock"
+)
+
+func quiet(string, ...any) {}
+
+func startPair(t *testing.T, mo brisk.ManagerOptions, no brisk.NodeOptions) (*brisk.Manager, *brisk.Node) {
+	t.Helper()
+	mo.Logf = quiet
+	mgr, err := brisk.StartManager(mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	no.ManagerAddr = mgr.Addr()
+	no.Logf = quiet
+	if no.FlushInterval == 0 {
+		no.FlushInterval = time.Millisecond
+	}
+	node, err := brisk.ConnectNode(no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	return mgr, node
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	mgr, node := startPair(t, brisk.ManagerOptions{MergeInterval: time.Millisecond},
+		brisk.NodeOptions{Name: "quick"})
+	s := node.NewSensor("app")
+	const n = 100
+	for i := 0; i < n; i++ {
+		if !s.Notice6i(1, int32(i), 0, 0, 0, 0, 0) {
+			t.Fatal("notice dropped")
+		}
+	}
+	c := mgr.Consume()
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		rec, ok := c.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if rec.Node != node.ID() || rec.Event != 1 {
+			t.Fatalf("record = %+v", rec)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("consumed %d/%d (stats %+v)", got, n, mgr.Stats())
+	}
+	if c.Lost != 0 {
+		t.Fatalf("lost %d", c.Lost)
+	}
+}
+
+func TestDynamicNoticeFieldHelpers(t *testing.T) {
+	mgr, node := startPair(t, brisk.ManagerOptions{MergeInterval: time.Millisecond},
+		brisk.NodeOptions{})
+	s := node.NewSensor("app")
+	ok := s.Notice(9,
+		brisk.I32(-7), brisk.U64(12), brisk.F64(2.5),
+		brisk.Str("hello"), brisk.Bool(true))
+	if !ok {
+		t.Fatal("notice failed")
+	}
+	c := mgr.Consume()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := c.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if rec.Event != 9 || rec.Fields[1].Int() != -7 || rec.Fields[4].Str != "hello" {
+			t.Fatalf("record = %+v", rec)
+		}
+		return
+	}
+	t.Fatal("record never arrived")
+}
+
+func TestCausalOrderingAcrossNodes(t *testing.T) {
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{
+		MergeInterval: time.Millisecond,
+		Logf:          quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// Node B's clock is 100 ms behind: its consequences look like they
+	// precede their reasons until the manager repairs them.
+	nodeA, err := brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr: mgr.Addr(), Name: "a",
+		FlushInterval: time.Millisecond, Logf: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	behind := vclock.NewDrift(vclock.System{}, -100_000, 0)
+	nodeB, err := brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr: mgr.Addr(), Name: "b", RawClock: behind,
+		FlushInterval: time.Millisecond, Logf: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	sa := nodeA.NewSensor("appA")
+	sb := nodeB.NewSensor("appB")
+	sa.Notice(1, brisk.Reason(77))
+	time.Sleep(20 * time.Millisecond)
+	sb.Notice(2, brisk.Conseq(77))
+
+	c := mgr.Consume()
+	var got []brisk.Record
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < 2 && time.Now().Before(deadline) {
+		rec, ok := c.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		got = append(got, rec)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[0].Reason != 77 || got[1].Conseq != 77 {
+		t.Fatalf("causal order wrong: %+v", got)
+	}
+	if got[1].TS <= got[0].TS {
+		t.Fatalf("tachyon survived: %d ≤ %d", got[1].TS, got[0].TS)
+	}
+	if mgr.Stats().CRE.Tachyons != 1 {
+		t.Fatalf("stats = %+v", mgr.Stats())
+	}
+}
+
+func TestPICLOutputThroughFacade(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	mgr, node := startPair(t, brisk.ManagerOptions{
+		MergeInterval: time.Millisecond,
+		PICL:          &brisk.PICLOptions{W: w},
+	}, brisk.NodeOptions{})
+	s := node.NewSensor("app")
+	for i := 0; i < 5; i++ {
+		s.Notice2i(4, int32(i), 0)
+	}
+	c := mgr.Consume()
+	seen := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for seen < 5 && time.Now().Before(deadline) {
+		if _, ok := c.TryNext(); ok {
+			seen++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	node.Close()
+	mgr.Close()
+	mu.Lock()
+	lines := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if lines != 5 {
+		t.Fatalf("picl lines = %d", lines)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestClockSyncThroughFacade(t *testing.T) {
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{
+		MergeInterval: time.Millisecond,
+		Sync:          brisk.SyncOptions{Period: 30 * time.Millisecond},
+		Logf:          quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	_, err = brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr: mgr.Addr(), Logf: quiet, FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	behind := vclock.NewDrift(vclock.System{}, -30_000, 0)
+	nodeB, err := brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr: mgr.Addr(), RawClock: behind, Logf: quiet,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodeB.Correction() > 20_000 {
+			return // slow node advanced toward the reference
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("correction never applied: %d (rounds %d)",
+		nodeB.Correction(), mgr.Stats().SyncRounds)
+}
+
+func TestNodeStatsAndFlush(t *testing.T) {
+	_, node := startPair(t, brisk.ManagerOptions{}, brisk.NodeOptions{})
+	s := node.NewSensor("app", brisk.SensorOptions{RingBytes: 4096})
+	s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	node.Flush()
+	deadline := time.Now().Add(5 * time.Second)
+	for node.Stats().Sent == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := node.Stats()
+	if st.Sent != 1 || st.Node != node.ID() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConsumerBlocksUntilClose(t *testing.T) {
+	mgr, node := startPair(t, brisk.ManagerOptions{}, brisk.NodeOptions{})
+	s := node.NewSensor("app")
+	s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	c := mgr.Consume()
+	rec, ok := c.Next() // blocking read
+	if !ok || rec.Event != 1 {
+		t.Fatalf("rec=%+v ok=%v", rec, ok)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Next()
+		done <- ok
+	}()
+	node.Close()
+	mgr.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned a record after close with none pending")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer not released by Close")
+	}
+}
+
+func TestManagerEventFilter(t *testing.T) {
+	mgr, node := startPair(t, brisk.ManagerOptions{
+		MergeInterval: time.Millisecond,
+		Filter:        brisk.FilterEvents(7),
+	}, brisk.NodeOptions{})
+	s := node.NewSensor("app")
+	for i := 0; i < 10; i++ {
+		s.Notice2i(7, int32(i), 0) // wanted
+		s.Notice2i(9, int32(i), 0) // filtered out
+	}
+	c := mgr.Consume()
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < 10 && time.Now().Before(deadline) {
+		rec, ok := c.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if rec.Event != 7 {
+			t.Fatalf("filtered event leaked: %+v", rec)
+		}
+		got++
+	}
+	if got != 10 {
+		t.Fatalf("got %d wanted records", got)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for mgr.Stats().Filtered < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f := mgr.Stats().Filtered; f != 10 {
+		t.Fatalf("filtered count = %d", f)
+	}
+}

@@ -1,0 +1,191 @@
+// Command brisktrace is an instrumentation-data analysis tool: it reads a
+// PICL ASCII trace produced by the ISM and prints either the records or a
+// per-node/per-event summary — the kind of extant, independently-built
+// consumer BRISK's output formats exist to serve.
+//
+// Usage:
+//
+//	brisktrace trace.picl                      # summary
+//	brisktrace -dump trace.picl                # every record
+//	brisktrace -event 3 trace.picl             # summary of one event class
+//	brisktrace -profile 10:11:compute t.picl   # pair begin/end events
+//
+// The -profile mode (begin:end:name, repeatable with commas) emulates a
+// profiling monitor from the event trace, pairing bracketed regions per
+// node — the hybrid-monitoring emulation the paper's flexibility section
+// describes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"brisk/internal/picl"
+	"brisk/internal/profile"
+	"brisk/internal/record"
+	"brisk/internal/stats"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "print every record instead of a summary")
+		event    = flag.Int("event", -1, "restrict to one event class")
+		profSpec = flag.String("profile", "", "profile begin:end:name pairs, comma separated")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: brisktrace [-dump] [-event N] [-profile B:E:name,...] <trace.picl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brisktrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if *profSpec != "" {
+		err = runProfile(f, *profSpec)
+	} else {
+		err = run(f, *dump, *event)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brisktrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseRules parses "10:11:compute,20:21:io".
+func parseRules(spec string) ([]profile.PairRule, error) {
+	var rules []profile.PairRule
+	for _, part := range strings.Split(spec, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), ":", 3)
+		if len(bits) != 3 {
+			return nil, fmt.Errorf("bad profile rule %q (want begin:end:name)", part)
+		}
+		b, err := strconv.ParseUint(bits[0], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad begin event in %q: %v", part, err)
+		}
+		e, err := strconv.ParseUint(bits[1], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad end event in %q: %v", part, err)
+		}
+		rules = append(rules, profile.PairRule{Begin: uint8(b), End: uint8(e), Name: bits[2]})
+	}
+	return rules, nil
+}
+
+func runProfile(r io.Reader, spec string) error {
+	rules, err := parseRules(spec)
+	if err != nil {
+		return err
+	}
+	p := profile.New(rules)
+	rd := picl.NewReader(r)
+	for {
+		ln, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		rec := record.New(ln.Event, append([]record.Value{record.TSVal(ln.TimeMicros)}, ln.Fields...)...)
+		rec.Node = ln.Node
+		p.Feed(&rec)
+	}
+	fmt.Print(p.String())
+	if n := p.OpenRegions(); n > 0 {
+		fmt.Printf("regions still open at end of trace: %d\n", n)
+	}
+	return nil
+}
+
+type key struct {
+	node  int32
+	event uint8
+}
+
+func run(r io.Reader, dump bool, eventFilter int) error {
+	rd := picl.NewReader(r)
+	counts := make(map[key]int)
+	gaps := make(map[int32]*stats.Running)
+	lastTS := make(map[int32]int64)
+	var first, last int64
+	var total int
+	inversions := 0
+	var prevTS int64
+
+	for {
+		ln, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if eventFilter >= 0 && int(ln.Event) != eventFilter {
+			continue
+		}
+		if dump {
+			fmt.Printf("t=%dµs node=%d ev=%d fields=%d\n",
+				ln.TimeMicros, ln.Node, ln.Event, len(ln.Fields))
+		}
+		if total == 0 {
+			first = ln.TimeMicros
+		} else if ln.TimeMicros < prevTS {
+			inversions++
+		}
+		prevTS = ln.TimeMicros
+		last = ln.TimeMicros
+		total++
+		counts[key{ln.Node, ln.Event}]++
+		if prev, ok := lastTS[ln.Node]; ok {
+			g, ok := gaps[ln.Node]
+			if !ok {
+				g = &stats.Running{}
+				gaps[ln.Node] = g
+			}
+			g.Add(float64(ln.TimeMicros - prev))
+		}
+		lastTS[ln.Node] = ln.TimeMicros
+	}
+
+	if dump {
+		return nil
+	}
+	fmt.Printf("records: %d  span: %d µs  inversions: %d\n", total, last-first, inversions)
+	if total == 0 {
+		return nil
+	}
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].event < keys[j].event
+	})
+	fmt.Println("\nnode  event  count")
+	for _, k := range keys {
+		fmt.Printf("%4d  %5d  %5d\n", k.node, k.event, counts[k])
+	}
+	fmt.Println("\nper-node inter-event gap (µs):")
+	var nodes []int32
+	for n := range gaps {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		fmt.Printf("  node %d: %s\n", n, gaps[n].String())
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package cmd_test builds the actual executables and drives a real
+// multi-process session: one ism process, two exs processes (one with a
+// deliberately skewed clock), a PICL trace on disk, and brisktrace over
+// the result — the paper's deployment shape, end to end.
+package cmd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildAll compiles the binaries once into a shared temp dir.
+func buildAll(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"ism", "exs", "brisktrace", "mknotice", "briskbench"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./"+tool)
+		cmd.Dir = "." // cmd/ directory
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+// freePort grabs an ephemeral TCP port for the manager.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("ism never listened on %s", addr)
+}
+
+func TestMultiProcessSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process session in -short mode")
+	}
+	bin := buildAll(t)
+	addr := freePort(t)
+	trace := filepath.Join(t.TempDir(), "session.picl")
+
+	ism := exec.Command(filepath.Join(bin, "ism"),
+		"-addr", addr, "-sync", "100ms", "-picl", trace, "-T", "2000")
+	var ismOut strings.Builder
+	ism.Stdout = &ismOut
+	ism.Stderr = &ismOut
+	if err := ism.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if ism.Process != nil {
+			ism.Process.Kill()
+			ism.Wait()
+		}
+	}()
+	waitListening(t, addr)
+
+	// Two nodes: 300 events each at 3 kHz; node B starts 20 ms behind.
+	runEXS := func(name string, extra ...string) *exec.Cmd {
+		args := append([]string{
+			"-manager", addr, "-name", name,
+			"-rate", "3000", "-count", "300",
+		}, extra...)
+		c := exec.Command(filepath.Join(bin, "exs"), args...)
+		c.Stdout = os.Stderr
+		c.Stderr = os.Stderr
+		return c
+	}
+	a := runEXS("proc-a")
+	b := runEXS("proc-b", "-skew", "-20ms")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatalf("exs a: %v", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatalf("exs b: %v", err)
+	}
+
+	// Give the manager time to flush the sorter, then stop it cleanly so
+	// it flushes the PICL file.
+	time.Sleep(500 * time.Millisecond)
+	if err := ism.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ism.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("ism did not exit on SIGINT")
+	}
+	if !strings.Contains(ismOut.String(), "received=600") {
+		t.Fatalf("ism final stats missing records:\n%s", ismOut.String())
+	}
+
+	// The trace must hold all 600 records, time-ordered, from 2 nodes.
+	out, err := exec.Command(filepath.Join(bin, "brisktrace"), trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("brisktrace: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "records: 600") {
+		t.Fatalf("trace record count wrong:\n%s", text)
+	}
+	// The adaptive time frame is reactive: the first records from the
+	// 20 ms-skewed node may be emitted before the sorter has observed
+	// their lateness and grown T, so a handful of early inversions is the
+	// documented behaviour; a clean steady state keeps the total tiny.
+	inv := -1
+	fmt.Sscanf(text[strings.Index(text, "inversions:"):], "inversions: %d", &inv)
+	if inv < 0 || inv > 5 {
+		t.Fatalf("merged trace inversions = %d, want ≤5:\n%s", inv, text)
+	}
+	for _, node := range []string{"   1      ", "   2      "} {
+		if !strings.Contains(text, node) {
+			t.Fatalf("node attribution missing:\n%s", text)
+		}
+	}
+}
+
+func TestMknoticeCLI(t *testing.T) {
+	bin := buildAll(t)
+	out, err := exec.Command(filepath.Join(bin, "mknotice"),
+		"-name", "Demo", "-fields", "i32,str").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mknotice: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "func (s *Sensor) NoticeDemo(event uint8, a0 int32, a1 string) bool") {
+		t.Fatalf("unexpected generator output:\n%s", out)
+	}
+	// Invalid spec exits nonzero.
+	if _, err := exec.Command(filepath.Join(bin, "mknotice"),
+		"-name", "X", "-fields", "bogus").CombinedOutput(); err == nil {
+		t.Fatal("mknotice accepted a bogus field type")
+	}
+}
+
+func TestISMRejectsBadFlags(t *testing.T) {
+	bin := buildAll(t)
+	out, err := exec.Command(filepath.Join(bin, "ism"),
+		"-addr", "127.0.0.1:0", "-grow", "nonsense").CombinedOutput()
+	if err == nil {
+		t.Fatalf("ism accepted bad growth policy:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown growth policy") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}
+
+// TestBriskbenchCLI smoke-runs the fast, deterministic experiments
+// through the real evaluation binary.
+func TestBriskbenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test in -short mode")
+	}
+	bin := buildAll(t)
+	out, err := exec.Command(filepath.Join(bin, "briskbench"),
+		"notice", "-iters", "5000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("briskbench notice: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "E1: notice cost") {
+		t.Fatalf("missing E1 table:\n%s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "briskbench"), "ols").CombinedOutput()
+	if err != nil {
+		t.Fatalf("briskbench ols: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "grow-to-lateness") {
+		t.Fatalf("missing E7 rows:\n%s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "briskbench"), "clocksync").CombinedOutput()
+	if err != nil {
+		t.Fatalf("briskbench clocksync: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "quiet LAN") {
+		t.Fatalf("missing E6 rows:\n%s", out)
+	}
+	// Unknown experiment exits nonzero with usage.
+	if _, err := exec.Command(filepath.Join(bin, "briskbench"), "bogus").CombinedOutput(); err == nil {
+		t.Fatal("briskbench accepted an unknown experiment")
+	}
+}
+
+func TestMain(m *testing.M) {
+	// Run from the cmd/ directory so relative package paths resolve.
+	if _, err := os.Stat("ism"); err != nil {
+		fmt.Fprintln(os.Stderr, "integration tests must run from cmd/")
+	}
+	os.Exit(m.Run())
+}
+
+// TestISMStatsHTTP checks the operational JSON statistics endpoint.
+func TestISMStatsHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	bin := buildAll(t)
+	addr := freePort(t)
+	statsAddr := freePort(t)
+	ism := exec.Command(filepath.Join(bin, "ism"),
+		"-addr", addr, "-sync", "0", "-stats-http", statsAddr)
+	if err := ism.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ism.Process.Kill()
+		ism.Wait()
+	}()
+	waitListening(t, addr)
+	waitListening(t, statsAddr)
+
+	exs := exec.Command(filepath.Join(bin, "exs"),
+		"-manager", addr, "-rate", "0", "-count", "50")
+	if out, err := exs.CombinedOutput(); err != nil {
+		t.Fatalf("exs: %v\n%s", err, out)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + statsAddr + "/stats")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var st map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recv, ok := st["Received"].(float64); ok && recv == 50 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("stats endpoint never reported the received records")
+}

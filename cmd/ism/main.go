@@ -1,0 +1,148 @@
+// Command ism runs the BRISK instrumentation-system manager: it listens
+// for external sensors, merges and sorts their record streams, runs the
+// clock-synchronization master, and writes the sorted stream to its sinks.
+//
+// Usage:
+//
+//	ism -addr :7411 -sync 5s -picl trace.picl -print
+//
+// With -print the sorted stream is echoed to stdout (one line per record)
+// as a built-in consumer tool. Statistics are reported on SIGINT before
+// exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"brisk"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
+		syncPeriod = flag.Duration("sync", 5*time.Second, "clock-sync polling period (0 disables)")
+		initialT   = flag.Int64("T", 1000, "initial sorter time frame (µs)")
+		halfLife   = flag.Int64("halflife", 0, "time-frame decay half-life (µs, 0=no decay)")
+		policy     = flag.String("grow", "lateness", "time-frame growth policy: lateness|double|fixed")
+		merge      = flag.Duration("merge", 5*time.Millisecond, "merger wake interval")
+		piclPath   = flag.String("picl", "", "write a PICL ASCII trace to this file")
+		piclRel    = flag.Bool("picl-relative", false, "PICL timestamps as seconds since start")
+		visAddr    = flag.String("visual", "", "attach a remote visual object at host:port")
+		visName    = flag.String("visual-object", "view", "remote visual object name")
+		print      = flag.Bool("print", false, "echo the sorted stream to stdout")
+		statsEvery = flag.Duration("stats", 0, "periodically print statistics (0 disables)")
+		statsHTTP  = flag.String("stats-http", "", "serve statistics as JSON on this address")
+	)
+	flag.Parse()
+
+	opts := brisk.ManagerOptions{
+		Addr:          *addr,
+		MergeInterval: *merge,
+		Sorter: brisk.SorterOptions{
+			InitialT: *initialT,
+			HalfLife: *halfLife,
+		},
+		Sync: brisk.SyncOptions{Period: *syncPeriod},
+	}
+	switch *policy {
+	case "lateness":
+		opts.Sorter.Policy = brisk.TimeFrameLateness
+	case "double":
+		opts.Sorter.Policy = brisk.TimeFrameDouble
+	case "fixed":
+		opts.Sorter.Policy = brisk.TimeFrameFixed
+	default:
+		fmt.Fprintf(os.Stderr, "ism: unknown growth policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if *piclPath != "" {
+		f, err := os.Create(*piclPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ism: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.PICL = &brisk.PICLOptions{
+			W:        f,
+			Relative: *piclRel,
+			Start:    time.Now().UnixMicro(),
+		}
+	}
+
+	mgr, err := brisk.StartManager(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ism: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ism: listening on %s\n", mgr.Addr())
+
+	if *visAddr != "" {
+		if err := mgr.AttachVisual(*visAddr, *visName, 4096); err != nil {
+			fmt.Fprintf(os.Stderr, "ism: visual: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ism: dispatching to visual object %q at %s\n", *visName, *visAddr)
+	}
+
+	if *print {
+		go func() {
+			c := mgr.Consume()
+			for {
+				rec, ok := c.Next()
+				if !ok {
+					return
+				}
+				fmt.Println(rec.String())
+			}
+		}()
+	}
+	if *statsHTTP != "" {
+		ln, err := net.Listen("tcp", *statsHTTP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ism: stats-http: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(mgr.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("ism: statistics at http://%s/stats\n", ln.Addr())
+	}
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := mgr.Stats()
+				fmt.Printf("ism: nodes=%d received=%d emitted=%d T=%dµs inversions=%d tachyons=%d syncs=%d\n",
+					st.Connected, st.Received, st.Emitted,
+					st.Sorter.GrownTo, st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := mgr.Stats()
+	if err := mgr.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ism: close: %v\n", err)
+	}
+	fmt.Printf("ism: final stats: nodes=%d received=%d emitted=%d batches=%d inversions=%d tachyons=%d syncRounds=%d\n",
+		st.Connected, st.Received, st.Emitted, st.Batches,
+		st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds)
+}

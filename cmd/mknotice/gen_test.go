@@ -1,0 +1,104 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestGenerateParsesAsGo(t *testing.T) {
+	src, err := generate("Txn", []string{"i64", "i32", "str"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"func (s *Sensor) NoticeTxn(event uint8, a0 int64, a1 int32, a2 string) bool",
+		"xdr.AppendInt64(buf, a0)",
+		"xdr.AppendInt32(buf, a1)",
+		"xdr.AppendString(buf, a2)",
+		"uint32(record.TS) << 28",
+		"uint32(record.String) << 16",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateFixedSizeUsesConst(t *testing.T) {
+	src, err := generate("Pair", []string{"i32", "i32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HeaderSize + 8 (TS) + 4 + 4.
+	if !strings.Contains(src, "const size = record.HeaderSize + 16") {
+		t.Fatalf("fixed-size notice should use a const size:\n%s", src)
+	}
+	if strings.Contains(src, "size > 0xFFFF") {
+		t.Error("fixed-size notice should not carry the overflow check")
+	}
+}
+
+func TestGenerateVariableSizeChecked(t *testing.T) {
+	src, err := generate("Msg", []string{"str"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "size := record.HeaderSize + 8 + xdr.OpaqueLen(len(a0))") {
+		t.Fatalf("variable size expression wrong:\n%s", src)
+	}
+	if !strings.Contains(src, "size > 0xFFFF") {
+		t.Error("variable-size notice must guard against oversize records")
+	}
+}
+
+func TestGenerateCausalFields(t *testing.T) {
+	src, err := generate("Link", []string{"reason", "i32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "uint32(record.Reason) << 24") {
+		t.Fatalf("reason nibble missing:\n%s", src)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("", []string{"i32"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := generate("X", nil); err == nil {
+		t.Error("no fields accepted")
+	}
+	if _, err := generate("X", []string{"quux"}); err == nil {
+		t.Error("unknown field type accepted")
+	}
+	eight := make([]string, 8)
+	for i := range eight {
+		eight[i] = "i32"
+	}
+	if _, err := generate("X", eight); err == nil {
+		t.Error("8 fields + TS accepted (exceeds record limit)")
+	}
+	seven := eight[:7]
+	if _, err := generate("X", seven); err != nil {
+		t.Errorf("7 fields + TS rejected: %v", err)
+	}
+}
+
+func TestGenerateAllTypesParse(t *testing.T) {
+	for ft := range fieldSpecs {
+		src, err := generate("T", []string{ft})
+		if err != nil {
+			t.Fatalf("%s: %v", ft, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "g.go", src, 0); err != nil {
+			t.Fatalf("%s: parse: %v", ft, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package brisk_test
+
+import (
+	"fmt"
+	"time"
+
+	"brisk"
+)
+
+// Example shows the complete minimal deployment: one manager, one node,
+// one instrumented goroutine and a consumer reading the sorted stream.
+func Example() {
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{Logf: func(string, ...any) {}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer mgr.Close()
+
+	node, err := brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr:   mgr.Addr(),
+		Name:          "example",
+		FlushInterval: time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+
+	s := node.NewSensor("app")
+	s.Notice6i(1, 10, 20, 30, 40, 50, 60)
+
+	c := mgr.Consume()
+	rec, ok := c.Next()
+	if ok {
+		fmt.Println(rec.Event, rec.Fields[1].Int(), rec.HasTS)
+	}
+	// Output: 1 10 true
+}
+
+// ExampleFilterEvents restricts the delivered stream to chosen event
+// classes.
+func ExampleFilterEvents() {
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{
+		Filter: brisk.FilterEvents(3),
+		Logf:   func(string, ...any) {},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer mgr.Close()
+	node, err := brisk.ConnectNode(brisk.NodeOptions{
+		ManagerAddr:   mgr.Addr(),
+		FlushInterval: time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+
+	s := node.NewSensor("app")
+	s.Notice2i(9, 1, 0) // suppressed by the filter
+	s.Notice2i(3, 2, 0) // delivered
+
+	c := mgr.Consume()
+	rec, _ := c.Next()
+	fmt.Println(rec.Event, rec.Fields[1].Int())
+	// Output: 3 2
+}
+
+// ExamplePICLLine renders a record the way the PICL trace sink would.
+func ExamplePICLLine() {
+	rec := brisk.NewRecord(5, brisk.TSField(1000), brisk.I32(7), brisk.Str("phase"))
+	rec.Node = 2
+	fmt.Println(brisk.PICLLine(&rec))
+	// Output: -4 5 1000 2 2 i32:7 str:"phase"
+}

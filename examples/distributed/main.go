@@ -1,0 +1,109 @@
+// Distributed: four nodes with deliberately skewed, drifting clocks feed
+// one manager. The clock-synchronization master pulls the node clocks
+// together while the on-line sorter merges their streams into timestamp
+// order; a PICL ASCII trace is written as a byproduct.
+//
+// This example reproduces, at demo scale, the paper's distributed
+// configuration: multiple external sensors on different nodes, built-in
+// clock synchronization, and dynamic on-line sorting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"brisk"
+	"brisk/internal/vclock"
+)
+
+func main() {
+	trace, err := os.CreateTemp("", "brisk-*.picl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trace.Close()
+
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{
+		Sorter: brisk.SorterOptions{InitialT: 5000}, // 5 ms merge window
+		Sync:   brisk.SyncOptions{Period: 200 * time.Millisecond},
+		PICL:   &brisk.PICLOptions{W: trace, Relative: true, Start: time.Now().UnixMicro()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four nodes whose clocks start up to 40 ms apart and drift.
+	skews := []int64{0, -40_000, 25_000, -10_000}
+	drifts := []float64{0, 30, -20, 10}
+	var nodes []*brisk.Node
+	for i := range skews {
+		node, err := brisk.ConnectNode(brisk.NodeOptions{
+			ManagerAddr: mgr.Addr(),
+			Name:        fmt.Sprintf("node-%d", i),
+			RawClock:    vclock.NewDrift(vclock.System{}, skews[i], drifts[i]),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+
+	// Let a few synchronization rounds run before the workload starts.
+	time.Sleep(time.Second)
+	fmt.Println("clock corrections after synchronization:")
+	for i, node := range nodes {
+		fmt.Printf("  node %d: started %+d µs off, correction now %+d µs\n",
+			node.ID(), skews[i], node.Correction())
+	}
+
+	// Every node runs an instrumented worker.
+	var wg sync.WaitGroup
+	const perNode = 50
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node *brisk.Node) {
+			defer wg.Done()
+			s := node.NewSensor("worker")
+			for i := 0; i < perNode; i++ {
+				s.Notice2i(1, int32(node.ID()), int32(i))
+				time.Sleep(time.Millisecond)
+			}
+			node.Flush()
+		}(node)
+	}
+	wg.Wait()
+
+	// Consume the merged stream and check it is time-ordered despite the
+	// skewed origins.
+	c := mgr.Consume()
+	var lastTS int64
+	inversions, total := 0, 0
+	deadline := time.Now().Add(10 * time.Second)
+	for total < len(nodes)*perNode && time.Now().Before(deadline) {
+		rec, ok := c.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if total > 0 && rec.TS < lastTS {
+			inversions++
+		}
+		lastTS = rec.TS
+		total++
+	}
+	st := mgr.Stats()
+	fmt.Printf("\nmerged %d records from %d nodes: %d inversions in consumer stream\n",
+		total, len(nodes), inversions)
+	fmt.Printf("sorter: time frame grew to %d µs; sync rounds: %d\n",
+		st.Sorter.GrownTo, st.SyncRounds)
+
+	for _, node := range nodes {
+		node.Close()
+	}
+	mgr.Close()
+	fi, _ := os.Stat(trace.Name())
+	fmt.Printf("PICL trace written to %s (%d bytes)\n", trace.Name(), fi.Size())
+}

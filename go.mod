@@ -1,0 +1,3 @@
+module brisk
+
+go 1.22

@@ -1,0 +1,79 @@
+// Package bench implements BRISK's evaluation harness: one entry point
+// per experiment of the paper's Section 4, each regenerating the
+// corresponding measurement on the reproduction. cmd/briskbench is the
+// command-line driver; the repository-root benchmarks wrap the same
+// entry points.
+//
+// Experiment index (see DESIGN.md and EXPERIMENTS.md):
+//
+//	E1 notice-cost   — CPU time per NOTICE (paper: 3.6–18.6 µs)
+//	E2 exs-util      — EXS CPU share at fixed event rates (paper: <1 % up to 38 k ev/s)
+//	E3 throughput    — max EXS→ISM event throughput (paper: 90 k ev/s)
+//	E4 latency       — end-to-end latency vs batching knobs (paper: ≤40 ms select bound)
+//	E5 scale         — aggregate ISM throughput vs number of EXS nodes (paper: ≈constant, 1–8)
+//	E6 clocksync     — mutual clock skew over 5 s rounds (paper: tens of µs quiet, <200 µs disturbed)
+//	E7 ols           — ordering/latency trade-off of the on-line sorter parameter sweep
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table used by all experiment reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; thresholds on
+// CPU-proportional assertions are relaxed under it.
+const raceEnabled = false

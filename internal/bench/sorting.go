@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+
+	"brisk/internal/ols"
+	"brisk/internal/record"
+	"brisk/internal/stats"
+	"brisk/internal/workload"
+)
+
+// OLSScenario is one parameter setting of experiment E7: the on-line
+// sorting algorithm evaluated on streams of artificially delayed event
+// records, varying the paper's four qualitative/quantitative parameters —
+// delay profile, growth policy, decay half-life and source count.
+type OLSScenario struct {
+	Name string
+	// Sources is the number of event streams.
+	Sources int
+	// Events per source.
+	Events int
+	// DelayProfile shapes the per-source artificial delays.
+	DelayProfile string // "uniform", "skewed", "spiky"
+	// Sorter is the configuration under test.
+	Sorter ols.Config
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// OLSResult summarizes one E7 run.
+type OLSResult struct {
+	Scenario OLSScenario
+	// OutOfOrderPct is the fraction of emitted records that broke global
+	// timestamp order (the residual the adaptive T could not absorb).
+	OutOfOrderPct float64
+	// MeanLatencyMicros/P99 are emission latencies (emit time − creation).
+	MeanLatencyMicros float64
+	P99LatencyMicros  float64
+	// FinalT and MaxT are the time frame at the end and its peak.
+	FinalT, MaxT int64
+	// Emitted counts records that flowed through.
+	Emitted uint64
+}
+
+// delaySpecs builds per-source stream specs for a profile.
+func delaySpecs(profile string, sources int) []workload.StreamSpec {
+	specs := make([]workload.StreamSpec, sources)
+	for i := range specs {
+		sp := workload.StreamSpec{
+			Source:  int32(i + 1),
+			MeanGap: 200, // ≈5000 events/s per source
+		}
+		switch profile {
+		case "skewed":
+			// One slow source far behind the others, the paper's
+			// inversion-generating case.
+			if i == sources-1 {
+				sp.Delay = workload.DelayParams{Base: 2000, JitterMean: 500}
+			} else {
+				sp.Delay = workload.DelayParams{Base: 100, JitterMean: 50}
+			}
+		case "spiky":
+			// Heavy-tailed delays: occasional multi-millisecond spikes.
+			sp.Delay = workload.DelayParams{Base: 100, JitterMean: 100, SpikeProb: 0.02, SpikeMean: 5000}
+		default: // uniform
+			sp.Delay = workload.DelayParams{Base: 100, JitterMean: 100}
+		}
+		specs[i] = sp
+	}
+	return specs
+}
+
+// RunOLS executes one E7 scenario: the delayed streams are replayed in
+// arrival order against the sorter, and ordering/latency are measured on
+// the emitted stream.
+func RunOLS(sc OLSScenario) OLSResult {
+	events := workload.GenDelayedStreams(delaySpecs(sc.DelayProfile, sc.Sources), sc.Events, sc.Seed)
+	s := ols.New(sc.Sorter)
+	var lastTS int64
+	var outOfOrder, emitted uint64
+	var lat stats.Running
+	rsv := stats.NewReservoir(4096)
+	var maxT int64
+
+	emit := func(now int64) func(rec record.Record) {
+		return func(rec record.Record) {
+			if emitted > 0 && rec.TS < lastTS {
+				outOfOrder++
+			}
+			lastTS = rec.TS
+			emitted++
+			d := float64(now - rec.TS)
+			lat.Add(d)
+			rsv.Add(d)
+		}
+	}
+	for _, ev := range events {
+		s.Push(ev.Source, ev.Record(), ev.Arrival)
+		s.Extract(ev.Arrival, emit(ev.Arrival))
+		if s.TimeFrame() > maxT {
+			maxT = s.TimeFrame()
+		}
+	}
+	last := events[len(events)-1].Arrival
+	s.Flush(emit(last))
+
+	res := OLSResult{
+		Scenario:          sc,
+		MeanLatencyMicros: lat.Mean(),
+		P99LatencyMicros:  rsv.Quantile(0.99),
+		FinalT:            s.TimeFrame(),
+		MaxT:              maxT,
+		Emitted:           emitted,
+	}
+	if emitted > 0 {
+		res.OutOfOrderPct = 100 * float64(outOfOrder) / float64(emitted)
+	}
+	return res
+}
+
+// DefaultOLSScenarios sweeps the paper's four parameters.
+func DefaultOLSScenarios(seed uint64) []OLSScenario {
+	mk := func(name, profile string, sources int, cfg ols.Config) OLSScenario {
+		return OLSScenario{
+			Name: name, Sources: sources, Events: 20_000,
+			DelayProfile: profile, Sorter: cfg, Seed: seed,
+		}
+	}
+	return []OLSScenario{
+		// Parameter 1: growth policy (paper finding: lateness-sizing is
+		// the good strategy for latency-critical applications).
+		mk("fixed small T, skewed delays", "skewed", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowFixed}),
+		mk("grow-to-lateness, skewed delays", "skewed", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness}),
+		mk("grow-double, skewed delays", "skewed", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowDouble}),
+		// Parameter 2: decay half-life (paper: a large half-life helps
+		// outside latency-critical use).
+		mk("lateness + fast decay (1 ms half-life), spiky", "spiky", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness, HalfLife: 1_000}),
+		mk("lateness + slow decay (1 s half-life), spiky", "spiky", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness, HalfLife: 1_000_000}),
+		mk("lateness + no decay, spiky", "spiky", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness}),
+		// Parameter 3: delay profile.
+		mk("lateness, uniform delays", "uniform", 4,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness}),
+		// Parameter 4: source count.
+		mk("lateness, skewed, 2 sources", "skewed", 2,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness}),
+		mk("lateness, skewed, 8 sources", "skewed", 8,
+			ols.Config{InitialT: 100, Grow: ols.GrowToLateness}),
+	}
+}
+
+// OLSTable renders a set of E7 results.
+func OLSTable(results []OLSResult) *Table {
+	t := &Table{
+		Title: "E7: on-line sorting parameter sweep (paper: T sized to the latest lateness is " +
+			"best when latency-critical; a large T half-life helps otherwise)",
+		Header: []string{"scenario", "out-of-order %", "mean lat µs", "p99 lat µs", "final T µs", "peak T µs"},
+	}
+	for _, r := range results {
+		t.Add(r.Scenario.Name, fmt.Sprintf("%.3f", r.OutOfOrderPct),
+			r.MeanLatencyMicros, r.P99LatencyMicros, r.FinalT, r.MaxT)
+	}
+	return t
+}

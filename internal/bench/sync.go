@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"brisk/internal/clocksync"
+	"brisk/internal/simnet"
+	"brisk/internal/stats"
+)
+
+// SyncScenario configures one clock-synchronization run of experiment E6.
+type SyncScenario struct {
+	Name string
+	// Nodes is the cluster size (the paper used 8).
+	Nodes int
+	// OffsetSpread is the half-width of the initial offsets (µs).
+	OffsetSpread int64
+	// DriftSpread is the half-width of the frequency errors (ppm).
+	DriftSpread float64
+	// Net is the latency model.
+	Net simnet.Params
+	// Rounds at PollPeriod µs (the paper: 5 s rounds over 10 minutes).
+	Rounds     int
+	PollPeriod int64
+	// Sync is the algorithm configuration.
+	Sync clocksync.Config
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// SyncResult summarizes one E6 run.
+type SyncResult struct {
+	Scenario         SyncScenario
+	RoundsToConverge int
+	// SteadyMeanMicros/SteadyP95/SteadyMax summarize the post-convergence
+	// (second-half) mutual skew.
+	SteadyMeanMicros float64
+	SteadyP95Micros  float64
+	SteadyMaxMicros  float64
+	// Under200Pct is the fraction of second-half rounds with skew under
+	// 200 µs (the paper's disturbed-LAN bound).
+	Under200Pct float64
+	// Series is the per-round max mutual skew.
+	Series []int64
+}
+
+// RunSync executes one E6 scenario.
+func RunSync(sc SyncScenario) SyncResult {
+	c := clocksync.NewSimCluster(sc.Nodes, sc.Net, sc.OffsetSpread, sc.DriftSpread, sc.Seed)
+	run := c.Run(sc.Sync, sc.Rounds, sc.PollPeriod, 100)
+	res := SyncResult{Scenario: sc, RoundsToConverge: run.RoundsToConverge, Series: run.SkewAfterRound}
+	half := run.SkewAfterRound[len(run.SkewAfterRound)/2:]
+	var running stats.Running
+	rsv := stats.NewReservoir(len(half))
+	under := 0
+	for _, s := range half {
+		running.Add(float64(s))
+		rsv.Add(float64(s))
+		if s < 200 {
+			under++
+		}
+	}
+	res.SteadyMeanMicros = running.Mean()
+	res.SteadyP95Micros = rsv.Quantile(0.95)
+	res.SteadyMaxMicros = running.Max()
+	res.Under200Pct = 100 * float64(under) / float64(len(half))
+	return res
+}
+
+// DefaultSyncScenarios reproduces the paper's E6 conditions: 8 nodes,
+// 5-second polling over 10 minutes (120 rounds), quiet and disturbed
+// LANs, plus the BRISK-vs-Cristian convergence ablation.
+func DefaultSyncScenarios(seed uint64) []SyncScenario {
+	const fiveSeconds = 5_000_000
+	base := SyncScenario{
+		Nodes:        8,
+		OffsetSpread: 5_000_000, // start up to ±5 s apart
+		DriftSpread:  2,
+		Rounds:       120,
+		PollPeriod:   fiveSeconds,
+		Seed:         seed,
+	}
+	quietSc := base
+	quietSc.Name = "quiet LAN (light conditions)"
+	quietSc.Net = simnet.QuietLAN(seed)
+
+	disturbed := base
+	disturbed.Name = "disturbed LAN"
+	disturbed.Net = simnet.LAN(seed + 1)
+	disturbed.Sync = clocksync.Config{MaxRTT: 1500}
+
+	briskAlg := base
+	briskAlg.Name = "BRISK algorithm, 50 ms initial spread"
+	briskAlg.OffsetSpread = 50_000
+	briskAlg.Net = simnet.QuietLAN(seed + 2)
+
+	cristian := briskAlg
+	cristian.Name = "original Cristian (amortized slew), 50 ms initial spread"
+	cristian.Sync = clocksync.Config{Algorithm: clocksync.AlgCristian, MaxSlew: 2500}
+
+	return []SyncScenario{quietSc, disturbed, briskAlg, cristian}
+}
+
+// SyncTable renders a set of E6 results.
+func SyncTable(results []SyncResult) *Table {
+	t := &Table{
+		Title: "E6: clock synchronization, 8 nodes, 5 s rounds (paper: tens of µs quiet; " +
+			"<200 µs most of the time disturbed; faster convergence than Cristian)",
+		Header: []string{"scenario", "converge (rounds)", "steady mean µs", "steady p95 µs", "steady max µs", "<200µs %"},
+	}
+	for _, r := range results {
+		t.Add(r.Scenario.Name, r.RoundsToConverge, r.SteadyMeanMicros,
+			r.SteadyP95Micros, r.SteadyMaxMicros, r.Under200Pct)
+	}
+	return t
+}
+
+// FilterAblationScenarios compares probe-sample reductions under the
+// disturbed LAN: the paper's plain mean, Cristian's min-RTT refinement,
+// and the mean with the congested-probe (MaxRTT) filter — the knob a
+// BRISK user would turn when LAN disturbances pollute estimates.
+func FilterAblationScenarios(seed uint64) []SyncScenario {
+	base := SyncScenario{
+		Nodes:        8,
+		OffsetSpread: 5_000_000,
+		DriftSpread:  2,
+		Net:          simnet.LAN(seed + 10),
+		Rounds:       120,
+		PollPeriod:   5_000_000,
+		Seed:         seed,
+	}
+	mean := base
+	mean.Name = "mean of 5 probes (paper default)"
+	minRTT := base
+	minRTT.Name = "min-RTT probe"
+	minRTT.Sync = clocksync.Config{Filter: clocksync.FilterMinRTT}
+	filtered := base
+	filtered.Name = "mean + MaxRTT 1.5 ms filter"
+	filtered.Sync = clocksync.Config{MaxRTT: 1500}
+	return []SyncScenario{mean, minRTT, filtered}
+}

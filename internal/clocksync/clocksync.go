@@ -1,0 +1,289 @@
+// Package clocksync implements BRISK's distributed clock-synchronization
+// algorithm, a modification of Cristian's probabilistic algorithm [F.
+// Cristian, Distributed Computing 3, 1989].
+//
+// The master (the ISM) polls the slaves (the external sensors) in rounds.
+// In each round it probes every slave several times; each probe estimates
+// the slave-clock offset against the master clock by the classic
+// half-round-trip rule. The BRISK modification then departs from Cristian:
+//
+//   - The master's time is used only as a common reference point for
+//     computing relative skews of the slave clocks: for measurement it is
+//     the slaves' mutual agreement that matters, not agreement with the
+//     master.
+//   - The slave with the maximum positive skew relative to the master
+//     (the most-ahead clock) is elected as the round's reference.
+//   - The relative skews of the other slaves against the reference, and
+//     their average, are computed.
+//   - Only slaves whose relative skew is above the average are advanced:
+//     by the full relative skew if the average exceeds a small threshold,
+//     and otherwise by a fixed portion of it (0.7 in the paper). Both
+//     rules are conservative: they avoid erroneously promoting a new
+//     fastest clock on network noise, at the price of potentially slower
+//     convergence near agreement.
+//
+// Clocks are only ever advanced, never set back, so timestamp order within
+// a node is preserved; the cost is a small positive drift of the slave
+// clocks, exactly as the paper notes.
+//
+// The original Cristian update (every slave steps by the master-slave
+// difference, in either direction) is provided as the comparison baseline.
+package clocksync
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Algorithm selects the round update rule.
+type Algorithm int
+
+const (
+	// AlgBRISK is the paper's modified algorithm (relative skews against
+	// the most-ahead slave, above-average rule, damped correction).
+	AlgBRISK Algorithm = iota
+	// AlgCristian is the original centralized algorithm: every slave is
+	// stepped by its estimated offset from the master, in both
+	// directions.
+	AlgCristian
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgBRISK:
+		return "brisk"
+	case AlgCristian:
+		return "cristian"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Filter selects how per-slave probe samples reduce to one offset
+// estimate.
+type Filter int
+
+const (
+	// FilterMean averages the samples, the paper's stated reduction.
+	FilterMean Filter = iota
+	// FilterMinRTT keeps the sample with the smallest round-trip time,
+	// whose half-RTT error bound is tightest (Cristian's refinement).
+	FilterMinRTT
+)
+
+// String names the filter.
+func (f Filter) String() string {
+	switch f {
+	case FilterMean:
+		return "mean"
+	case FilterMinRTT:
+		return "minrtt"
+	default:
+		return fmt.Sprintf("Filter(%d)", int(f))
+	}
+}
+
+// Config holds the master's tuning knobs — part of BRISK's "flexibility in
+// the performance sense": users trade convergence speed against noise
+// robustness for their environment.
+type Config struct {
+	// ProbesPerSlave is how many probes estimate each slave per round.
+	// Default 5.
+	ProbesPerSlave int
+	// Filter reduces a slave's probe samples to one offset estimate.
+	Filter Filter
+	// Threshold is the "small threshold" (µs) on the round's average
+	// relative skew below which the damped correction applies. Default
+	// 100 µs.
+	Threshold int64
+	// Damping is the fixed portion of the relative skew applied below
+	// the threshold. Default 0.7, the paper's value.
+	Damping float64
+	// MaxRTT discards probe samples with round-trip times above this
+	// bound (µs); 0 disables the filter. Discarding congested probes
+	// keeps disturbance windows from polluting estimates.
+	MaxRTT int64
+	// Algorithm selects the update rule; default AlgBRISK.
+	Algorithm Algorithm
+	// MaxSlew caps the per-round adjustment magnitude under AlgCristian
+	// (µs per round; 0 = uncapped). Cristian's algorithm amortizes
+	// corrections gradually so the adjusted clock stays monotone and
+	// rate-bounded; the cap models that amortization (e.g. an NTP-like
+	// 500 ppm slew over a 5 s round gives MaxSlew = 2500). BRISK needs
+	// no cap: its corrections only ever move clocks forward, so they are
+	// safe to apply as instantaneous steps — the structural reason it
+	// converges faster.
+	MaxSlew int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbesPerSlave <= 0 {
+		c.ProbesPerSlave = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 100
+	}
+	if c.Damping <= 0 || c.Damping > 1 {
+		c.Damping = 0.7
+	}
+	return c
+}
+
+// Sample is one probe observation of a slave.
+type Sample struct {
+	// RTT is the master-observed round-trip time in µs.
+	RTT int64
+	// Offset is the estimated slave-minus-master clock difference in µs:
+	// slaveTime - (masterSend + RTT/2).
+	Offset int64
+}
+
+// EstimateOffset reduces probe samples to a single slave-offset estimate.
+// Samples with RTT above maxRTT (if nonzero) are discarded first. The
+// second result is false when no usable sample remains.
+func EstimateOffset(samples []Sample, filter Filter, maxRTT int64) (int64, bool) {
+	var kept []Sample
+	for _, s := range samples {
+		if maxRTT > 0 && s.RTT > maxRTT {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	if len(kept) == 0 {
+		return 0, false
+	}
+	switch filter {
+	case FilterMinRTT:
+		best := kept[0]
+		for _, s := range kept[1:] {
+			if s.RTT < best.RTT {
+				best = s
+			}
+		}
+		return best.Offset, true
+	default: // FilterMean
+		var sum int64
+		for _, s := range kept {
+			sum += s.Offset
+		}
+		return sum / int64(len(kept)), true
+	}
+}
+
+// Corrections is the outcome of one round's computation.
+type Corrections struct {
+	// Ref is the index (into the round's offset slice) of the elected
+	// reference slave, or -1 when no slave was usable.
+	Ref int
+	// RelSkew[i] is slave i's skew behind the reference (µs, ≥ 0);
+	// meaningless where Valid[i] is false.
+	RelSkew []int64
+	// AvgRelSkew is the mean relative skew over the non-reference,
+	// valid slaves.
+	AvgRelSkew float64
+	// Advance[i] is the amount (µs, ≥ 0 under AlgBRISK) by which slave
+	// i's clock should be advanced; 0 means no adjustment.
+	Advance []int64
+}
+
+// ErrNoSlaves reports a round with no usable slave estimates.
+var ErrNoSlaves = errors.New("clocksync: no usable slave estimates")
+
+// Compute applies the configured update rule to one round's offset
+// estimates. offsets[i] is slave i's estimated slave-minus-master offset;
+// valid[i] marks slaves that produced a usable estimate this round.
+func Compute(offsets []int64, valid []bool, cfg Config) (Corrections, error) {
+	cfg = cfg.withDefaults()
+	n := len(offsets)
+	if len(valid) != n {
+		return Corrections{}, fmt.Errorf("clocksync: %d offsets but %d validity flags", n, len(valid))
+	}
+	out := Corrections{Ref: -1, RelSkew: make([]int64, n), Advance: make([]int64, n)}
+
+	if cfg.Algorithm == AlgCristian {
+		any := false
+		for i := 0; i < n; i++ {
+			if !valid[i] {
+				continue
+			}
+			any = true
+			// Step the slave onto the master clock, either direction,
+			// amortized by the slew cap.
+			adv := -offsets[i]
+			if cfg.MaxSlew > 0 {
+				if adv > cfg.MaxSlew {
+					adv = cfg.MaxSlew
+				} else if adv < -cfg.MaxSlew {
+					adv = -cfg.MaxSlew
+				}
+			}
+			out.Advance[i] = adv
+			out.RelSkew[i] = abs64(offsets[i])
+		}
+		if !any {
+			return out, ErrNoSlaves
+		}
+		return out, nil
+	}
+
+	// BRISK rule. Elect the most-ahead slave as the reference.
+	ref := -1
+	var refOffset int64 = math.MinInt64
+	for i := 0; i < n; i++ {
+		if valid[i] && offsets[i] > refOffset {
+			refOffset = offsets[i]
+			ref = i
+		}
+	}
+	if ref < 0 {
+		return out, ErrNoSlaves
+	}
+	out.Ref = ref
+
+	// Relative skews of the others against the reference (absolute
+	// values: the reference is maximal, so these are non-negative) and
+	// their average.
+	var sum int64
+	var cnt int
+	for i := 0; i < n; i++ {
+		if !valid[i] || i == ref {
+			continue
+		}
+		out.RelSkew[i] = refOffset - offsets[i]
+		sum += out.RelSkew[i]
+		cnt++
+	}
+	if cnt == 0 {
+		// A single slave is trivially synchronized with itself.
+		return out, nil
+	}
+	out.AvgRelSkew = float64(sum) / float64(cnt)
+
+	// Advance only the clocks whose relative skew is at or above the
+	// average; full skew when the average exceeds the threshold, damped
+	// portion otherwise. (The paper says "above the average"; ≥ is used
+	// here so that the degenerate two-slave round — where the single
+	// non-reference skew equals the average — still makes progress.)
+	for i := 0; i < n; i++ {
+		if !valid[i] || i == ref {
+			continue
+		}
+		if float64(out.RelSkew[i]) >= out.AvgRelSkew {
+			if out.AvgRelSkew > float64(cfg.Threshold) {
+				out.Advance[i] = out.RelSkew[i]
+			} else {
+				out.Advance[i] = int64(cfg.Damping * float64(out.RelSkew[i]))
+			}
+		}
+	}
+	return out, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,385 @@
+package clocksync
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"brisk/internal/vclock"
+)
+
+func TestEstimateOffsetMean(t *testing.T) {
+	s := []Sample{{RTT: 100, Offset: 10}, {RTT: 100, Offset: 20}, {RTT: 100, Offset: 30}}
+	got, ok := EstimateOffset(s, FilterMean, 0)
+	if !ok || got != 20 {
+		t.Fatalf("mean = %d, %v", got, ok)
+	}
+}
+
+func TestEstimateOffsetMinRTT(t *testing.T) {
+	s := []Sample{{RTT: 300, Offset: 99}, {RTT: 50, Offset: 7}, {RTT: 200, Offset: 55}}
+	got, ok := EstimateOffset(s, FilterMinRTT, 0)
+	if !ok || got != 7 {
+		t.Fatalf("minrtt = %d, %v", got, ok)
+	}
+}
+
+func TestEstimateOffsetMaxRTTFilter(t *testing.T) {
+	s := []Sample{{RTT: 5000, Offset: 100}, {RTT: 100, Offset: 10}}
+	got, ok := EstimateOffset(s, FilterMean, 1000)
+	if !ok || got != 10 {
+		t.Fatalf("filtered mean = %d, %v", got, ok)
+	}
+	// All samples over the bound → unusable.
+	if _, ok := EstimateOffset(s, FilterMean, 10); ok {
+		t.Fatal("all-filtered estimate reported usable")
+	}
+	if _, ok := EstimateOffset(nil, FilterMean, 0); ok {
+		t.Fatal("empty estimate reported usable")
+	}
+}
+
+func TestComputeElectsMostAheadClock(t *testing.T) {
+	offsets := []int64{-500, 2000, 300}
+	valid := []bool{true, true, true}
+	c, err := Compute(offsets, valid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ref != 1 {
+		t.Fatalf("ref = %d, want 1 (most ahead)", c.Ref)
+	}
+	if c.Advance[1] != 0 {
+		t.Fatal("reference clock must never be advanced")
+	}
+	if c.RelSkew[0] != 2500 || c.RelSkew[2] != 1700 {
+		t.Fatalf("relative skews = %v", c.RelSkew)
+	}
+	if c.AvgRelSkew != 2100 {
+		t.Fatalf("avg = %v, want 2100", c.AvgRelSkew)
+	}
+	// Above threshold (avg 2100 > 100): full correction, but only for
+	// clocks whose skew exceeds the average — here only slave 0.
+	if c.Advance[0] != 2500 {
+		t.Fatalf("advance[0] = %d, want full skew 2500", c.Advance[0])
+	}
+	if c.Advance[2] != 0 {
+		t.Fatalf("advance[2] = %d, want 0 (below average)", c.Advance[2])
+	}
+}
+
+func TestComputeDampedBelowThreshold(t *testing.T) {
+	// Average relative skew 60 µs < default threshold 100 µs.
+	offsets := []int64{0, 100, 20}
+	valid := []bool{true, true, true}
+	c, err := Compute(offsets, valid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ref != 1 || c.AvgRelSkew != 90 {
+		t.Fatalf("ref=%d avg=%v", c.Ref, c.AvgRelSkew)
+	}
+	// Slave 0: skew 100 > avg 90 → damped 0.7*100 = 70.
+	if c.Advance[0] != 70 {
+		t.Fatalf("advance[0] = %d, want 70", c.Advance[0])
+	}
+	if c.Advance[2] != 0 {
+		t.Fatalf("advance[2] = %d, want 0", c.Advance[2])
+	}
+}
+
+func TestComputeCustomDampingAndThreshold(t *testing.T) {
+	offsets := []int64{0, 1000}
+	valid := []bool{true, true}
+	c, err := Compute(offsets, valid, Config{Threshold: 5000, Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg = 1000 < threshold 5000 → damped by 0.5.
+	if c.Advance[0] != 500 {
+		t.Fatalf("advance[0] = %d, want 500", c.Advance[0])
+	}
+}
+
+func TestComputeInvalidSlavesSkipped(t *testing.T) {
+	offsets := []int64{9999, 100, 0}
+	valid := []bool{false, true, true}
+	c, err := Compute(offsets, valid, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ref != 1 {
+		t.Fatalf("ref = %d; invalid slave must not be elected", c.Ref)
+	}
+	if c.Advance[0] != 0 {
+		t.Fatal("invalid slave received a correction")
+	}
+}
+
+func TestComputeNoUsableSlaves(t *testing.T) {
+	_, err := Compute([]int64{1, 2}, []bool{false, false}, Config{})
+	if !errors.Is(err, ErrNoSlaves) {
+		t.Fatalf("err = %v, want ErrNoSlaves", err)
+	}
+}
+
+func TestComputeSingleSlave(t *testing.T) {
+	c, err := Compute([]int64{123}, []bool{true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ref != 0 || c.Advance[0] != 0 {
+		t.Fatalf("single slave: %+v", c)
+	}
+}
+
+func TestComputeMismatchedLengths(t *testing.T) {
+	if _, err := Compute([]int64{1}, []bool{true, false}, Config{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestComputeCristianBaseline(t *testing.T) {
+	offsets := []int64{-500, 2000, 0}
+	valid := []bool{true, true, false}
+	c, err := Compute(offsets, valid, Config{Algorithm: AlgCristian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cristian steps each slave onto the master: advance = -offset,
+	// including negative steps.
+	if c.Advance[0] != 500 || c.Advance[1] != -2000 || c.Advance[2] != 0 {
+		t.Fatalf("cristian advances = %v", c.Advance)
+	}
+}
+
+// TestComputeBRISKPropertyNonNegative checks the paper's guarantee: under
+// AlgBRISK clocks are only advanced, and the reference is never touched.
+func TestComputeBRISKPropertyNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(10)
+		offsets := make([]int64, n)
+		valid := make([]bool, n)
+		anyValid := false
+		for i := range offsets {
+			offsets[i] = rng.Int63n(2_000_001) - 1_000_000
+			valid[i] = rng.Intn(4) != 0
+			anyValid = anyValid || valid[i]
+		}
+		c, err := Compute(offsets, valid, Config{})
+		if !anyValid {
+			if !errors.Is(err, ErrNoSlaves) {
+				t.Fatalf("iter %d: err = %v", iter, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i, adv := range c.Advance {
+			if adv < 0 {
+				t.Fatalf("iter %d: negative advance %d for slave %d", iter, adv, i)
+			}
+			if !valid[i] && adv != 0 {
+				t.Fatalf("iter %d: invalid slave %d advanced", iter, i)
+			}
+		}
+		if c.Advance[c.Ref] != 0 {
+			t.Fatalf("iter %d: reference advanced", iter)
+		}
+		// After applying the advances, no slave may end up ahead of the
+		// reference (conservativeness: no erroneous promotion).
+		refOff := offsets[c.Ref]
+		for i := range offsets {
+			if !valid[i] || i == c.Ref {
+				continue
+			}
+			if offsets[i]+c.Advance[i] > refOff {
+				t.Fatalf("iter %d: slave %d overshot the reference", iter, i)
+			}
+		}
+	}
+}
+
+func TestAlgorithmAndFilterStrings(t *testing.T) {
+	if AlgBRISK.String() != "brisk" || AlgCristian.String() != "cristian" {
+		t.Error("algorithm names")
+	}
+	if FilterMean.String() != "mean" || FilterMinRTT.String() != "minrtt" {
+		t.Error("filter names")
+	}
+	if Algorithm(9).String() == "" || Filter(9).String() == "" {
+		t.Error("unknown enums must still print")
+	}
+}
+
+// fakeConn is a scripted SlaveConn for master-driver tests.
+type fakeConn struct {
+	clock    *vclock.Corrected
+	master   *vclock.Manual
+	rtt      int64
+	failNext int
+	adjusts  []int64
+}
+
+func (f *fakeConn) Exchange() (int64, error) {
+	if f.failNext > 0 {
+		f.failNext--
+		return 0, errors.New("probe lost")
+	}
+	// Model a symmetric RTT: master clock advances rtt, slave sampled at
+	// the midpoint.
+	f.master.Advance(f.rtt / 2)
+	st := f.clock.NowMicros()
+	f.master.Advance(f.rtt - f.rtt/2)
+	return st, nil
+}
+
+func (f *fakeConn) Adjust(delta int64) error {
+	f.adjusts = append(f.adjusts, delta)
+	f.clock.Adjust(delta)
+	return nil
+}
+
+func TestMasterRoundConvergesFakes(t *testing.T) {
+	master := vclock.NewManual(1_000_000)
+	mk := func(offset int64) *fakeConn {
+		return &fakeConn{
+			clock:  vclock.NewCorrected(vclock.ClockFunc(func() int64 { return master.NowMicros() + offset })),
+			master: master,
+			rtt:    200,
+		}
+	}
+	// Wrap so the corrected layer holds the adjustment.
+	conns := []*fakeConn{mk(-3000), mk(500), mk(-1200)}
+	slaves := make([]SlaveConn, len(conns))
+	for i := range conns {
+		slaves[i] = conns[i]
+	}
+	m := NewMaster(master, Config{ProbesPerSlave: 3}, slaves)
+	rep, err := m.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrections.Ref != 1 {
+		t.Fatalf("ref = %d", rep.Corrections.Ref)
+	}
+	if rep.Adjusted == 0 {
+		t.Fatal("no slave adjusted")
+	}
+	// After a couple of rounds all clocks should be within a tight bound
+	// of the reference (RTT is symmetric so estimates are exact).
+	for i := 0; i < 3; i++ {
+		if _, err := m.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := conns[1].clock.NowMicros()
+	for i, c := range conns {
+		d := c.clock.NowMicros() - base
+		if d < -100 || d > 100 {
+			t.Fatalf("slave %d still %d µs from reference", i, d)
+		}
+	}
+	if m.Rounds() != 4 {
+		t.Fatalf("rounds = %d", m.Rounds())
+	}
+}
+
+func TestMasterSkipsFailedSlaves(t *testing.T) {
+	master := vclock.NewManual(0)
+	good := &fakeConn{
+		clock:  vclock.NewCorrected(vclock.ClockFunc(master.NowMicros)),
+		master: master, rtt: 100,
+	}
+	bad := &fakeConn{
+		clock:  vclock.NewCorrected(vclock.ClockFunc(master.NowMicros)),
+		master: master, rtt: 100, failNext: 1 << 30,
+	}
+	m := NewMaster(master, Config{ProbesPerSlave: 2}, []SlaveConn{good, bad})
+	rep, err := m.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid[0] || rep.Valid[1] {
+		t.Fatalf("valid = %v", rep.Valid)
+	}
+}
+
+func TestMasterAllSlavesDown(t *testing.T) {
+	master := vclock.NewManual(0)
+	bad := &fakeConn{
+		clock:  vclock.NewCorrected(vclock.ClockFunc(master.NowMicros)),
+		master: master, rtt: 100, failNext: 1 << 30,
+	}
+	m := NewMaster(master, Config{ProbesPerSlave: 2}, []SlaveConn{bad})
+	if _, err := m.Round(); !errors.Is(err, ErrNoSlaves) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlaveHelpers(t *testing.T) {
+	c := vclock.NewCorrected(vclock.NewManual(500))
+	s := &Slave{Clock: c}
+	if s.ProbeTime() != 500 {
+		t.Fatalf("ProbeTime = %d", s.ProbeTime())
+	}
+	s.ApplyAdjust(25)
+	if s.ProbeTime() != 525 {
+		t.Fatalf("after adjust = %d", s.ProbeTime())
+	}
+}
+
+func TestMasterMaxRTTDiscardsCongestedProbes(t *testing.T) {
+	// A slave whose probes alternate between fast and very slow RTTs: the
+	// slow ones carry a large bogus offset (as congested probes do). With
+	// the MaxRTT filter only the fast, accurate samples survive.
+	master := vclock.NewManual(0)
+	probeN := 0
+	slave := &variableRTTConn{master: master, clock: vclock.NewCorrected(vclock.ClockFunc(func() int64 {
+		return master.NowMicros() + 100 // truly 100 µs ahead
+	})), probeN: &probeN}
+
+	m := NewMaster(master, Config{ProbesPerSlave: 6, MaxRTT: 1000}, []SlaveConn{slave})
+	rep, err := m.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid[0] {
+		t.Fatal("slave invalid")
+	}
+	// Offset estimate must reflect the true +100 µs, not the ±ms noise of
+	// the congested probes.
+	if rep.Offsets[0] < 50 || rep.Offsets[0] > 150 {
+		t.Fatalf("offset = %d, want ≈100 (congested probes not filtered)", rep.Offsets[0])
+	}
+}
+
+// variableRTTConn alternates clean and congested probes.
+type variableRTTConn struct {
+	master *vclock.Manual
+	clock  *vclock.Corrected
+	probeN *int
+}
+
+func (v *variableRTTConn) Exchange() (int64, error) {
+	*v.probeN++
+	if *v.probeN%2 == 0 {
+		// Congested: 5 ms RTT, heavily asymmetric (4.5 ms out, 0.5 back),
+		// which biases the half-RTT estimator by ±2 ms.
+		v.master.Advance(4500)
+		st := v.clock.NowMicros()
+		v.master.Advance(500)
+		return st, nil
+	}
+	v.master.Advance(100)
+	st := v.clock.NowMicros()
+	v.master.Advance(100)
+	return st, nil
+}
+
+func (v *variableRTTConn) Adjust(delta int64) error {
+	v.clock.Adjust(delta)
+	return nil
+}

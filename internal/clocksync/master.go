@@ -1,0 +1,129 @@
+package clocksync
+
+import (
+	"fmt"
+
+	"brisk/internal/vclock"
+)
+
+// SlaveConn abstracts the master's view of one slave: a synchronous probe
+// exchange and an asynchronous clock adjustment. The real implementation
+// speaks the wire protocol over the EXS's TCP connection; the simulated
+// one advances virtual time across sampled network latencies.
+type SlaveConn interface {
+	// Exchange performs one probe round trip and returns the slave's
+	// clock reading taken while servicing the probe.
+	Exchange() (slaveTime int64, err error)
+	// Adjust tells the slave to add delta microseconds to its clock
+	// correction.
+	Adjust(delta int64) error
+}
+
+// RoundReport records everything the master learned and did in one
+// synchronization round.
+type RoundReport struct {
+	// Round is the 1-based round number.
+	Round uint64
+	// Offsets[i] is slave i's estimated slave-minus-master offset (µs).
+	Offsets []int64
+	// Valid[i] marks slaves that yielded a usable estimate.
+	Valid []bool
+	// MeanRTT is the mean probe round-trip time across all samples (µs).
+	MeanRTT float64
+	// Corrections is the computed update.
+	Corrections Corrections
+	// Adjusted counts slaves actually told to step their clocks.
+	Adjusted int
+}
+
+// Master drives synchronization rounds against a set of slaves, per the
+// paper "a master polls the slaves, determines differences between its
+// clock and the slaves' clocks, and updates the slave clocks" — except
+// that under AlgBRISK the updates align the slaves with the most-ahead
+// slave rather than with the master.
+type Master struct {
+	clock  vclock.Clock
+	cfg    Config
+	slaves []SlaveConn
+	rounds uint64
+}
+
+// NewMaster returns a master reading its own time from clock.
+func NewMaster(clock vclock.Clock, cfg Config, slaves []SlaveConn) *Master {
+	return &Master{clock: clock, cfg: cfg.withDefaults(), slaves: slaves}
+}
+
+// Rounds returns how many rounds have completed.
+func (m *Master) Rounds() uint64 { return m.rounds }
+
+// Round performs one full synchronization round: probe every slave
+// ProbesPerSlave times, reduce to offset estimates, compute corrections
+// under the configured algorithm, and issue the adjustments. A slave whose
+// probes all fail is skipped this round (its Valid flag is false); Round
+// only returns an error when the round as a whole is unusable.
+func (m *Master) Round() (RoundReport, error) {
+	m.rounds++
+	rep := RoundReport{
+		Round:   m.rounds,
+		Offsets: make([]int64, len(m.slaves)),
+		Valid:   make([]bool, len(m.slaves)),
+	}
+	var rttSum int64
+	var rttN int
+	for i, conn := range m.slaves {
+		samples := make([]Sample, 0, m.cfg.ProbesPerSlave)
+		for p := 0; p < m.cfg.ProbesPerSlave; p++ {
+			t0 := m.clock.NowMicros()
+			st, err := conn.Exchange()
+			if err != nil {
+				continue
+			}
+			t1 := m.clock.NowMicros()
+			rtt := t1 - t0
+			if rtt < 0 {
+				continue
+			}
+			samples = append(samples, Sample{RTT: rtt, Offset: st - (t0 + rtt/2)})
+			rttSum += rtt
+			rttN++
+		}
+		if est, ok := EstimateOffset(samples, m.cfg.Filter, m.cfg.MaxRTT); ok {
+			rep.Offsets[i] = est
+			rep.Valid[i] = true
+		}
+	}
+	if rttN > 0 {
+		rep.MeanRTT = float64(rttSum) / float64(rttN)
+	}
+
+	corr, err := Compute(rep.Offsets, rep.Valid, m.cfg)
+	rep.Corrections = corr
+	if err != nil {
+		return rep, fmt.Errorf("round %d: %w", m.rounds, err)
+	}
+	for i, adv := range corr.Advance {
+		if adv == 0 || !rep.Valid[i] {
+			continue
+		}
+		if err := m.slaves[i].Adjust(adv); err != nil {
+			// A failed adjustment is repaired by the next round; record
+			// the slave as unadjusted rather than failing the round.
+			continue
+		}
+		rep.Adjusted++
+	}
+	return rep, nil
+}
+
+// Slave is the passive side of the protocol: it answers probes with its
+// corrected clock reading and applies adjustments to the correction value
+// maintained for the node's external sensor.
+type Slave struct {
+	Clock *vclock.Corrected
+}
+
+// ProbeTime returns the reading a probe reply should carry.
+func (s *Slave) ProbeTime() int64 { return s.Clock.NowMicros() }
+
+// ApplyAdjust folds a master-issued adjustment into the correction value.
+func (s *Slave) ApplyAdjust(delta int64) { s.Clock.Adjust(delta) }

@@ -1,0 +1,179 @@
+package clocksync
+
+import (
+	"fmt"
+	"testing"
+
+	"brisk/internal/simnet"
+)
+
+// fiveSeconds is the paper's polling period.
+const fiveSeconds = 5_000_000
+
+// TestSimQuietLANConvergesToTensOfMicroseconds reproduces E6's headline
+// claim at unit-test scale: 8 slave clocks starting milliseconds apart,
+// polled every 5 s, end up within tens of microseconds of each other under
+// light conditions.
+func TestSimQuietLANConvergesToTensOfMicroseconds(t *testing.T) {
+	c := NewSimCluster(8, simnet.QuietLAN(1), 5_000_000, 2, 99)
+	if c.MaxMutualSkew() < 1_000_000 {
+		t.Fatalf("initial spread suspiciously small: %d", c.MaxMutualSkew())
+	}
+	res := c.Run(Config{}, 120, fiveSeconds, 100)
+	if res.RoundsToConverge < 0 {
+		t.Fatalf("never converged under 100 µs; final skew %d",
+			res.SkewAfterRound[len(res.SkewAfterRound)-1])
+	}
+	// Steady state: last 50 rounds all within 100 µs.
+	for _, s := range res.SkewAfterRound[len(res.SkewAfterRound)-50:] {
+		if s > 100 {
+			t.Fatalf("steady-state skew %d µs > 100 µs", s)
+		}
+	}
+}
+
+// TestSimDisturbedLANStaysUnder200Microseconds reproduces the paper's
+// second clock-sync claim: under LAN disturbances the clocks stay "most of
+// the time under 200 microseconds".
+func TestSimDisturbedLANStaysUnder200Microseconds(t *testing.T) {
+	c := NewSimCluster(8, simnet.LAN(2), 5_000_000, 2, 7)
+	res := c.Run(Config{MaxRTT: 1500}, 120, fiveSeconds, 200)
+	over := 0
+	for _, s := range res.SkewAfterRound[20:] { // after convergence
+		if s > 200 {
+			over++
+		}
+	}
+	frac := float64(over) / float64(len(res.SkewAfterRound)-20)
+	if frac > 0.25 {
+		t.Fatalf("skew exceeded 200 µs in %.0f%% of post-convergence rounds", 100*frac)
+	}
+}
+
+// TestSimBRISKConvergesFasterThanCristian checks the paper's convergence
+// claim: the modified algorithm reaches mutual agreement in fewer rounds
+// than the original Cristian update, because mutual (not master-relative)
+// agreement is the goal and the full skew is applied in one step when far
+// apart.
+func TestSimBRISKConvergesFasterThanCristian(t *testing.T) {
+	// Cristian's algorithm amortizes corrections (an NTP-like 500 ppm
+	// slew over a 5 s round = 2.5 ms per round); BRISK's forward-only
+	// steps apply in full immediately. Starting 50 ms apart, Cristian
+	// needs many rounds to slew while BRISK realigns within a few.
+	run := func(alg Algorithm) int {
+		c := NewSimCluster(8, simnet.QuietLAN(5), 50_000, 2, 31)
+		cfg := Config{Algorithm: alg}
+		if alg == AlgCristian {
+			cfg.MaxSlew = 2500
+		}
+		res := c.Run(cfg, 60, fiveSeconds, 150)
+		return res.RoundsToConverge
+	}
+	b := run(AlgBRISK)
+	cr := run(AlgCristian)
+	if b < 0 {
+		t.Fatal("BRISK never converged")
+	}
+	if cr >= 0 && b >= cr {
+		t.Fatalf("BRISK took %d rounds, Cristian %d; expected BRISK < Cristian", b, cr)
+	}
+}
+
+// TestSimPositiveDriftOnly verifies the paper's stated cost: corrections
+// only ever advance slave clocks, so the cluster's clocks drift slightly
+// ahead of true time but never step backward.
+func TestSimPositiveDriftOnly(t *testing.T) {
+	c := NewSimCluster(4, simnet.QuietLAN(3), 1_000_000, 10, 17)
+	prev := c.Readings()
+	m := NewMaster(c.MasterClock, Config{}, c.Conns())
+	for r := 0; r < 30; r++ {
+		if _, err := m.Round(); err != nil {
+			t.Fatal(err)
+		}
+		c.Sim.RunUntil(c.Sim.Now() + fiveSeconds)
+		cur := c.Readings()
+		for i := range cur {
+			if cur[i] < prev[i] {
+				t.Fatalf("round %d: slave %d clock moved backward (%d -> %d)",
+					r, i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestSimDriftingMaster shows the algorithm is insensitive to master
+// accuracy: even with the ISM clock far off true time, the slaves still
+// agree among themselves.
+func TestSimDriftingMaster(t *testing.T) {
+	c := NewSimCluster(6, simnet.QuietLAN(8), 3_000_000, 2, 23)
+	// Master 7 seconds off with 80 ppm drift.
+	c.MasterClock = newOffsetClock(c, 7_000_000, 80)
+	res := c.Run(Config{}, 80, fiveSeconds, 150)
+	if res.RoundsToConverge < 0 {
+		t.Fatalf("no convergence with drifting master; final %d",
+			res.SkewAfterRound[len(res.SkewAfterRound)-1])
+	}
+}
+
+func newOffsetClock(c *SimCluster, off int64, ppm float64) *SimNode {
+	n := NewSimNode(c.Sim, off, ppm, 0)
+	return n
+}
+
+func (n *SimNode) NowMicros() int64 { return n.Clock.NowMicros() }
+
+func TestSimDeterministicReplay(t *testing.T) {
+	run := func() []int64 {
+		c := NewSimCluster(5, simnet.LAN(77), 2_000_000, 25, 42)
+		return c.Run(Config{}, 20, fiveSeconds, 100).SkewAfterRound
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d skew differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimSingleNode(t *testing.T) {
+	c := NewSimCluster(1, simnet.QuietLAN(4), 1_000_000, 10, 3)
+	res := c.Run(Config{}, 5, fiveSeconds, 100)
+	for _, s := range res.SkewAfterRound {
+		if s != 0 {
+			t.Fatalf("single node skew = %d", s)
+		}
+	}
+}
+
+func TestSimEmptyClusterSkew(t *testing.T) {
+	c := &SimCluster{}
+	if c.MaxMutualSkew() != 0 {
+		t.Fatal("empty cluster skew nonzero")
+	}
+}
+
+func BenchmarkSimSyncRound(b *testing.B) {
+	c := NewSimCluster(8, simnet.QuietLAN(1), 5_000_000, 20, 9)
+	m := NewMaster(c.MasterClock, Config{}, c.Conns())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Round(); err != nil {
+			b.Fatal(err)
+		}
+		c.Sim.RunUntil(c.Sim.Now() + fiveSeconds)
+	}
+}
+
+// ExampleSimCluster replays a deterministic synchronization run: four
+// clocks starting tens of milliseconds apart converge in a handful of
+// five-second rounds.
+func ExampleSimCluster() {
+	c := NewSimCluster(4, simnet.QuietLAN(11), 20_000, 1, 11)
+	res := c.Run(Config{}, 6, 5_000_000, 200)
+	fmt.Println("converged:", res.RoundsToConverge >= 1 && res.RoundsToConverge <= 6)
+	fmt.Println("final skew under 200µs:", res.SkewAfterRound[len(res.SkewAfterRound)-1] < 200)
+	// Output:
+	// converged: true
+	// final skew under 200µs: true
+}

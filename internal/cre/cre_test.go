@@ -1,0 +1,248 @@
+package cre
+
+import (
+	"testing"
+
+	"brisk/internal/record"
+)
+
+func reason(id uint64, ts int64) record.Record {
+	return record.New(1, record.TSVal(ts), record.ReasonVal(id))
+}
+
+func conseq(id uint64, ts int64) record.Record {
+	return record.New(2, record.TSVal(ts), record.ConseqVal(id))
+}
+
+func plain(ts int64) record.Record {
+	return record.New(3, record.TSVal(ts))
+}
+
+type sink struct{ out []record.Record }
+
+func (s *sink) emit(r record.Record) { s.out = append(s.out, r) }
+
+func TestPlainRecordsPassThrough(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	m.Process(plain(10), 10, s.emit)
+	m.Process(plain(20), 20, s.emit)
+	if len(s.out) != 2 || s.out[0].TS != 10 || s.out[1].TS != 20 {
+		t.Fatalf("out = %+v", s.out)
+	}
+}
+
+func TestReasonThenConsequenceInOrder(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	m.Process(reason(7, 100), 100, s.emit)
+	m.Process(conseq(7, 200), 200, s.emit)
+	if len(s.out) != 2 {
+		t.Fatalf("out = %+v", s.out)
+	}
+	if s.out[1].TS != 200 {
+		t.Fatalf("well-ordered consequence mutated: %+v", s.out[1])
+	}
+	st := m.Stats()
+	if st.Matched != 1 || st.Tachyons != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConsequenceHeldUntilReason(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	m.Process(conseq(9, 150), 150, s.emit)
+	if len(s.out) != 0 {
+		t.Fatal("consequence emitted before its reason")
+	}
+	if m.Stats().HeldNow != 1 {
+		t.Fatalf("held = %d", m.Stats().HeldNow)
+	}
+	m.Process(reason(9, 100), 160, s.emit)
+	if len(s.out) != 2 {
+		t.Fatalf("out = %+v", s.out)
+	}
+	if s.out[0].Reason != 9 || s.out[1].Conseq != 9 {
+		t.Fatalf("order wrong: %+v", s.out)
+	}
+	// Consequence ts 150 > reason ts 100: no tachyon, no override.
+	if s.out[1].TS != 150 || m.Stats().Tachyons != 0 {
+		t.Fatalf("unnecessary repair: %+v", s.out[1])
+	}
+}
+
+func TestTachyonRepairOnHeldConsequence(t *testing.T) {
+	var hookReason int64
+	var hookConseq uint64
+	m := New(Config{OnTachyon: func(rts int64, c *record.Record) {
+		hookReason = rts
+		hookConseq = c.Conseq
+	}})
+	var s sink
+	// Consequence stamped *before* its reason — the clocks were apart.
+	m.Process(conseq(4, 50), 60, s.emit)
+	m.Process(reason(4, 100), 110, s.emit)
+	if len(s.out) != 2 {
+		t.Fatalf("out = %+v", s.out)
+	}
+	if s.out[1].TS != 101 {
+		t.Fatalf("tachyon not overridden: ts = %d, want 101", s.out[1].TS)
+	}
+	if s.out[1].TS <= s.out[0].TS {
+		t.Fatal("consequence still precedes reason")
+	}
+	if m.Stats().Tachyons != 1 {
+		t.Fatalf("tachyons = %d", m.Stats().Tachyons)
+	}
+	if hookReason != 100 || hookConseq != 4 {
+		t.Fatalf("hook saw (%d, %d)", hookReason, hookConseq)
+	}
+}
+
+func TestTachyonRepairOnLateConsequence(t *testing.T) {
+	// Reason first, then a consequence with an older stamp.
+	m := New(Config{})
+	var s sink
+	m.Process(reason(5, 100), 100, s.emit)
+	m.Process(conseq(5, 80), 105, s.emit)
+	if len(s.out) != 2 || s.out[1].TS != 101 {
+		t.Fatalf("out = %+v", s.out)
+	}
+	st := m.Stats()
+	if st.Matched != 1 || st.Tachyons != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMultipleConsequencesOneReason(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	m.Process(conseq(3, 10), 10, s.emit)
+	m.Process(conseq(3, 20), 20, s.emit)
+	m.Process(reason(3, 15), 30, s.emit)
+	if len(s.out) != 3 {
+		t.Fatalf("out = %+v", s.out)
+	}
+	// First held conseq (ts 10) is a tachyon, second (ts 20) is not.
+	if s.out[1].TS != 16 || s.out[2].TS != 20 {
+		t.Fatalf("release order/repair wrong: %d, %d", s.out[1].TS, s.out[2].TS)
+	}
+	if m.Stats().Tachyons != 1 || m.Stats().Matched != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestHeldConsequenceTimesOut(t *testing.T) {
+	m := New(Config{Timeout: 1000})
+	var s sink
+	m.Process(conseq(8, 100), 100, s.emit)
+	if len(s.out) != 0 {
+		t.Fatal("emitted early")
+	}
+	// Nothing flows; drive time with Tick past the deadline.
+	m.Tick(1099, s.emit)
+	if len(s.out) != 0 {
+		t.Fatal("released before timeout")
+	}
+	m.Tick(1100, s.emit)
+	if len(s.out) != 1 || s.out[0].Conseq != 8 {
+		t.Fatalf("timeout release failed: %+v", s.out)
+	}
+	st := m.Stats()
+	if st.HeldTimedOut != 1 || st.HeldNow != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A reason arriving after the timeout matches nothing held.
+	m.Process(reason(8, 90), 1200, s.emit)
+	if len(s.out) != 2 {
+		t.Fatalf("late reason: %+v", s.out)
+	}
+}
+
+func TestReasonEntryExpires(t *testing.T) {
+	m := New(Config{Timeout: 1000})
+	var s sink
+	m.Process(reason(2, 100), 100, s.emit)
+	m.Tick(1101, s.emit)
+	if m.Stats().ReasonsExpired != 1 {
+		t.Fatalf("reasons expired = %d", m.Stats().ReasonsExpired)
+	}
+	// A consequence arriving now is held (reason forgotten), not matched.
+	m.Process(conseq(2, 50), 1200, s.emit)
+	if m.Stats().Matched != 0 || m.Stats().HeldNow != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestReasonRefreshExtendsLifetime(t *testing.T) {
+	m := New(Config{Timeout: 1000})
+	var s sink
+	m.Process(reason(2, 100), 100, s.emit)
+	m.Process(reason(2, 600), 600, s.emit) // refresh with later ts
+	m.Tick(1150, s.emit)                   // past first deadline, not second
+	if m.Stats().ReasonsExpired != 0 {
+		t.Fatal("refreshed reason expired at stale deadline")
+	}
+	m.Process(conseq(2, 550), 1200, s.emit)
+	if m.Stats().Matched != 1 {
+		t.Fatal("refreshed reason not matched")
+	}
+}
+
+func TestFlushReleasesHeld(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	m.Process(conseq(1, 10), 10, s.emit)
+	m.Process(conseq(2, 20), 20, s.emit)
+	m.Flush(s.emit)
+	if len(s.out) != 2 || m.Stats().HeldNow != 0 {
+		t.Fatalf("flush: %+v", s.out)
+	}
+}
+
+func TestRepairedRecordKeepsPayload(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	c := record.New(2, record.TSVal(50), record.ConseqVal(4), record.I32Val(77))
+	m.Process(c, 60, s.emit)
+	m.Process(reason(4, 100), 110, s.emit)
+	got := s.out[1]
+	if got.Fields[2].Int() != 77 {
+		t.Fatalf("payload lost in repair: %+v", got)
+	}
+	if got.Fields[0].Int() != 101 {
+		t.Fatalf("TS field not patched in place: %+v", got.Fields)
+	}
+}
+
+func TestStatsProcessedCount(t *testing.T) {
+	m := New(Config{})
+	var s sink
+	for i := 0; i < 5; i++ {
+		m.Process(plain(int64(i)), int64(i), s.emit)
+	}
+	if m.Stats().Processed != 5 {
+		t.Fatalf("processed = %d", m.Stats().Processed)
+	}
+}
+
+func BenchmarkProcessPlain(b *testing.B) {
+	m := New(Config{})
+	r := plain(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Process(r, int64(i), func(record.Record) {})
+	}
+}
+
+func BenchmarkProcessCausalPair(b *testing.B) {
+	m := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		ts := int64(i * 10)
+		m.Process(reason(id, ts), ts, func(record.Record) {})
+		m.Process(conseq(id, ts+5), ts+5, func(record.Record) {})
+	}
+}

@@ -1,0 +1,130 @@
+package cre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brisk/internal/record"
+)
+
+// TestPropertyConsequenceNeverBeforeReason: over random interleavings of
+// reasons, consequences and plain records, a consequence whose reason
+// appears in the stream is never emitted before that reason, and every
+// record is emitted exactly once.
+func TestPropertyConsequenceNeverBeforeReason(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{Timeout: 1 << 40}) // no timeouts in this property
+		type item struct {
+			kind int // 0 plain, 1 reason, 2 conseq
+			id   uint64
+		}
+		nPairs := 1 + rng.Intn(20)
+		var items []item
+		for id := uint64(1); id <= uint64(nPairs); id++ {
+			items = append(items, item{1, id}, item{2, id})
+		}
+		for i := 0; i < 10; i++ {
+			items = append(items, item{0, 0})
+		}
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+
+		emittedReason := map[uint64]bool{}
+		emitted := 0
+		ok := true
+		emit := func(r record.Record) {
+			emitted++
+			if r.Reason != 0 {
+				emittedReason[r.Reason] = true
+			}
+			if r.Conseq != 0 && !emittedReason[r.Conseq] {
+				ok = false
+			}
+		}
+		now := int64(0)
+		for _, it := range items {
+			now += 1 + rng.Int63n(50)
+			switch it.kind {
+			case 0:
+				m.Process(plain(now), now, emit)
+			case 1:
+				m.Process(reason(it.id, now), now, emit)
+			case 2:
+				m.Process(conseq(it.id, now), now, emit)
+			}
+		}
+		m.Flush(emit)
+		return ok && emitted == len(items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRepairedTimestampsRespectCausality: whenever a matched pair
+// is emitted, the consequence's final timestamp is never earlier than the
+// reason's, whatever the original stamps were (a tachyon is a consequence
+// that appears strictly before its reason; equal stamps are legal).
+func TestPropertyRepairedTimestampsRespectCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{Timeout: 1 << 40})
+		reasonTS := map[uint64]int64{}
+		ok := true
+		emit := func(r record.Record) {
+			if r.Reason != 0 {
+				reasonTS[r.Reason] = r.TS
+			}
+			if r.Conseq != 0 {
+				if rts, matched := reasonTS[r.Conseq]; matched && r.TS < rts {
+					ok = false
+				}
+			}
+		}
+		now := int64(1000)
+		for i := 0; i < 50; i++ {
+			id := uint64(1 + rng.Intn(10))
+			// Random, possibly causality-violating stamps.
+			ts := now + rng.Int63n(2001) - 1000
+			if rng.Intn(2) == 0 {
+				m.Process(reason(id, ts), now, emit)
+			} else {
+				m.Process(conseq(id, ts), now, emit)
+			}
+			now += 1 + rng.Int63n(100)
+		}
+		m.Flush(emit)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNoUnboundedRetention: with a finite timeout and advancing
+// time, the matcher's held set returns to empty even when half the peers
+// never arrive.
+func TestPropertyNoUnboundedRetention(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{Timeout: 500})
+		now := int64(0)
+		emitted := 0
+		emit := func(record.Record) { emitted++ }
+		sent := 0
+		for i := 0; i < 100; i++ {
+			now += 1 + rng.Int63n(40)
+			// Orphan consequences: ids that get no reason.
+			m.Process(conseq(uint64(1000+i), now), now, emit)
+			sent++
+		}
+		// Let every deadline pass.
+		m.Tick(now+1000, emit)
+		st := m.Stats()
+		return st.HeldNow == 0 && emitted == sent && st.HeldTimedOut == uint64(sent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

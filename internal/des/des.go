@@ -1,0 +1,196 @@
+// Package des is a small discrete-event simulation kernel used to
+// reproduce BRISK's distributed experiments deterministically: simulated
+// node clocks drift over virtual time, network latencies are sampled from
+// seeded streams, and the clock-synchronization and on-line-sorting
+// evaluations replay identically on every run.
+//
+// Time is int64 microseconds, matching BRISK's timestamp unit. Events
+// scheduled for the same instant fire in scheduling order (a stable FIFO
+// tie-break), which keeps causality intuitive and runs reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Sim is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all event handlers run on the caller's goroutine inside
+// Run/Step.
+type Sim struct {
+	now   int64
+	seq   uint64
+	queue eventQueue
+	fired uint64
+}
+
+// New returns a simulator positioned at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in microseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// NowMicros implements vclock.Clock so simulated node clocks can derive
+// from virtual time.
+func (s *Sim) NowMicros() int64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a bug in the model.
+func (s *Sim) At(t int64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %d before now %d", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d microseconds from now.
+func (s *Sim) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step fires the next event, advancing virtual time to it. It reports
+// whether an event was fired.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(event)
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ t, then sets the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Sim) RunUntil(t int64) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*q = old[:n-1]
+	return ev
+}
+
+// RNG is a deterministic xorshift64* pseudo-random stream. Each simulated
+// component takes its own stream so adding a component never perturbs the
+// draws of another (the "independent streams" discipline of simulation
+// practice).
+type RNG struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+// NewRNG returns a stream seeded by seed (0 is remapped to a fixed odd
+// constant, since xorshift requires nonzero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n ≤ 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("des: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform draw in [0, n) as int64. It panics if n ≤ 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("des: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential draw with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normal draw with the given mean and standard deviation
+// using the Marsaglia polar method.
+func (r *RNG) Norm(mean, std float64) float64 {
+	if r.has {
+		r.has = false
+		return mean + std*r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.has = true
+		return mean + std*u*f
+	}
+}

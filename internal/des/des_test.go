@@ -1,0 +1,240 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 || s.Fired() != 3 || s.Pending() != 0 {
+		t.Fatalf("final state: now=%d fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var hits []int64
+	s.After(100, func() {
+		hits = append(hits, s.Now())
+		s.After(50, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 100 || hits[1] != 150 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(10, func() { fired++ })
+	s.At(20, func() { fired++ })
+	s.At(30, func() { fired++ })
+	s.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (inclusive boundary)", fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("now = %d", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// RunUntil with no events still advances the clock.
+	s2 := New()
+	s2.RunUntil(500)
+	if s2.Now() != 500 {
+		t.Fatalf("empty RunUntil: now = %d", s2.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		s.After(-100, func() {}) // clamps to now
+	})
+	s.Run()
+	if s.Now() != 10 {
+		t.Fatalf("now = %d", s.Now())
+	}
+}
+
+func TestNowMicrosImplementsClock(t *testing.T) {
+	s := New()
+	s.At(123, func() {})
+	s.Run()
+	if s.NowMicros() != 123 {
+		t.Fatalf("NowMicros = %d", s.NowMicros())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a dead stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(4)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn(10) bucket %d heavily skewed: %d", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGInt63n(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1000)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(6)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(100)
+		if v < 0 {
+			t.Fatal("exponential draw negative")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("Exp(100) mean = %v", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(9)
+	var sum, ss float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(50, 10)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-50) > 0.2 || math.Abs(std-10) > 0.2 {
+		t.Fatalf("Norm(50,10): mean=%v std=%v", mean, std)
+	}
+}
+
+// TestSimulatedPeriodicProcess models the paper's 5-second polling rounds:
+// a periodic event rescheduling itself.
+func TestSimulatedPeriodicProcess(t *testing.T) {
+	s := New()
+	const period = 5_000_000
+	rounds := 0
+	var tick func()
+	tick = func() {
+		rounds++
+		if rounds < 120 { // 10 minutes of 5 s rounds
+			s.After(period, tick)
+		}
+	}
+	s.After(period, tick)
+	s.Run()
+	if rounds != 120 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if s.Now() != 120*period {
+		t.Fatalf("now = %d, want %d", s.Now(), 120*period)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(int64(i%100), func() {})
+		if s.Pending() > 1024 {
+			s.RunUntil(s.Now() + 50)
+		}
+	}
+	s.Run()
+}

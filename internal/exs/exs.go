@@ -1,0 +1,365 @@
+// Package exs implements the BRISK external sensor: the per-node process
+// that completes a local instrumentation server (LIS).
+//
+// The external sensor runs beside the instrumented applications (in the
+// paper, as a separate process that "may be assigned a lower priority"),
+// reads the instrumentation data the internal sensors wrote into the
+// node's shared-memory rings, adds the clock-correction value it maintains
+// to each embedded timestamp, packages records in the XDR transfer
+// protocol, and ships them to the manager over a TCP stream socket.
+//
+// Two knobs trade throughput against latency, BRISK's central tension:
+// BatchBytes (bigger batches amortize transfer cost) and FlushInterval
+// (how long a partial batch may wait — the source of the paper's
+// worst-case latency bound from waiting select calls).
+//
+// The external sensor is also the clock-synchronization slave: it answers
+// the manager's probes with its corrected clock and applies adjustment
+// messages to the correction value.
+package exs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brisk/internal/record"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+	"brisk/internal/wire"
+)
+
+// Config configures an external sensor.
+type Config struct {
+	// ManagerAddr is the ISM's TCP address.
+	ManagerAddr string
+	// NodeName identifies this node in the HELLO exchange.
+	NodeName string
+	// Region is the node's shared-memory region holding sensor rings.
+	Region *shm.Region
+	// Clock is the node clock with its correction layer. Sensors write
+	// raw timestamps from the same underlying clock; the external sensor
+	// patches the correction in at ship time. nil means a fresh
+	// Corrected over the system clock.
+	Clock *vclock.Corrected
+	// BatchBytes triggers a send once a batch reaches this size.
+	// Default 16384.
+	BatchBytes int
+	// FlushInterval bounds how long a non-empty partial batch waits.
+	// Default 5 ms.
+	FlushInterval time.Duration
+	// PollInterval is the ring-scan period while idle. Default 500 µs.
+	PollInterval time.Duration
+	// Logf logs diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of external-sensor counters.
+type Stats struct {
+	// Node is the manager-assigned node id (0 before HELLO completes).
+	Node int32
+	// Sent counts records shipped to the manager.
+	Sent uint64
+	// Batches counts data batches sent.
+	Batches uint64
+	// BytesOut counts wire payload bytes sent.
+	BytesOut uint64
+	// RingDropped counts records lost at the sensor rings (application
+	// outran the drain).
+	RingDropped uint64
+	// Probes counts clock-synchronization probes answered.
+	Probes uint64
+	// Adjusts counts clock adjustments applied.
+	Adjusts uint64
+	// Correction is the current clock-correction value (µs).
+	Correction int64
+	// LostOffline counts records discarded after the manager connection
+	// failed (the external sensor keeps draining so the application
+	// never blocks).
+	LostOffline uint64
+}
+
+// EXS is one running external sensor. Create with Dial, stop with Close.
+type EXS struct {
+	cfg   Config
+	clock *vclock.Corrected
+	logf  func(string, ...any)
+
+	raw  net.Conn
+	conn *wire.Conn
+	node int32
+
+	sent    atomic.Uint64
+	batches atomic.Uint64
+	probes  atomic.Uint64
+	adjusts atomic.Uint64
+	// dead is set when the manager connection fails; the drain loop then
+	// keeps emptying the rings (so the application never blocks or leaks
+	// memory) but discards the records, counting them.
+	dead        atomic.Bool
+	lostOffline atomic.Uint64
+
+	done    chan struct{}
+	wgDrain sync.WaitGroup
+	wgCtl   sync.WaitGroup
+	closed  atomic.Bool
+
+	// flushNow lets tests and latency-sensitive callers force a send.
+	flushNow chan struct{}
+}
+
+// Dial connects to the manager, performs the HELLO exchange, and starts
+// the drain and control loops.
+func Dial(cfg Config) (*EXS, error) {
+	if cfg.Region == nil {
+		return nil, errors.New("exs: Config.Region is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewCorrected(vclock.System{})
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 16384
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Microsecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	raw, err := net.Dial("tcp", cfg.ManagerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("exs: dial manager: %w", err)
+	}
+	conn := wire.NewConn(raw)
+	if err := conn.Send(&wire.Hello{Version: wire.ProtocolVersion, Name: cfg.NodeName}); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("exs: hello: %w", err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("exs: hello ack: %w", err)
+	}
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		raw.Close()
+		return nil, fmt.Errorf("exs: expected HELLO_ACK, got %v", msg.Type())
+	}
+	e := &EXS{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		logf:     cfg.Logf,
+		raw:      raw,
+		conn:     conn,
+		node:     ack.Node,
+		done:     make(chan struct{}),
+		flushNow: make(chan struct{}, 1),
+	}
+	e.wgDrain.Add(1)
+	go e.drainLoop()
+	e.wgCtl.Add(1)
+	go e.controlLoop()
+	return e, nil
+}
+
+// Node returns the manager-assigned node id.
+func (e *EXS) Node() int32 { return e.node }
+
+// Clock returns the node's corrected clock.
+func (e *EXS) Clock() *vclock.Corrected { return e.clock }
+
+// Flush asks the drain loop to ship any buffered records immediately.
+func (e *EXS) Flush() {
+	select {
+	case e.flushNow <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop scans the sensor rings, patches timestamps with the current
+// correction value, and ships batches under the batching/latency policy.
+func (e *EXS) drainLoop() {
+	defer e.wgDrain.Done()
+	batch := make([]byte, 0, e.cfg.BatchBytes*2)
+	count := 0
+	var oldestAt time.Time // wall time the current partial batch started
+
+	ship := func() {
+		if count == 0 {
+			return
+		}
+		if e.dead.Load() {
+			e.lostOffline.Add(uint64(count))
+			batch = batch[:0]
+			count = 0
+			return
+		}
+		msg := &wire.DataBatch{Count: uint32(count), Payload: batch}
+		if err := e.conn.Send(msg); err != nil {
+			if !e.closed.Load() && !e.dead.Swap(true) {
+				e.logf("exs: manager unreachable, discarding records: %v", err)
+			}
+			e.lostOffline.Add(uint64(count))
+			batch = batch[:0]
+			count = 0
+			return
+		}
+		e.sent.Add(uint64(count))
+		e.batches.Add(1)
+		batch = batch[:0]
+		count = 0
+	}
+
+	ticker := time.NewTicker(e.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			for e.collect(&batch, &count) > 0 || count > 0 {
+				ship()
+			}
+			return
+		case <-e.flushNow:
+			e.collect(&batch, &count)
+			ship()
+			oldestAt = time.Time{}
+		case <-ticker.C:
+			// Drain in batch-sized chunks until the rings empty; the
+			// bound on passes keeps control-channel latency sane under
+			// sustained overload.
+			for pass := 0; pass < 64; pass++ {
+				got := e.collect(&batch, &count)
+				if count > 0 && oldestAt.IsZero() {
+					oldestAt = time.Now()
+				}
+				if len(batch) >= e.cfg.BatchBytes {
+					ship()
+					oldestAt = time.Time{}
+					continue
+				}
+				if got == 0 {
+					break
+				}
+			}
+			if count > 0 && time.Since(oldestAt) >= e.cfg.FlushInterval {
+				ship()
+				oldestAt = time.Time{}
+			}
+			if count == 0 {
+				oldestAt = time.Time{}
+			}
+		}
+	}
+}
+
+// collect drains the rings into the batch up to roughly the batch-size
+// budget, correcting timestamps as it goes. It returns the number of
+// records collected this pass.
+func (e *EXS) collect(batch *[]byte, count *int) int {
+	correction := e.clock.Correction()
+	total := 0
+	for _, ring := range e.cfg.Region.Rings() {
+		budget := e.cfg.BatchBytes - len(*batch)
+		if budget <= 0 {
+			break
+		}
+		start := len(*batch)
+		var n int
+		*batch, n = ring.DrainAppend(*batch, budget)
+		if n == 0 {
+			continue
+		}
+		total += n
+		*count += n
+		if correction != 0 {
+			patchRegion((*batch)[start:], correction)
+		}
+	}
+	return total
+}
+
+// patchRegion adds the correction to the TS field of every record in an
+// encoded region.
+func patchRegion(region []byte, correction int64) {
+	for len(region) > 0 {
+		size, err := record.PeekSize(region)
+		if err != nil || size > len(region) {
+			return // malformed; leave as-is, the manager will reject it
+		}
+		if ts, off, ok := record.PeekTS(region[:size]); ok {
+			record.PatchTS(region, off, ts+correction)
+		}
+		region = region[size:]
+	}
+}
+
+// controlLoop services manager messages: clock probes and adjustments.
+func (e *EXS) controlLoop() {
+	defer e.wgCtl.Done()
+	for {
+		msg, err := e.conn.Recv()
+		if err != nil {
+			if !e.closed.Load() {
+				e.logf("exs: manager connection: %v", err)
+			}
+			return
+		}
+		switch t := msg.(type) {
+		case *wire.Probe:
+			e.probes.Add(1)
+			reply := &wire.ProbeReply{
+				Seq:        t.Seq,
+				MasterSend: t.MasterSend,
+				SlaveTime:  e.clock.NowMicros(),
+			}
+			if err := e.conn.Send(reply); err != nil {
+				return
+			}
+		case *wire.Adjust:
+			e.adjusts.Add(1)
+			e.clock.Adjust(t.DeltaMicros)
+		case *wire.Bye:
+			return
+		default:
+			e.logf("exs: unexpected %v from manager", msg.Type())
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of counters.
+func (e *EXS) Stats() Stats {
+	_, ringDropped := e.cfg.Region.Stats()
+	return Stats{
+		Node:        e.node,
+		Sent:        e.sent.Load(),
+		Batches:     e.batches.Load(),
+		BytesOut:    e.conn.BytesOut(),
+		RingDropped: ringDropped,
+		Probes:      e.probes.Load(),
+		Adjusts:     e.adjusts.Load(),
+		Correction:  e.clock.Correction(),
+		LostOffline: e.lostOffline.Load(),
+	}
+}
+
+// Close ships any buffered records, announces BYE, and disconnects.
+func (e *EXS) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.done)
+	// Let the drain loop ship its final batch before the socket goes.
+	e.wgDrain.Wait()
+	_ = e.conn.Send(&wire.Bye{})
+	err := e.raw.Close() // unblocks the control loop's Recv
+	e.wgCtl.Wait()
+	return err
+}

@@ -1,0 +1,81 @@
+package exs
+
+import (
+	"testing"
+
+	"brisk/internal/record"
+)
+
+func encodeRecord(t *testing.T, r record.Record) []byte {
+	t.Helper()
+	buf, err := r.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestPatchRegionCorrectsEveryTimestamp(t *testing.T) {
+	var region []byte
+	for i := int64(0); i < 5; i++ {
+		region = append(region, encodeRecord(t, record.New(1,
+			record.TSVal(1000+i), record.I32Val(int32(i))))...)
+	}
+	patchRegion(region, 250)
+	rest := region
+	for i := int64(0); i < 5; i++ {
+		rec, n, err := record.Decode(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TS != 1250+i {
+			t.Fatalf("record %d ts = %d, want %d", i, rec.TS, 1250+i)
+		}
+		rest = rest[n:]
+	}
+}
+
+func TestPatchRegionSkipsTimestamplessRecords(t *testing.T) {
+	region := encodeRecord(t, record.New(1, record.I32Val(7)))
+	region = append(region, encodeRecord(t, record.New(2, record.TSVal(100)))...)
+	patchRegion(region, 50)
+	r1, n, err := record.Decode(region)
+	if err != nil || r1.HasTS {
+		t.Fatalf("r1 = %+v, %v", r1, err)
+	}
+	r2, _, err := record.Decode(region[n:])
+	if err != nil || r2.TS != 150 {
+		t.Fatalf("r2 = %+v, %v", r2, err)
+	}
+}
+
+func TestPatchRegionNegativeCorrection(t *testing.T) {
+	region := encodeRecord(t, record.New(1, record.TSVal(1000)))
+	patchRegion(region, -400)
+	r, _, err := record.Decode(region)
+	if err != nil || r.TS != 600 {
+		t.Fatalf("r = %+v, %v", r, err)
+	}
+}
+
+func TestPatchRegionTruncatedTailIgnored(t *testing.T) {
+	region := encodeRecord(t, record.New(1, record.TSVal(10)))
+	full := len(region)
+	region = append(region, encodeRecord(t, record.New(1, record.TSVal(20)))[:5]...)
+	// Must not panic; the intact prefix is still patched.
+	patchRegion(region, 5)
+	r, _, err := record.Decode(region[:full])
+	if err != nil || r.TS != 15 {
+		t.Fatalf("r = %+v, %v", r, err)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(Config{}); err == nil {
+		t.Fatal("Dial without region must fail")
+	}
+	// Unreachable manager: dial error surfaces.
+	if _, err := Dial(Config{Region: nil, ManagerAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,91 @@
+package ism
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"brisk/internal/exs"
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+)
+
+// TestNodeChurnSoak runs the manager under node churn: waves of nodes
+// join, stream records, and leave while the clock-synchronization master
+// keeps polling. Every record shipped must be emitted, the connection
+// table must end empty, and nothing may deadlock.
+func TestNodeChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	m := newManager(t, Config{
+		SyncPeriod:   20 * time.Millisecond,
+		ProbeTimeout: time.Second,
+	})
+
+	const waves = 5
+	const nodesPerWave = 4
+	const perNode = 200
+	var totalShipped atomic.Uint64
+
+	for w := 0; w < waves; w++ {
+		var wave sync.WaitGroup
+		for i := 0; i < nodesPerWave; i++ {
+			wave.Add(1)
+			go func() {
+				defer wave.Done()
+				region := shm.NewRegion()
+				e, err := exs.Dial(exs.Config{
+					ManagerAddr:   m.Addr(),
+					NodeName:      "churn",
+					Region:        region,
+					FlushInterval: time.Millisecond,
+					PollInterval:  200 * time.Microsecond,
+					Logf:          quietLog,
+				})
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				s := sensor.New(region, "app", sensor.Options{})
+				for k := 0; k < perNode; k++ {
+					for !s.Notice2i(1, int32(k), 0) {
+						time.Sleep(time.Microsecond)
+					}
+					if k%20 == 0 {
+						time.Sleep(2 * time.Millisecond) // let sync rounds interleave
+					}
+				}
+				if err := e.Close(); err != nil { // ships the final batch
+					t.Errorf("close: %v", err)
+					return
+				}
+				totalShipped.Add(e.Stats().Sent)
+			}()
+		}
+		// Ask for extra rounds while the wave's nodes are connected.
+		for j := 0; j < 3; j++ {
+			time.Sleep(5 * time.Millisecond)
+			m.SyncRound()
+		}
+		wave.Wait()
+	}
+
+	want := totalShipped.Load()
+	if want != uint64(waves*nodesPerWave*perNode) {
+		t.Fatalf("nodes shipped %d of %d", want, waves*nodesPerWave*perNode)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st := m.Stats()
+		if st.Emitted == want && st.Connected == 0 {
+			if st.SyncRounds == 0 {
+				t.Fatal("no synchronization rounds ran during churn")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("churn did not settle: %+v (want emitted %d)", m.Stats(), want)
+}

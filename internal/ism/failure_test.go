@@ -1,0 +1,216 @@
+package ism
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"brisk/internal/ols"
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/wire"
+)
+
+// TestAbruptNodeDisconnectDoesNotDisturbOthers kills one node's TCP
+// connection mid-stream and verifies the manager keeps serving the
+// remaining node and cleans up its connection table.
+func TestAbruptNodeDisconnectDoesNotDisturbOthers(t *testing.T) {
+	m := newManager(t, Config{})
+	eA, regionA := newNode(t, m, "victim", nil)
+	_, regionB := newNode(t, m, "survivor", nil)
+	sa := sensor.New(regionA, "a", sensor.Options{})
+	sb := sensor.New(regionB, "b", sensor.Options{})
+
+	sa.Notice2i(1, 1, 0)
+	sb.Notice2i(2, 1, 0)
+	drainCursor(t, m, 2, 5*time.Second)
+	if m.Stats().Connected != 2 {
+		t.Fatalf("connected = %d", m.Stats().Connected)
+	}
+
+	// Abruptly kill A's socket (no BYE): simulate a node crash.
+	eA.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Connected != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Stats().Connected != 1 {
+		t.Fatalf("manager did not reap dead node: connected = %d", m.Stats().Connected)
+	}
+
+	// The survivor still flows (a fresh cursor replays the retained
+	// stream; the third record is the new one).
+	sb.Notice2i(2, 2, 0)
+	got := drainCursor(t, m, 3, 5*time.Second)
+	if len(got) != 3 || got[2].Event != 2 || got[2].Fields[1].Int() != 2 {
+		t.Fatalf("survivor blocked after peer crash: %+v", got)
+	}
+}
+
+// TestNodeReconnectGetsFreshID verifies a node can reconnect after a
+// crash and is assigned a new id, with records flowing again.
+func TestNodeReconnectGetsFreshID(t *testing.T) {
+	m := newManager(t, Config{})
+	e1, _ := newNode(t, m, "n", nil)
+	id1 := e1.Node()
+	e1.Close()
+
+	e2, region := newNode(t, m, "n", nil)
+	if e2.Node() == id1 {
+		t.Fatalf("reconnect reused node id %d", id1)
+	}
+	s := sensor.New(region, "app", sensor.Options{})
+	s.Notice2i(1, 7, 0)
+	got := drainCursor(t, m, 1, 5*time.Second)
+	if len(got) != 1 || got[0].Node != e2.Node() {
+		t.Fatalf("post-reconnect record: %+v", got)
+	}
+}
+
+// TestMalformedBatchDropsConnection sends a corrupt record batch and
+// verifies the manager severs that connection without crashing.
+func TestMalformedBatchDropsConnection(t *testing.T) {
+	m := newManager(t, Config{})
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	if err := wc.Send(&wire.Hello{Version: wire.ProtocolVersion, Name: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// A batch whose payload is garbage.
+	if err := wc.Send(&wire.DataBatch{Count: 1, Payload: []byte{0xFF, 0xFF, 0xFF}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Connected != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Stats().Connected != 0 {
+		t.Fatal("manager kept the connection after a malformed batch")
+	}
+	if m.Stats().Received != 0 {
+		t.Fatalf("malformed records counted: %+v", m.Stats())
+	}
+}
+
+// TestBatchCountMismatchRejected sends a well-formed record but lies
+// about the count.
+func TestBatchCountMismatchRejected(t *testing.T) {
+	m := newManager(t, Config{})
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	wc.Send(&wire.Hello{Version: wire.ProtocolVersion, Name: "liar"})
+	if _, err := wc.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	region := newRecordBytes(t)
+	if err := wc.Send(&wire.DataBatch{Count: 5, Payload: region}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Connected != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Stats().Connected != 0 {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func newRecordBytes(t *testing.T) []byte {
+	t.Helper()
+	s := sensor.New(newTestRegion(), "x", sensor.Options{})
+	s.Notice2i(1, 1, 2)
+	var out []byte
+	s.Ring().Drain(1, func(b []byte) { out = append([]byte(nil), b...) })
+	return out
+}
+
+// TestSlowConsumerOverrunCounted verifies that a consumer that falls
+// behind the manager's memory buffer observes the loss (the ISM's event
+// dropping) rather than stale data.
+func TestSlowConsumerOverrunCounted(t *testing.T) {
+	m := newManager(t, Config{BufferRecords: 16, Sorter: ols.Config{InitialT: 1}})
+	_, region := newNode(t, m, "n", nil)
+	s := sensor.New(region, "app", sensor.Options{})
+	cur := m.NewCursor() // positioned, then intentionally not read
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Notice2i(1, int32(i), 0)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Emitted < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Stats().Emitted != n {
+		t.Fatalf("emitted = %d", m.Stats().Emitted)
+	}
+	_, lost, ok := cur.TryNext()
+	if !ok {
+		t.Fatal("nothing readable")
+	}
+	if lost == 0 {
+		t.Fatal("slow consumer reported no loss despite a 16-record buffer")
+	}
+}
+
+// TestManagerSurvivesByeThenData checks that a BYE cleanly detaches even
+// with data still buffered locally on the node.
+func TestManagerSurvivesByeThenData(t *testing.T) {
+	m := newManager(t, Config{})
+	e, region := newNode(t, m, "n", nil)
+	s := sensor.New(region, "app", sensor.Options{})
+	for i := 0; i < 20; i++ {
+		s.Notice2i(1, int32(i), 0)
+	}
+	// Close ships the final batch then says BYE.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := drainCursor(t, m, 20, 5*time.Second)
+	if len(got) != 20 {
+		t.Fatalf("final batch lost on close: %d/20 (stats %+v)", len(got), m.Stats())
+	}
+}
+
+func newTestRegion() *shm.Region { return shm.NewRegion() }
+
+// TestEXSSurvivesManagerDeath kills the manager and verifies the external
+// sensor degrades to draining-and-discarding rather than blocking the
+// application or spamming failed sends.
+func TestEXSSurvivesManagerDeath(t *testing.T) {
+	m := newManager(t, Config{})
+	e, region := newNode(t, m, "n", nil)
+	s := sensor.New(region, "app", sensor.Options{RingBytes: 1 << 12})
+	s.Notice2i(1, 1, 0)
+	drainCursor(t, m, 1, 5*time.Second)
+
+	m.Close() // manager gone
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 100; i++ {
+			s.Notice2i(1, int32(i), 0)
+		}
+		e.Flush()
+		st := e.Stats()
+		if st.LostOffline > 0 {
+			// Ring keeps getting drained: the application never jams.
+			if s.Dropped() > 0 && st.LostOffline == 0 {
+				t.Fatalf("ring backed up instead of discarding: %+v", st)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("EXS never entered offline-discard mode: %+v", e.Stats())
+}

@@ -1,0 +1,600 @@
+// Package ism implements the BRISK instrumentation-system manager.
+//
+// The ISM accepts TCP connections from external sensors, keeps the
+// arriving record batches in per-sensor queues (in-order arrival being
+// guaranteed by the stream socket), merges them with the heap-based
+// on-line sorter, matches causally-related events, and fans the sorted
+// stream out to its sinks:
+//
+//   - a memory buffer read by instrumentation-data consumer tools (the
+//     default output mode),
+//   - optional PICL ASCII trace logging, and
+//   - an optional list of remote visual objects.
+//
+// The ISM is also the clock-synchronization master: it polls the external
+// sensors in rounds and issues corrections, and the causally-related-event
+// matcher requests an immediate extra round whenever a tachyon shows the
+// clocks have come apart.
+package ism
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brisk/internal/clocksync"
+	"brisk/internal/cre"
+	"brisk/internal/ols"
+	"brisk/internal/picl"
+	"brisk/internal/record"
+	"brisk/internal/shm"
+	"brisk/internal/stats"
+	"brisk/internal/vclock"
+	"brisk/internal/visual"
+	"brisk/internal/wire"
+)
+
+// Config configures a Manager. The zero value (plus an Addr) is a working
+// configuration with the defaults noted per field.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7411". Use port 0
+	// for an ephemeral port (see Manager.Addr).
+	Addr string
+	// Clock is the manager clock; nil means the system clock.
+	Clock vclock.Clock
+	// Sorter tunes the on-line sorting algorithm.
+	Sorter ols.Config
+	// CRETimeout bounds retention of unmatched causal records (µs);
+	// 0 means cre.DefaultTimeout.
+	CRETimeout int64
+	// MergeInterval is how often the merger extracts aged records; it is
+	// the manager-side latency-control knob. Default 5 ms. (The paper's
+	// worst-case latency lower bound comes from exactly this kind of
+	// waiting select call.)
+	MergeInterval time.Duration
+	// BufferRecords is the memory-buffer capacity in records. Default
+	// 65536.
+	BufferRecords int
+	// PICL, when non-nil, receives every sorted record as a trace line.
+	PICL *picl.Writer
+	// Visual, when non-nil, receives every sorted record as a PICL
+	// string, fan-out to remote visual objects.
+	Visual *visual.Dispatcher
+	// Sync configures the clock-synchronization master.
+	Sync clocksync.Config
+	// SyncPeriod is the polling round period; 0 disables the master.
+	SyncPeriod time.Duration
+	// ProbeTimeout bounds one probe exchange. Default 250 ms.
+	ProbeTimeout time.Duration
+	// Filter, when non-nil, selects which sorted records reach the
+	// sinks; records it rejects are counted but not delivered. It runs
+	// downstream of the causal matcher so causal bookkeeping stays
+	// complete even when only a subset is consumed — the tool-side
+	// "specify what to monitor" hook of the paper's transparent
+	// monitoring discussion.
+	Filter func(rec *record.Record) bool
+	// Logf logs diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of manager counters.
+type Stats struct {
+	// Connected is the number of external sensors currently attached.
+	Connected int
+	// Received counts records accepted from all sensors.
+	Received uint64
+	// Emitted counts records that left the sorter toward the sinks.
+	Emitted uint64
+	// Batches counts data batches received.
+	Batches uint64
+	// BytesIn counts wire payload bytes received.
+	BytesIn uint64
+	// Sorter and CRE expose the subsystem counters.
+	Sorter ols.Stats
+	CRE    cre.Stats
+	// SyncRounds counts completed synchronization rounds.
+	SyncRounds uint64
+	// TachyonSyncs counts extra rounds requested by the CRE matcher.
+	TachyonSyncs uint64
+	// Filtered counts sorted records suppressed by the configured filter.
+	Filtered uint64
+	// EmitLatencyMeanMicros and EmitLatencyP99Micros summarize delivery
+	// latency (manager clock at emission minus the record's corrected
+	// timestamp) over the manager's lifetime.
+	EmitLatencyMeanMicros float64
+	EmitLatencyP99Micros  float64
+}
+
+// conn is one attached external sensor.
+type conn struct {
+	node    int32
+	name    string
+	wc      *wire.Conn
+	raw     net.Conn
+	replies chan *wire.ProbeReply
+	seq     atomic.Uint32
+	gone    atomic.Bool
+}
+
+// Manager is the ISM. Create with New, start with Serve (or let New's
+// listener run), stop with Close.
+type Manager struct {
+	cfg   Config
+	clock vclock.Clock
+	logf  func(string, ...any)
+
+	ln     net.Listener
+	buffer *shm.Buffer
+
+	mu       sync.Mutex
+	conns    map[int32]*conn
+	nextNode int32
+
+	merge    chan srcBatch
+	syncNow  chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	received atomic.Uint64
+	batches  atomic.Uint64
+	bytesIn  atomic.Uint64
+	emitted  atomic.Uint64
+
+	sorterMu sync.Mutex
+	sorter   *ols.Sorter
+	matcher  *cre.Matcher
+	emitLat  stats.Hist
+
+	syncRounds   atomic.Uint64
+	tachyonSyncs atomic.Uint64
+	filtered     atomic.Uint64
+
+	visualBuf  *lineBuffer
+	visualPICL *picl.Writer
+}
+
+type srcBatch struct {
+	node int32
+	recs []record.Record
+}
+
+// lineBuffer renders one PICL line at a time for the visual dispatcher.
+type lineBuffer struct {
+	buf []byte
+}
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+// New creates a manager and starts listening. Call Serve to begin
+// accepting external sensors.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.System{}
+	}
+	if cfg.MergeInterval <= 0 {
+		cfg.MergeInterval = 5 * time.Millisecond
+	}
+	if cfg.BufferRecords <= 0 {
+		cfg.BufferRecords = 65536
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 250 * time.Millisecond
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ism: listen: %w", err)
+	}
+	m := &Manager{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		logf:    logf,
+		ln:      ln,
+		buffer:  shm.NewBuffer(cfg.BufferRecords),
+		conns:   make(map[int32]*conn),
+		merge:   make(chan srcBatch, 256),
+		syncNow: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		sorter:  ols.New(cfg.Sorter),
+	}
+	m.matcher = cre.New(cre.Config{
+		Timeout: cfg.CRETimeout,
+		OnTachyon: func(int64, *record.Record) {
+			m.tachyonSyncs.Add(1)
+			select {
+			case m.syncNow <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if cfg.Visual != nil {
+		m.visualBuf = &lineBuffer{}
+		m.visualPICL = picl.NewWriter(m.visualBuf, picl.TimeUTC, 0)
+	}
+	return m, nil
+}
+
+// Addr returns the bound listen address.
+func (m *Manager) Addr() string { return m.ln.Addr().String() }
+
+// Buffer returns the memory buffer consumer tools read.
+func (m *Manager) Buffer() *shm.Buffer { return m.buffer }
+
+// NewCursor returns a cursor over the sorted output stream. Records are
+// stored framed exactly as the NOTICE encoders wrote them, prefixed with a
+// 4-byte big-endian node id for attribution.
+func (m *Manager) NewCursor() *shm.Cursor { return m.buffer.NewCursor() }
+
+// DecodeBuffered decodes one memory-buffer entry produced by this manager.
+func DecodeBuffered(p []byte) (record.Record, error) {
+	if len(p) < 4 {
+		return record.Record{}, errors.New("ism: short buffer entry")
+	}
+	node := int32(uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3]))
+	rec, _, err := record.Decode(p[4:])
+	if err != nil {
+		return record.Record{}, err
+	}
+	rec.Node = node
+	return rec, nil
+}
+
+// Serve runs the accept loop, merger, and synchronization master until
+// Close. It always returns a non-nil error (net.ErrClosed after Close).
+func (m *Manager) Serve() error {
+	m.wg.Add(1)
+	go m.mergeLoop()
+	if m.cfg.SyncPeriod > 0 {
+		m.wg.Add(1)
+		go m.syncLoop()
+	}
+	for {
+		raw, err := m.ln.Accept()
+		if err != nil {
+			return err
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handleConn(raw)
+		}()
+	}
+}
+
+// Start launches Serve on its own goroutine.
+func (m *Manager) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		if err := m.Serve(); err != nil && !errors.Is(err, net.ErrClosed) {
+			m.logf("ism: serve: %v", err)
+		}
+	}()
+}
+
+func (m *Manager) handleConn(raw net.Conn) {
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	msg, err := wc.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok || hello.Version != wire.ProtocolVersion {
+		m.logf("ism: bad hello from %v", raw.RemoteAddr())
+		return
+	}
+	m.mu.Lock()
+	m.nextNode++
+	c := &conn{
+		node:    m.nextNode,
+		name:    hello.Name,
+		wc:      wc,
+		raw:     raw,
+		replies: make(chan *wire.ProbeReply, 8),
+	}
+	m.conns[c.node] = c
+	m.mu.Unlock()
+	defer func() {
+		c.gone.Store(true)
+		m.mu.Lock()
+		delete(m.conns, c.node)
+		m.mu.Unlock()
+	}()
+	if err := wc.Send(&wire.HelloAck{Node: c.node}); err != nil {
+		return
+	}
+	m.logf("ism: node %d (%s) connected", c.node, c.name)
+
+	for {
+		msg, err := wc.Recv()
+		if err != nil {
+			if !m.closed.Load() {
+				m.logf("ism: node %d: %v", c.node, err)
+			}
+			return
+		}
+		switch t := msg.(type) {
+		case *wire.DataBatch:
+			m.batches.Add(1)
+			m.bytesIn.Add(uint64(len(t.Payload)))
+			recs, err := decodeBatch(t)
+			if err != nil {
+				m.logf("ism: node %d: bad batch: %v", c.node, err)
+				return
+			}
+			m.received.Add(uint64(len(recs)))
+			select {
+			case m.merge <- srcBatch{node: c.node, recs: recs}:
+			case <-m.done:
+				return
+			}
+		case *wire.ProbeReply:
+			select {
+			case c.replies <- t:
+			default: // stale reply, drop
+			}
+		case *wire.Bye:
+			return
+		default:
+			m.logf("ism: node %d: unexpected %v", c.node, msg.Type())
+			return
+		}
+	}
+}
+
+func decodeBatch(b *wire.DataBatch) ([]record.Record, error) {
+	recs := make([]record.Record, 0, b.Count)
+	payload := b.Payload
+	for len(payload) > 0 {
+		rec, n, err := record.Decode(payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		payload = payload[n:]
+	}
+	if uint32(len(recs)) != b.Count {
+		return nil, fmt.Errorf("batch declared %d records, contained %d", b.Count, len(recs))
+	}
+	return recs, nil
+}
+
+// mergeLoop is the single goroutine that owns the sorter, the matcher and
+// the sinks.
+func (m *Manager) mergeLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.MergeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case b := <-m.merge:
+			now := m.clock.NowMicros()
+			m.sorterMu.Lock()
+			for i := range b.recs {
+				m.sorter.Push(b.node, b.recs[i], now)
+			}
+			m.sorter.Extract(now, m.sinkRecord)
+			m.sorterMu.Unlock()
+		case <-ticker.C:
+			now := m.clock.NowMicros()
+			m.sorterMu.Lock()
+			m.sorter.Extract(now, m.sinkRecord)
+			m.matcher.Tick(now, m.deliver)
+			m.sorterMu.Unlock()
+		case <-m.done:
+			// Drain anything still queued, then flush.
+			for {
+				select {
+				case b := <-m.merge:
+					now := m.clock.NowMicros()
+					m.sorterMu.Lock()
+					for i := range b.recs {
+						m.sorter.Push(b.node, b.recs[i], now)
+					}
+					m.sorterMu.Unlock()
+					continue
+				default:
+				}
+				break
+			}
+			m.sorterMu.Lock()
+			m.sorter.Flush(m.sinkRecord)
+			m.matcher.Flush(m.deliver)
+			m.sorterMu.Unlock()
+			m.buffer.Close()
+			if m.cfg.PICL != nil {
+				if err := m.cfg.PICL.Flush(); err != nil {
+					m.logf("ism: picl flush: %v", err)
+				}
+			}
+			return
+		}
+	}
+}
+
+// sinkRecord feeds one sorted record through the CRE matcher into the
+// sinks. Runs with sorterMu held.
+func (m *Manager) sinkRecord(rec record.Record) {
+	m.matcher.Process(rec, m.clock.NowMicros(), m.deliver)
+}
+
+// deliver writes one fully-processed record to every sink. Runs with
+// sorterMu held.
+func (m *Manager) deliver(rec record.Record) {
+	if m.cfg.Filter != nil && !m.cfg.Filter(&rec) {
+		m.filtered.Add(1)
+		return
+	}
+	m.emitted.Add(1)
+	if rec.HasTS {
+		m.emitLat.Add(float64(m.clock.NowMicros() - rec.TS))
+	}
+	// Memory buffer: node prefix + the NOTICE binary structure.
+	buf := make([]byte, 4, 4+rec.WireSize())
+	buf[0] = byte(uint32(rec.Node) >> 24)
+	buf[1] = byte(uint32(rec.Node) >> 16)
+	buf[2] = byte(uint32(rec.Node) >> 8)
+	buf[3] = byte(uint32(rec.Node))
+	buf, err := rec.Append(buf)
+	if err == nil {
+		m.buffer.Publish(buf)
+	} else {
+		m.logf("ism: encode for buffer: %v", err)
+	}
+	if m.cfg.PICL != nil {
+		if err := m.cfg.PICL.WriteRecord(&rec); err != nil {
+			m.logf("ism: picl write: %v", err)
+		}
+	}
+	if m.cfg.Visual != nil && m.cfg.Visual.Len() > 0 {
+		m.visualBuf.buf = m.visualBuf.buf[:0]
+		if err := m.visualPICL.WriteRecord(&rec); err == nil {
+			if err := m.visualPICL.Flush(); err == nil {
+				line := string(m.visualBuf.buf)
+				if n := len(line); n > 0 && line[n-1] == '\n' {
+					line = line[:n-1]
+				}
+				m.cfg.Visual.Dispatch(line)
+			}
+		}
+	}
+}
+
+// connSlave adapts an attached external sensor to clocksync.SlaveConn.
+type connSlave struct {
+	m *Manager
+	c *conn
+}
+
+// Exchange implements clocksync.SlaveConn over the wire protocol.
+func (s *connSlave) Exchange() (int64, error) {
+	if s.c.gone.Load() {
+		return 0, errors.New("ism: slave disconnected")
+	}
+	seq := s.c.seq.Add(1)
+	if err := s.c.wc.Send(&wire.Probe{Seq: seq, MasterSend: s.m.clock.NowMicros()}); err != nil {
+		return 0, err
+	}
+	deadline := time.NewTimer(s.m.cfg.ProbeTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case r := <-s.c.replies:
+			if r.Seq != seq {
+				continue // stale
+			}
+			return r.SlaveTime, nil
+		case <-deadline.C:
+			return 0, errors.New("ism: probe timeout")
+		case <-s.m.done:
+			return 0, errors.New("ism: shutting down")
+		}
+	}
+}
+
+// Adjust implements clocksync.SlaveConn.
+func (s *connSlave) Adjust(delta int64) error {
+	return s.c.wc.Send(&wire.Adjust{DeltaMicros: delta})
+}
+
+// syncLoop runs periodic synchronization rounds, plus the immediate extra
+// rounds requested by the CRE matcher after a tachyon.
+func (m *Manager) syncLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.SyncPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.runSyncRound()
+		case <-m.syncNow:
+			m.runSyncRound()
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// runSyncRound builds the slave set from the currently attached sensors
+// and performs one round.
+func (m *Manager) runSyncRound() {
+	m.mu.Lock()
+	slaves := make([]clocksync.SlaveConn, 0, len(m.conns))
+	for _, c := range m.conns {
+		slaves = append(slaves, &connSlave{m: m, c: c})
+	}
+	m.mu.Unlock()
+	if len(slaves) == 0 {
+		return
+	}
+	master := clocksync.NewMaster(m.clock, m.cfg.Sync, slaves)
+	if _, err := master.Round(); err != nil {
+		m.logf("ism: sync round: %v", err)
+		return
+	}
+	m.syncRounds.Add(1)
+}
+
+// SyncRound triggers one synchronization round immediately (used by tests
+// and tools).
+func (m *Manager) SyncRound() {
+	select {
+	case m.syncNow <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	connected := len(m.conns)
+	m.mu.Unlock()
+	m.sorterMu.Lock()
+	ss := m.sorter.Stats()
+	cs := m.matcher.Stats()
+	latMean := m.emitLat.Mean()
+	latP99 := m.emitLat.Quantile(0.99)
+	m.sorterMu.Unlock()
+	return Stats{
+		Connected:             connected,
+		Received:              m.received.Load(),
+		Emitted:               m.emitted.Load(),
+		Batches:               m.batches.Load(),
+		BytesIn:               m.bytesIn.Load(),
+		Sorter:                ss,
+		CRE:                   cs,
+		SyncRounds:            m.syncRounds.Load(),
+		TachyonSyncs:          m.tachyonSyncs.Load(),
+		Filtered:              m.filtered.Load(),
+		EmitLatencyMeanMicros: latMean,
+		EmitLatencyP99Micros:  latP99,
+	}
+}
+
+// Close shuts the manager down: stops accepting, disconnects sensors,
+// flushes the sorter and sinks, and closes the memory buffer.
+func (m *Manager) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	err := m.ln.Close()
+	m.mu.Lock()
+	for _, c := range m.conns {
+		c.raw.Close()
+	}
+	m.mu.Unlock()
+	close(m.done)
+	m.wg.Wait()
+	return err
+}

@@ -1,0 +1,324 @@
+// Package ols implements the manager's dynamic on-line sorting algorithm.
+//
+// The ISM receives in-order record streams from each external sensor and
+// must merge them into one stream ordered by synchronized timestamp. Per
+// the paper: using the embedded time-stamps, its current time and a
+// user-specified time frame T, the ISM delays each record for T time
+// units after its creation; if two successive records from different
+// external sensors are extracted out of order, it increases the time
+// frame; then it exponentially decreases the time frame to reduce the
+// amount of instrumentation data delayed in memory. The method trades
+// event ordering against latency.
+//
+// The merge itself uses a heap with one entry per source queue (the
+// paper's ISM heap); per-source FIFO order is always preserved because
+// only queue heads enter the heap.
+package ols
+
+import (
+	"container/heap"
+	"math"
+
+	"brisk/internal/record"
+)
+
+// GrowPolicy selects how the time frame grows when an inversion is
+// detected.
+type GrowPolicy int
+
+const (
+	// GrowToLateness sets T to the latest late event's lateness — the
+	// strategy the paper's evaluation found best for latency-critical
+	// applications.
+	GrowToLateness GrowPolicy = iota
+	// GrowDouble doubles T on each inversion.
+	GrowDouble
+	// GrowFixed never adapts T (the ablation baseline).
+	GrowFixed
+)
+
+// String names the policy.
+func (p GrowPolicy) String() string {
+	switch p {
+	case GrowToLateness:
+		return "lateness"
+	case GrowDouble:
+		return "double"
+	case GrowFixed:
+		return "fixed"
+	default:
+		return "GrowPolicy(?)"
+	}
+}
+
+// Config holds the sorter's tuning knobs.
+type Config struct {
+	// InitialT is the starting time frame in µs. Default 1000.
+	InitialT int64
+	// MinT is the floor T decays toward. Default 0.
+	MinT int64
+	// MaxT caps growth. Default 10 s.
+	MaxT int64
+	// HalfLife is the exponential-decay half-life of (T − MinT) in µs of
+	// manager time; 0 disables decay. The paper: "a small exponent
+	// constant for reducing T (i.e., a large T half-life) helps" in
+	// non-latency-critical applications.
+	HalfLife int64
+	// Grow selects the growth rule applied on inversions.
+	Grow GrowPolicy
+	// MaxBuffered bounds the records delayed in memory; pushes beyond it
+	// are dropped and counted (the ISM's event dropping under overload).
+	// 0 means unbounded.
+	MaxBuffered int
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialT <= 0 {
+		c.InitialT = 1000
+	}
+	if c.MaxT <= 0 {
+		c.MaxT = 10_000_000
+	}
+	if c.MinT < 0 {
+		c.MinT = 0
+	}
+	if c.InitialT > c.MaxT {
+		c.InitialT = c.MaxT
+	}
+	return c
+}
+
+// Stats counts the sorter's observable behaviour.
+type Stats struct {
+	// Pushed and Emitted count records in and out.
+	Pushed, Emitted uint64
+	// Inversions counts records that arrived after a later-stamped
+	// record from another source had already been emitted — exactly the
+	// out-of-order condition the adaptive rule reacts to.
+	Inversions uint64
+	// DroppedFull counts records dropped because MaxBuffered was hit.
+	DroppedFull uint64
+	// GrownTo is the largest T ever reached.
+	GrownTo int64
+}
+
+// Sorter merges per-source record streams into timestamp order. Not safe
+// for concurrent use; the ISM's single merger goroutine owns it.
+type Sorter struct {
+	cfg      Config
+	t        float64 // current time frame, µs
+	lastSeen int64   // manager time at last Extract, for decay
+	buffered int
+
+	lastTS  int64 // timestamp of the most recently emitted record
+	lastSrc int32
+	emitted bool
+
+	queues map[int32]*srcQueue
+	h      srcHeap
+	seq    uint64
+
+	stats Stats
+}
+
+// New returns a sorter with the given configuration.
+func New(cfg Config) *Sorter {
+	cfg = cfg.withDefaults()
+	return &Sorter{cfg: cfg, t: float64(cfg.InitialT), queues: make(map[int32]*srcQueue)}
+}
+
+// TimeFrame returns the current time frame T in µs.
+func (s *Sorter) TimeFrame() int64 { return int64(s.t) }
+
+// Buffered returns the number of records currently delayed in memory.
+func (s *Sorter) Buffered() int { return s.buffered }
+
+// Stats returns a copy of the counters.
+func (s *Sorter) Stats() Stats { return s.stats }
+
+// Push enqueues one record from a source. now is the manager clock (µs),
+// used to measure the record's lateness when it arrives behind the
+// merged stream. Records without a timestamp are stamped with now so they
+// flow through rather than stall the merge.
+func (s *Sorter) Push(src int32, rec record.Record, now int64) {
+	s.stats.Pushed++
+	if s.cfg.MaxBuffered > 0 && s.buffered >= s.cfg.MaxBuffered {
+		s.stats.DroppedFull++
+		return
+	}
+	if !rec.HasTS {
+		rec.SetTS(now)
+	}
+	rec.Node = src
+	s.seq++
+	rec.Seq = s.seq
+
+	// Inversion check: the record is already behind the emitted stream.
+	if s.emitted && rec.TS < s.lastTS && src != s.lastSrc {
+		s.stats.Inversions++
+		s.grow(now - rec.TS)
+	}
+
+	q, ok := s.queues[src]
+	if !ok {
+		q = &srcQueue{src: src}
+		s.queues[src] = q
+	}
+	wasEmpty := q.empty()
+	q.push(rec)
+	s.buffered++
+	if wasEmpty {
+		heap.Push(&s.h, q)
+	} else if q.pos >= 0 {
+		heap.Fix(&s.h, q.pos)
+	}
+}
+
+// grow raises T according to the configured policy. lateness is how long
+// the offending record would have needed to be delayed to stay in order.
+func (s *Sorter) grow(lateness int64) {
+	switch s.cfg.Grow {
+	case GrowToLateness:
+		if float64(lateness) > s.t {
+			s.t = float64(lateness)
+		}
+	case GrowDouble:
+		s.t *= 2
+	case GrowFixed:
+		// No adaptation.
+	}
+	if s.t > float64(s.cfg.MaxT) {
+		s.t = float64(s.cfg.MaxT)
+	}
+	if int64(s.t) > s.stats.GrownTo {
+		s.stats.GrownTo = int64(s.t)
+	}
+}
+
+// decay applies the exponential reduction of T for elapsed manager time.
+func (s *Sorter) decay(now int64) {
+	if s.cfg.HalfLife <= 0 {
+		s.lastSeen = now
+		return
+	}
+	dt := now - s.lastSeen
+	s.lastSeen = now
+	if dt <= 0 {
+		return
+	}
+	min := float64(s.cfg.MinT)
+	s.t = min + (s.t-min)*math.Exp2(-float64(dt)/float64(s.cfg.HalfLife))
+	if s.t < min {
+		s.t = min
+	}
+}
+
+// Extract emits, in merged timestamp order, every buffered record that has
+// aged at least T (now − TS ≥ T). It returns the number emitted. The
+// record passed to emit is owned by the callee.
+func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
+	s.decay(now)
+	n := 0
+	for len(s.h) > 0 {
+		q := s.h[0]
+		if now-q.head().TS < int64(s.t) {
+			break
+		}
+		rec := q.pop()
+		s.buffered--
+		if q.empty() {
+			heap.Pop(&s.h)
+		} else {
+			heap.Fix(&s.h, 0)
+		}
+		s.lastTS = rec.TS
+		s.lastSrc = q.src
+		s.emitted = true
+		s.stats.Emitted++
+		emit(rec)
+		n++
+	}
+	return n
+}
+
+// Flush emits everything still buffered, in merged order, ignoring T. Used
+// at shutdown.
+func (s *Sorter) Flush(emit func(record.Record)) int {
+	return s.Extract(math.MaxInt64, emit)
+}
+
+// NextDeadline returns the manager time at which the oldest buffered
+// record becomes emittable, and false when nothing is buffered. The ISM
+// merger uses it to sleep precisely instead of polling.
+func (s *Sorter) NextDeadline() (int64, bool) {
+	if len(s.h) == 0 {
+		return 0, false
+	}
+	return s.h[0].head().TS + int64(s.t), true
+}
+
+// srcQueue is one source's FIFO with an amortized head index.
+type srcQueue struct {
+	src  int32
+	recs []record.Record
+	hd   int
+	pos  int // index in the heap, -1 when absent
+}
+
+func (q *srcQueue) empty() bool          { return q.hd >= len(q.recs) }
+func (q *srcQueue) head() *record.Record { return &q.recs[q.hd] }
+
+func (q *srcQueue) push(r record.Record) {
+	// Compact once the dead prefix dominates.
+	if q.hd > 64 && q.hd*2 > len(q.recs) {
+		n := copy(q.recs, q.recs[q.hd:])
+		for i := n; i < len(q.recs); i++ {
+			q.recs[i] = record.Record{}
+		}
+		q.recs = q.recs[:n]
+		q.hd = 0
+	}
+	q.recs = append(q.recs, r)
+}
+
+func (q *srcQueue) pop() record.Record {
+	r := q.recs[q.hd]
+	q.recs[q.hd] = record.Record{}
+	q.hd++
+	if q.empty() {
+		q.recs = q.recs[:0]
+		q.hd = 0
+	}
+	return r
+}
+
+// srcHeap orders source queues by (head timestamp, head sequence).
+type srcHeap []*srcQueue
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.Seq < b.Seq
+}
+func (h srcHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *srcHeap) Push(x any) {
+	q := x.(*srcQueue)
+	q.pos = len(*h)
+	*h = append(*h, q)
+}
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	q.pos = -1
+	*h = old[:n-1]
+	return q
+}

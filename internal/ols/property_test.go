@@ -1,0 +1,147 @@
+package ols
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brisk/internal/record"
+)
+
+// streamModel is a randomized multi-source arrival schedule that respects
+// the transport invariant (per-source delivery is in creation order).
+type streamModel struct {
+	arrivals []arrival
+	maxLate  int64
+}
+
+// genStream derives a schedule from quick's random values.
+func genStream(rng *rand.Rand, sources, perSource int, maxDelay int64) streamModel {
+	var m streamModel
+	for src := int32(1); src <= int32(sources); src++ {
+		ts := int64(0)
+		prevAt := int64(0)
+		for i := 0; i < perSource; i++ {
+			ts += 1 + rng.Int63n(100)
+			at := ts + rng.Int63n(maxDelay+1)
+			if at < prevAt {
+				at = prevAt
+			}
+			prevAt = at
+			if late := at - ts; late > m.maxLate {
+				m.maxLate = late
+			}
+			m.arrivals = append(m.arrivals, arrival{src, rec(ts), at})
+		}
+	}
+	sortByAt(m.arrivals)
+	return m
+}
+
+// TestPropertySortedWhenTCoversLateness: for any schedule whose maximum
+// lateness is at most T, the sorter's output is globally non-decreasing
+// in timestamp and nothing is lost.
+func TestPropertySortedWhenTCoversLateness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxDelay := 1 + rng.Int63n(2000)
+		m := genStream(rng, 1+rng.Intn(6), 50+rng.Intn(100), maxDelay)
+		s := New(Config{InitialT: m.maxLate + 1, Grow: GrowFixed})
+		var out []int64
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			s.Extract(a.at, func(r record.Record) { out = append(out, r.TS) })
+		}
+		s.Flush(func(r record.Record) { out = append(out, r.TS) })
+		if len(out) != len(m.arrivals) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNothingLostAnyPolicy: whatever the policy and schedule, all
+// pushed records are eventually emitted exactly once (no duplication, no
+// loss) and per-source order is preserved.
+func TestPropertyNothingLostAnyPolicy(t *testing.T) {
+	f := func(seed int64, policyPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genStream(rng, 1+rng.Intn(5), 30+rng.Intn(80), 1+rng.Int63n(5000))
+		policy := []GrowPolicy{GrowToLateness, GrowDouble, GrowFixed}[int(policyPick)%3]
+		s := New(Config{InitialT: 1 + rng.Int63n(500), Grow: policy,
+			HalfLife: rng.Int63n(10_000)})
+		perSourceLast := map[int32]int64{}
+		count := 0
+		check := func(r record.Record) {
+			count++
+			if last, ok := perSourceLast[r.Node]; ok && r.TS < last {
+				t.Errorf("per-source order violated for %d", r.Node)
+			}
+			perSourceLast[r.Node] = r.TS
+		}
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			s.Extract(a.at, check)
+		}
+		s.Flush(check)
+		return count == len(m.arrivals) && s.Buffered() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTimeFrameBounded: under any schedule T never exceeds MaxT
+// and never decays below MinT.
+func TestPropertyTimeFrameBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genStream(rng, 3, 100, 50_000)
+		cfg := Config{InitialT: 50, MinT: 10, MaxT: 5_000,
+			HalfLife: 1000, Grow: GrowDouble}
+		s := New(cfg)
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			s.Extract(a.at, func(record.Record) {})
+			if tf := s.TimeFrame(); tf > cfg.MaxT || tf < cfg.MinT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEmittedOnlyWhenAged: no record is ever emitted younger than
+// the time frame in force at extraction (latency floor is honoured).
+func TestPropertyEmittedOnlyWhenAged(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genStream(rng, 4, 60, 1000)
+		s := New(Config{InitialT: 700, Grow: GrowFixed})
+		ok := true
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			now := a.at
+			s.Extract(now, func(r record.Record) {
+				if now-r.TS < 700 {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package picl
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+// FuzzReader checks that arbitrary text never panics the trace parser and
+// that accepted lines re-render losslessly through the writer.
+func FuzzReader(f *testing.F) {
+	f.Add("-4 7 1000500 2 2 i32:-3 str:\"hi\"\n")
+	f.Add("-4 1 1.500000 0 0\n")
+	f.Add("# comment\n\n-4 1 5 0 1 X_REASON:9\n")
+	f.Add("-4 1 5 0 1 str:\"a b c\"\n")
+	f.Add("garbage\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		rd := NewReader(strings.NewReader(text))
+		for {
+			ln, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // malformed input is fine; panics are not
+			}
+			// Accepted lines must round-trip through the writer.
+			rec := record.New(ln.Event,
+				append([]record.Value{record.TSVal(ln.TimeMicros)}, ln.Fields...)...)
+			rec.Node = ln.Node
+			var sb strings.Builder
+			w := NewWriter(&sb, TimeUTC, 0)
+			if err := w.WriteRecord(&rec); err != nil {
+				t.Fatalf("accepted line does not re-render: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			ln2, err := NewReader(strings.NewReader(sb.String())).Next()
+			if err != nil {
+				t.Fatalf("re-rendered line does not parse: %v (%q)", err, sb.String())
+			}
+			if ln2.Event != ln.Event || ln2.Node != ln.Node || ln2.TimeMicros != ln.TimeMicros {
+				t.Fatalf("round trip drift: %+v vs %+v", ln, ln2)
+			}
+		}
+	})
+}

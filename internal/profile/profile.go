@@ -1,0 +1,173 @@
+// Package profile demonstrates BRISK's flexibility claim that its
+// software, event-based monitoring can emulate other monitoring methods —
+// here, execution profiling built purely from the sorted event stream.
+//
+// An application brackets each profiled region with a begin notice and an
+// end notice of the next event class (begin event e, end event e+1), both
+// carrying the same region identifier in their first data field. The
+// profiler pairs them per node and accumulates duration statistics, the
+// output a hybrid tracing/profiling monitor would have produced in
+// hardware-assisted systems.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"brisk/internal/record"
+	"brisk/internal/stats"
+)
+
+// PairRule describes one begin/end event-class pair to profile.
+type PairRule struct {
+	// Begin and End are the event classes bracketing a region.
+	Begin, End uint8
+	// Name labels the region in reports.
+	Name string
+}
+
+// key identifies one open region instance.
+type key struct {
+	node  int32
+	begin uint8
+	id    int64
+}
+
+// regionKey identifies one profiled region in the aggregate.
+type regionKey struct {
+	node int32
+	name string
+}
+
+// Profiler consumes a sorted record stream and aggregates region
+// durations. Not safe for concurrent use.
+type Profiler struct {
+	rules map[uint8]PairRule // keyed by End event class
+	begin map[uint8]PairRule // keyed by Begin event class
+	open  map[key]int64      // begin timestamps of open regions
+
+	agg map[regionKey]*stats.Running
+
+	// Unmatched counts end events with no matching begin, and begin
+	// events that were re-opened before closing.
+	Unmatched uint64
+}
+
+// New returns a profiler for the given pair rules.
+func New(rules []PairRule) *Profiler {
+	p := &Profiler{
+		rules: make(map[uint8]PairRule),
+		begin: make(map[uint8]PairRule),
+		open:  make(map[key]int64),
+		agg:   make(map[regionKey]*stats.Running),
+	}
+	for _, r := range rules {
+		p.rules[r.End] = r
+		p.begin[r.Begin] = r
+	}
+	return p
+}
+
+// regionID extracts the region identifier: the first non-system integer
+// field, or 0 if none.
+func regionID(rec *record.Record) int64 {
+	for _, f := range rec.Fields {
+		switch f.Type {
+		case record.TS, record.Reason, record.Conseq, record.String:
+			continue
+		default:
+			return f.Int()
+		}
+	}
+	return 0
+}
+
+// Feed consumes one record of the sorted stream.
+func (p *Profiler) Feed(rec *record.Record) {
+	if !rec.HasTS {
+		return
+	}
+	if rule, ok := p.begin[rec.Event]; ok {
+		k := key{rec.Node, rule.Begin, regionID(rec)}
+		if _, already := p.open[k]; already {
+			p.Unmatched++
+		}
+		p.open[k] = rec.TS
+		return
+	}
+	if rule, ok := p.rules[rec.Event]; ok {
+		k := key{rec.Node, rule.Begin, regionID(rec)}
+		beginTS, found := p.open[k]
+		if !found {
+			p.Unmatched++
+			return
+		}
+		delete(p.open, k)
+		if rec.TS < beginTS {
+			// Clock repair should prevent this; count and skip.
+			p.Unmatched++
+			return
+		}
+		rk := regionKey{rec.Node, rule.Name}
+		r, ok := p.agg[rk]
+		if !ok {
+			r = &stats.Running{}
+			p.agg[rk] = r
+		}
+		r.Add(float64(rec.TS - beginTS))
+	}
+}
+
+// OpenRegions returns the number of begins still awaiting their end.
+func (p *Profiler) OpenRegions() int { return len(p.open) }
+
+// Entry is one line of the profile report.
+type Entry struct {
+	Node        int32
+	Region      string
+	Count       uint64
+	MeanMicros  float64
+	MaxMicros   float64
+	TotalMicros float64
+}
+
+// Report returns the aggregated profile sorted by total time descending.
+func (p *Profiler) Report() []Entry {
+	var out []Entry
+	for k, r := range p.agg {
+		out = append(out, Entry{
+			Node:        k.node,
+			Region:      k.name,
+			Count:       r.N(),
+			MeanMicros:  r.Mean(),
+			MaxMicros:   r.Max(),
+			TotalMicros: r.Mean() * float64(r.N()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMicros != out[j].TotalMicros {
+			return out[i].TotalMicros > out[j].TotalMicros
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// String renders the report.
+func (p *Profiler) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-16s %8s %12s %12s %12s\n",
+		"node", "region", "count", "mean µs", "max µs", "total µs")
+	for _, e := range p.Report() {
+		fmt.Fprintf(&b, "%-6d %-16s %8d %12.1f %12.1f %12.1f\n",
+			e.Node, e.Region, e.Count, e.MeanMicros, e.MaxMicros, e.TotalMicros)
+	}
+	if p.Unmatched > 0 {
+		fmt.Fprintf(&b, "unmatched events: %d\n", p.Unmatched)
+	}
+	return b.String()
+}

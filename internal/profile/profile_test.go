@@ -1,0 +1,152 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+func ev(node int32, event uint8, ts int64, id int32) record.Record {
+	r := record.New(event, record.TSVal(ts), record.I32Val(id))
+	r.Node = node
+	return r
+}
+
+func TestPairing(t *testing.T) {
+	p := New([]PairRule{{Begin: 10, End: 11, Name: "compute"}})
+	recs := []record.Record{
+		ev(1, 10, 100, 7),
+		ev(1, 11, 350, 7),
+		ev(1, 10, 400, 7),
+		ev(1, 11, 500, 7),
+	}
+	for i := range recs {
+		p.Feed(&recs[i])
+	}
+	rep := p.Report()
+	if len(rep) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	e := rep[0]
+	if e.Count != 2 || e.MeanMicros != 175 || e.MaxMicros != 250 || e.TotalMicros != 350 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if p.OpenRegions() != 0 || p.Unmatched != 0 {
+		t.Fatalf("open=%d unmatched=%d", p.OpenRegions(), p.Unmatched)
+	}
+}
+
+func TestInterleavedRegionsAndNodes(t *testing.T) {
+	p := New([]PairRule{
+		{Begin: 10, End: 11, Name: "io"},
+		{Begin: 20, End: 21, Name: "net"},
+	})
+	recs := []record.Record{
+		ev(1, 10, 100, 1), // io id 1 on node 1
+		ev(2, 10, 110, 1), // io id 1 on node 2 (independent)
+		ev(1, 20, 120, 9), // net on node 1
+		ev(1, 11, 200, 1),
+		ev(2, 11, 260, 1),
+		ev(1, 21, 320, 9),
+	}
+	for i := range recs {
+		p.Feed(&recs[i])
+	}
+	rep := p.Report()
+	if len(rep) != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Sorted by total time descending: net(200) > io node2(150) > io node1(100).
+	if rep[0].Region != "net" || rep[0].TotalMicros != 200 {
+		t.Fatalf("rep[0] = %+v", rep[0])
+	}
+	if rep[1].Node != 2 || rep[1].TotalMicros != 150 {
+		t.Fatalf("rep[1] = %+v", rep[1])
+	}
+}
+
+func TestConcurrentSameRegionDifferentIDs(t *testing.T) {
+	p := New([]PairRule{{Begin: 1, End: 2, Name: "req"}})
+	// Two overlapping requests distinguished by id.
+	feeds := []record.Record{
+		ev(1, 1, 100, 1),
+		ev(1, 1, 150, 2),
+		ev(1, 2, 300, 1), // id 1: 200
+		ev(1, 2, 500, 2), // id 2: 350
+	}
+	for i := range feeds {
+		p.Feed(&feeds[i])
+	}
+	rep := p.Report()
+	if len(rep) != 1 || rep[0].Count != 2 || rep[0].MaxMicros != 350 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestUnmatchedCounting(t *testing.T) {
+	p := New([]PairRule{{Begin: 1, End: 2, Name: "x"}})
+	recs := []record.Record{
+		ev(1, 2, 100, 5), // end with no begin
+		ev(1, 1, 200, 6),
+		ev(1, 1, 300, 6), // begin re-opened
+		ev(1, 2, 400, 6),
+	}
+	for i := range recs {
+		p.Feed(&recs[i])
+	}
+	if p.Unmatched != 2 {
+		t.Fatalf("unmatched = %d", p.Unmatched)
+	}
+	if rep := p.Report(); len(rep) != 1 || rep[0].Count != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestIrrelevantEventsIgnored(t *testing.T) {
+	p := New([]PairRule{{Begin: 1, End: 2, Name: "x"}})
+	r := ev(1, 99, 100, 1)
+	p.Feed(&r)
+	noTS := record.New(1, record.I32Val(1))
+	p.Feed(&noTS)
+	if p.OpenRegions() != 0 || len(p.Report()) != 0 {
+		t.Fatal("irrelevant events affected state")
+	}
+}
+
+func TestBackwardDurationSkipped(t *testing.T) {
+	p := New([]PairRule{{Begin: 1, End: 2, Name: "x"}})
+	a := ev(1, 1, 500, 1)
+	b := ev(1, 2, 400, 1) // end before begin: clock anomaly
+	p.Feed(&a)
+	p.Feed(&b)
+	if p.Unmatched != 1 || len(p.Report()) != 0 {
+		t.Fatalf("unmatched=%d rep=%v", p.Unmatched, p.Report())
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	p := New([]PairRule{{Begin: 1, End: 2, Name: "phase"}})
+	a := ev(3, 1, 0, 1)
+	b := ev(3, 2, 123, 1)
+	p.Feed(&a)
+	p.Feed(&b)
+	out := p.String()
+	for _, want := range []string{"phase", "123.0", "node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegionIDExtraction(t *testing.T) {
+	// The identifier is the first non-system, non-string field.
+	r := record.New(1, record.TSVal(5), record.StrVal("skip"), record.I64Val(-7))
+	if got := regionID(&r); got != -7 {
+		t.Fatalf("regionID = %d", got)
+	}
+	r2 := record.New(1, record.TSVal(5))
+	if got := regionID(&r2); got != 0 {
+		t.Fatalf("regionID no-field = %d", got)
+	}
+}

@@ -1,0 +1,48 @@
+package record
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the decoder and that
+// anything it accepts re-encodes to the identical byte string (canonical
+// round trip).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid records of several shapes plus mutations.
+	seed := []Record{
+		New(1, TSVal(123), I32Val(1), I32Val(2), I32Val(3), I32Val(4), I32Val(5), I32Val(6)),
+		New(2, TSVal(-5), StrVal("hello"), F64Val(2.5)),
+		New(3),
+		New(4, ReasonVal(9), ConseqVal(10), BoolVal(true)),
+	}
+	for i := range seed {
+		buf, err := seed[i].Append(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Record
+		n, err := DecodeInto(&r, data)
+		if err != nil {
+			return
+		}
+		re, err := r.Append(nil)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v (%+v)", err, r)
+		}
+		if !reflect.DeepEqual(re, data[:n]) {
+			t.Fatalf("non-canonical decode:\n in  % x\n out % x", data[:n], re)
+		}
+		// PeekTS must agree with the decoded cache.
+		ts, _, ok := PeekTS(data[:n])
+		if ok != r.HasTS || (ok && ts != r.TS) {
+			t.Fatalf("PeekTS (%d,%v) disagrees with decode (%d,%v)", ts, ok, r.TS, r.HasTS)
+		}
+	})
+}

@@ -1,0 +1,397 @@
+package record
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAppend(t *testing.T, r *Record) []byte {
+	t.Helper()
+	buf, err := r.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return buf
+}
+
+func TestPaperRecordIsFortyBytes(t *testing.T) {
+	// The evaluation's record: six int fields plus the embedded timestamp
+	// and type information must require exactly 40 bytes on the wire.
+	r := New(1, TSVal(123456789),
+		I32Val(1), I32Val(2), I32Val(3), I32Val(4), I32Val(5), I32Val(6))
+	if got := r.WireSize(); got != 40 {
+		t.Fatalf("six-int record wire size = %d, want 40", got)
+	}
+	buf := mustAppend(t, &r)
+	if len(buf) != 40 {
+		t.Fatalf("encoded length = %d, want 40", len(buf))
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	r := New(7,
+		TSVal(-5),
+		I8Val(-8), U8Val(200), I16Val(-3000), U16Val(60000),
+		StrVal("hello, BRISK"),
+		ReasonVal(42),
+	)
+	buf := mustAppend(t, &r)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("Decode consumed %d, want %d", n, len(buf))
+	}
+	if got.Event != 7 || got.TS != -5 || !got.HasTS || got.Reason != 42 || got.Conseq != 0 {
+		t.Fatalf("decoded caches wrong: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Fields, r.Fields) {
+		t.Fatalf("fields mismatch:\n got %#v\nwant %#v", got.Fields, r.Fields)
+	}
+
+	r2 := New(9,
+		I32Val(math.MinInt32), U32Val(math.MaxUint32),
+		I64Val(math.MinInt64), U64Val(math.MaxUint64),
+		F32Val(3.25), F64Val(-1e300), BoolVal(true), ConseqVal(99),
+	)
+	buf2 := mustAppend(t, &r2)
+	got2, _, err := Decode(buf2)
+	if err != nil {
+		t.Fatalf("Decode 2: %v", err)
+	}
+	if !reflect.DeepEqual(got2.Fields, r2.Fields) {
+		t.Fatalf("fields mismatch:\n got %#v\nwant %#v", got2.Fields, r2.Fields)
+	}
+	if got2.Conseq != 99 {
+		t.Fatalf("Conseq cache = %d, want 99", got2.Conseq)
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	r := New(0)
+	buf := mustAppend(t, &r)
+	if len(buf) != HeaderSize {
+		t.Fatalf("empty record size = %d, want %d", len(buf), HeaderSize)
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != HeaderSize || len(got.Fields) != 0 {
+		t.Fatalf("empty record decode: %v %d %v", got, n, err)
+	}
+}
+
+func TestTooManyFields(t *testing.T) {
+	fields := make([]Value, MaxFields+1)
+	for i := range fields {
+		fields[i] = I32Val(int32(i))
+	}
+	r := New(1, fields...)
+	if _, err := r.Append(nil); !errors.Is(err, ErrTooManyFields) {
+		t.Fatalf("Append with 9 fields: err = %v, want ErrTooManyFields", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	r := New(3, TSVal(1), I32Val(2))
+	buf := mustAppend(t, &r)
+
+	// Truncated header.
+	if _, _, err := Decode(buf[:4]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: err = %v", err)
+	}
+	// Truncated body.
+	if _, _, err := Decode(buf[:len(buf)-2]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short body: err = %v", err)
+	}
+	// Declared size below header size.
+	bad := append([]byte(nil), buf...)
+	bad[0], bad[1] = 0, 3
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("tiny declared size: err = %v", err)
+	}
+	// Reserved flag bits set.
+	bad = append([]byte(nil), buf...)
+	bad[3] |= 0x01
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("flag bits: err = %v", err)
+	}
+	// Invalid nibble past the field count.
+	bad = append([]byte(nil), buf...)
+	bad[5] |= 0x0F // field index 3 nibble (count is 2)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("dirty trailing nibble: err = %v", err)
+	}
+	// Field count over the maximum.
+	bad = append([]byte(nil), buf...)
+	bad[3] = 0x90
+	if _, _, err := Decode(bad); !errors.Is(err, ErrTooManyFields) {
+		t.Errorf("nf=9: err = %v", err)
+	}
+}
+
+func TestSetTS(t *testing.T) {
+	r := New(1, I32Val(5), TSVal(100), I32Val(6))
+	r.SetTS(250)
+	if r.TS != 250 || r.Fields[1].Int() != 250 {
+		t.Fatalf("SetTS did not patch in place: %+v", r)
+	}
+
+	// A record without a TS field gets one prepended.
+	r2 := New(1, I32Val(5))
+	r2.SetTS(77)
+	if !r2.HasTS || r2.TS != 77 || r2.Fields[0].Type != TS || len(r2.Fields) != 2 {
+		t.Fatalf("SetTS on TS-less record: %+v", r2)
+	}
+}
+
+func TestPeekSize(t *testing.T) {
+	r := New(1, TSVal(9), StrVal("abcdef"))
+	buf := mustAppend(t, &r)
+	n, err := PeekSize(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("PeekSize = %d, %v; want %d", n, err, len(buf))
+	}
+	if _, err := PeekSize(buf[:1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("PeekSize short: %v", err)
+	}
+}
+
+func TestPeekAndPatchTS(t *testing.T) {
+	// TS after a variable-length string exercises the skip logic.
+	r := New(4, StrVal("variable!"), I32Val(1), TSVal(1000), I32Val(2))
+	buf := mustAppend(t, &r)
+	ts, off, ok := PeekTS(buf)
+	if !ok || ts != 1000 {
+		t.Fatalf("PeekTS = %d, %v, %v", ts, off, ok)
+	}
+	PatchTS(buf, off, 2000)
+	got, _, err := Decode(buf)
+	if err != nil || got.TS != 2000 {
+		t.Fatalf("after PatchTS decode: ts=%d err=%v", got.TS, err)
+	}
+
+	// Record with no TS.
+	r2 := New(4, I32Val(1))
+	buf2 := mustAppend(t, &r2)
+	if _, _, ok := PeekTS(buf2); ok {
+		t.Fatal("PeekTS found a TS in a TS-less record")
+	}
+}
+
+func TestDecodeIntoReuse(t *testing.T) {
+	r := New(2, TSVal(5), I32Val(9), StrVal("x"))
+	buf := mustAppend(t, &r)
+	var dst Record
+	for i := 0; i < 3; i++ {
+		if _, err := DecodeInto(&dst, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(dst.Fields, r.Fields) {
+		t.Fatalf("reuse decode mismatch: %#v", dst.Fields)
+	}
+}
+
+func TestConcatenatedRecordsFrame(t *testing.T) {
+	var buf []byte
+	var err error
+	recs := []Record{
+		New(1, TSVal(10), I32Val(1)),
+		New(2, TSVal(20), StrVal("two")),
+		New(3, TSVal(30)),
+	}
+	for i := range recs {
+		buf, err = recs[i].Append(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	for len(buf) > 0 {
+		r, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+		buf = buf[n:]
+	}
+	if len(got) != 3 || got[0].TS != 10 || got[1].TS != 20 || got[2].TS != 30 {
+		t.Fatalf("stream decode mismatch: %+v", got)
+	}
+}
+
+// randomValue draws one well-formed field value.
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(12) {
+	case 0:
+		return I8Val(int8(rng.Int63()))
+	case 1:
+		return U8Val(uint8(rng.Int63()))
+	case 2:
+		return I16Val(int16(rng.Int63()))
+	case 3:
+		return U16Val(uint16(rng.Int63()))
+	case 4:
+		return I32Val(int32(rng.Int63()))
+	case 5:
+		return U32Val(uint32(rng.Int63()))
+	case 6:
+		return I64Val(rng.Int63() - rng.Int63())
+	case 7:
+		return U64Val(rng.Uint64())
+	case 8:
+		return F32Val(float32(rng.NormFloat64()))
+	case 9:
+		return F64Val(rng.NormFloat64())
+	case 10:
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return StrVal(string(b))
+	default:
+		return BoolVal(rng.Intn(2) == 0)
+	}
+}
+
+func TestPropertyRoundTripRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		nf := rng.Intn(MaxFields + 1)
+		fields := make([]Value, 0, nf)
+		for j := 0; j < nf; j++ {
+			fields = append(fields, randomValue(rng))
+		}
+		// Half the records carry a timestamp like real sensors emit.
+		if nf > 0 && rng.Intn(2) == 0 {
+			fields[0] = TSVal(rng.Int63() - rng.Int63())
+		}
+		r := New(uint8(rng.Intn(256)), fields...)
+		buf, err := r.Append(nil)
+		if err != nil {
+			t.Fatalf("iter %d: Append: %v", i, err)
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("iter %d: Decode: %v (%+v)", i, err, r)
+		}
+		if n != len(buf) {
+			t.Fatalf("iter %d: partial consume %d/%d", i, n, len(buf))
+		}
+		got.Seq = r.Seq
+		if len(got.Fields) == 0 && len(r.Fields) == 0 {
+			continue
+		}
+		if got.Event != r.Event || !reflect.DeepEqual(got.Fields, r.Fields) {
+			t.Fatalf("iter %d: mismatch\n got %#v\nwant %#v", i, got.Fields, r.Fields)
+		}
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Arbitrary bytes must never panic the decoder; they may only fail.
+	f := func(b []byte) bool {
+		var r Record
+		_, _ = DecodeInto(&r, b)
+		_, _, _ = PeekTS(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStringAndValid(t *testing.T) {
+	if Invalid.Valid() || Type(200).Valid() {
+		t.Error("Invalid/out-of-range types must not be valid")
+	}
+	for ty := Int8; ty <= Conseq; ty++ {
+		if !ty.Valid() {
+			t.Errorf("%v not valid", ty)
+		}
+		if ty.String() == "" {
+			t.Errorf("type %d has empty name", ty)
+		}
+	}
+	if !strings.Contains(Type(200).String(), "200") {
+		t.Error("unknown type String() should carry the code")
+	}
+	if TS.String() != "X_TS" || Reason.String() != "X_REASON" || Conseq.String() != "X_CONSEQ" {
+		t.Error("system type names must match the paper's X_* identifiers")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if I32Val(-9).Int() != -9 {
+		t.Error("Int accessor")
+	}
+	if U64Val(9).Uint() != 9 {
+		t.Error("Uint accessor")
+	}
+	if F32Val(1.5).Float() != 1.5 || F64Val(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if I64Val(-2).Float() != -2 {
+		t.Error("Float accessor on integer")
+	}
+	if !BoolVal(true).Bool() || BoolVal(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	if got := StrVal("q").GoString(); got != `str:"q"` {
+		t.Errorf("GoString = %s", got)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := New(5, TSVal(100), I32Val(7), StrVal("hey"))
+	r.Node = 3
+	s := r.String()
+	for _, want := range []string{"ev=5", "node=3", "ts=100", `str:"hey"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkAppendSixIntRecord(b *testing.B) {
+	r := New(1, TSVal(1), I32Val(1), I32Val(2), I32Val(3), I32Val(4), I32Val(5), I32Val(6))
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = r.Append(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSixIntRecord(b *testing.B) {
+	r := New(1, TSVal(1), I32Val(1), I32Val(2), I32Val(3), I32Val(4), I32Val(5), I32Val(6))
+	buf, _ := r.Append(nil)
+	var dst Record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeInto(&dst, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeekTS(b *testing.B) {
+	r := New(1, TSVal(1), I32Val(1), I32Val(2), I32Val(3), I32Val(4), I32Val(5), I32Val(6))
+	buf, _ := r.Append(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := PeekTS(buf); !ok {
+			b.Fatal("no ts")
+		}
+	}
+}

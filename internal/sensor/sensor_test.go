@@ -1,0 +1,291 @@
+package sensor
+
+import (
+	"testing"
+
+	"brisk/internal/record"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// drainOne drains exactly one record from the sensor's ring and decodes it.
+func drainOne(t *testing.T, s *Sensor) record.Record {
+	t.Helper()
+	var out record.Record
+	n := s.Ring().Drain(1, func(rec []byte) {
+		var err error
+		out, _, err = record.Decode(rec)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("expected one record in ring, drained %d", n)
+	}
+	return out
+}
+
+func newTestSensor(t *testing.T, clock vclock.Clock) *Sensor {
+	t.Helper()
+	return New(shm.NewRegion(), "test", Options{Clock: clock})
+}
+
+func TestNoticeEmbedsTimestamp(t *testing.T) {
+	clk := vclock.NewManual(12345)
+	s := newTestSensor(t, clk)
+	if !s.Notice(9, record.I32Val(7), record.StrVal("x")) {
+		t.Fatal("Notice failed")
+	}
+	r := drainOne(t, s)
+	if r.Event != 9 || !r.HasTS || r.TS != 12345 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Fields) != 3 || r.Fields[1].Int() != 7 || r.Fields[2].Str != "x" {
+		t.Fatalf("fields = %#v", r.Fields)
+	}
+}
+
+func TestNoticeOmitTS(t *testing.T) {
+	s := New(shm.NewRegion(), "t", Options{Clock: vclock.NewManual(1), OmitTS: true})
+	s.Notice(1, record.I32Val(5))
+	r := drainOne(t, s)
+	if r.HasTS || len(r.Fields) != 1 {
+		t.Fatalf("OmitTS record = %+v", r)
+	}
+}
+
+func TestNoticeTooManyFields(t *testing.T) {
+	s := newTestSensor(t, vclock.NewManual(0))
+	vals := make([]record.Value, record.MaxFields) // + auto TS = 9
+	for i := range vals {
+		vals[i] = record.I32Val(int32(i))
+	}
+	if s.Notice(1, vals...) {
+		t.Fatal("Notice with 8 user fields + TS should fail")
+	}
+	if s.Notices() != 1 {
+		t.Fatalf("notices = %d", s.Notices())
+	}
+}
+
+func TestNotice6iMatchesDynamicEncoding(t *testing.T) {
+	clk := vclock.NewManual(777)
+	s1 := newTestSensor(t, clk)
+	s2 := newTestSensor(t, clk)
+
+	if !s1.Notice6i(3, 1, 2, 3, 4, 5, 6) {
+		t.Fatal("Notice6i failed")
+	}
+	if !s2.Notice(3, record.I32Val(1), record.I32Val(2), record.I32Val(3),
+		record.I32Val(4), record.I32Val(5), record.I32Val(6)) {
+		t.Fatal("dynamic Notice failed")
+	}
+
+	var raw1, raw2 []byte
+	s1.Ring().Drain(1, func(b []byte) { raw1 = append([]byte(nil), b...) })
+	s2.Ring().Drain(1, func(b []byte) { raw2 = append([]byte(nil), b...) })
+	if string(raw1) != string(raw2) {
+		t.Fatalf("specialized and dynamic encodings differ:\n% x\n% x", raw1, raw2)
+	}
+	if len(raw1) != 40 {
+		t.Fatalf("six-int notice = %d bytes, want 40 (paper)", len(raw1))
+	}
+}
+
+func TestSpecializedNotices(t *testing.T) {
+	clk := vclock.NewManual(50)
+	s := newTestSensor(t, clk)
+
+	s.Notice2i(1, -5, 10)
+	r := drainOne(t, s)
+	if r.TS != 50 || r.Fields[1].Int() != -5 || r.Fields[2].Int() != 10 {
+		t.Fatalf("Notice2i = %+v", r)
+	}
+
+	s.Notice1f(2, 2.75)
+	r = drainOne(t, s)
+	if r.Fields[1].Float() != 2.75 {
+		t.Fatalf("Notice1f = %+v", r)
+	}
+
+	s.Notice1s(3, "hello")
+	r = drainOne(t, s)
+	if r.Fields[1].Str != "hello" {
+		t.Fatalf("Notice1s = %+v", r)
+	}
+
+	s.NoticeReason(4, 42, 7)
+	r = drainOne(t, s)
+	if r.Reason != 42 || r.Conseq != 0 || r.Fields[2].Int() != 7 {
+		t.Fatalf("NoticeReason = %+v", r)
+	}
+
+	s.NoticeConseq(5, 42, 8)
+	r = drainOne(t, s)
+	if r.Conseq != 42 || r.Reason != 0 || r.Fields[2].Int() != 8 {
+		t.Fatalf("NoticeConseq = %+v", r)
+	}
+}
+
+func TestNotice1sOversized(t *testing.T) {
+	s := newTestSensor(t, vclock.NewManual(0))
+	big := make([]byte, 70000)
+	if s.Notice1s(1, string(big)) {
+		t.Fatal("oversized string notice accepted")
+	}
+}
+
+func TestDropAccounting(t *testing.T) {
+	s := New(shm.NewRegion(), "t", Options{Clock: vclock.NewManual(0), RingBytes: 64})
+	wrote := 0
+	for i := 0; i < 20; i++ {
+		if s.Notice6i(1, 0, 0, 0, 0, 0, 0) {
+			wrote++
+		}
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("expected drops on a 64-byte ring")
+	}
+	if uint64(wrote)+s.Dropped() != 20 {
+		t.Fatalf("wrote %d + dropped %d != 20", wrote, s.Dropped())
+	}
+	if s.Notices() != 20 {
+		t.Fatalf("notices = %d", s.Notices())
+	}
+}
+
+func TestClockProgressReflectedInTS(t *testing.T) {
+	clk := vclock.NewManual(100)
+	s := newTestSensor(t, clk)
+	s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	clk.Advance(500)
+	s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	r1 := drainOne(t, s)
+	r2 := drainOne(t, s)
+	if r1.TS != 100 || r2.TS != 600 {
+		t.Fatalf("timestamps = %d, %d; want 100, 600", r1.TS, r2.TS)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	s := New(shm.NewRegion(), "sys", Options{})
+	if s.Ring().Cap() != DefaultRingBytes {
+		t.Fatalf("default ring = %d", s.Ring().Cap())
+	}
+	s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	r := drainOne(t, s)
+	if !r.HasTS || r.TS == 0 {
+		t.Fatal("system clock produced no timestamp")
+	}
+}
+
+// BenchmarkNotice6i measures E1 (notice cost) on the specialized path —
+// the paper reports 3.6–18.6 µs per average notice across platforms.
+func BenchmarkNotice6i(b *testing.B) {
+	s := New(shm.NewRegion(), "bench", Options{RingBytes: 1 << 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Notice6i(1, 1, 2, 3, 4, 5, 6) {
+			s.Ring().Drain(0, func([]byte) {})
+		}
+	}
+}
+
+// BenchmarkNoticeDynamic measures E1 on the dynamic path (the ablation
+// against specialization).
+func BenchmarkNoticeDynamic(b *testing.B) {
+	s := New(shm.NewRegion(), "bench", Options{RingBytes: 1 << 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok := s.Notice(1, record.I32Val(1), record.I32Val(2), record.I32Val(3),
+			record.I32Val(4), record.I32Val(5), record.I32Val(6))
+		if !ok {
+			s.Ring().Drain(0, func([]byte) {})
+		}
+	}
+}
+
+func BenchmarkNotice1s(b *testing.B) {
+	s := New(shm.NewRegion(), "bench", Options{RingBytes: 1 << 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Notice1s(1, "a short message") {
+			s.Ring().Drain(0, func([]byte) {})
+		}
+	}
+}
+
+func TestGeneratedNoticeTxn(t *testing.T) {
+	clk := vclock.NewManual(900)
+	s := newTestSensor(t, clk)
+	if !s.NoticeTxn(6, -1234567890123, 42, "commit") {
+		t.Fatal("NoticeTxn failed")
+	}
+	r := drainOne(t, s)
+	if r.TS != 900 || r.Fields[1].Int() != -1234567890123 ||
+		r.Fields[2].Int() != 42 || r.Fields[3].Str != "commit" {
+		t.Fatalf("generated notice record = %+v", r)
+	}
+}
+
+func TestGeneratedNoticeCausal2(t *testing.T) {
+	s := newTestSensor(t, vclock.NewManual(10))
+	if !s.NoticeCausal2(7, 5, 9, -1) {
+		t.Fatal("NoticeCausal2 failed")
+	}
+	r := drainOne(t, s)
+	if r.Reason != 5 || r.Conseq != 9 || r.Fields[3].Int() != -1 {
+		t.Fatalf("causal generated notice = %+v", r)
+	}
+}
+
+func TestGeneratedNoticeTxnOversized(t *testing.T) {
+	s := newTestSensor(t, vclock.NewManual(0))
+	if s.NoticeTxn(1, 0, 0, string(make([]byte, 70000))) {
+		t.Fatal("oversized generated notice accepted")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	s := New(shm.NewRegion(), "t", Options{Clock: vclock.NewManual(0), SampleEvery: 3})
+	for i := 0; i < 9; i++ {
+		if !s.Notice6i(1, int32(i), 0, 0, 0, 0, 0) {
+			t.Fatal("sampled notice reported failure")
+		}
+	}
+	if s.Notices() != 9 || s.Skipped() != 6 {
+		t.Fatalf("notices=%d skipped=%d", s.Notices(), s.Skipped())
+	}
+	recorded := 0
+	s.Ring().Drain(0, func([]byte) { recorded++ })
+	if recorded != 3 {
+		t.Fatalf("recorded %d, want every 3rd of 9", recorded)
+	}
+}
+
+func TestSamplingAppliesToAllPaths(t *testing.T) {
+	s := New(shm.NewRegion(), "t", Options{Clock: vclock.NewManual(0), SampleEvery: 2})
+	s.Notice(1, record.I32Val(1))
+	s.Notice2i(1, 1, 2)
+	s.Notice1f(1, 1.5)
+	s.Notice1s(1, "x")
+	s.NoticeReason(1, 1, 0)
+	s.NoticeConseq(1, 1, 0)
+	s.NoticeTxn(1, 1, 2, "y")
+	s.NoticeCausal2(1, 1, 2, 3)
+	recorded := 0
+	s.Ring().Drain(0, func([]byte) { recorded++ })
+	if recorded != 4 {
+		t.Fatalf("recorded %d of 8 at 1-in-2 sampling", recorded)
+	}
+}
+
+func TestNoSamplingByDefault(t *testing.T) {
+	s := New(shm.NewRegion(), "t", Options{Clock: vclock.NewManual(0)})
+	for i := 0; i < 5; i++ {
+		s.Notice6i(1, 0, 0, 0, 0, 0, 0)
+	}
+	if s.Skipped() != 0 {
+		t.Fatalf("skipped = %d without sampling", s.Skipped())
+	}
+}

@@ -1,0 +1,114 @@
+package shm
+
+import (
+	"sync"
+)
+
+// Buffer is the manager's default output: a bounded, single-writer record
+// buffer that multiple consumer tools read concurrently, each through its
+// own Cursor. The writer never blocks; when a slow reader is lapped, its
+// next read reports ErrOverrun together with how many records it lost,
+// reproducing the ISM's event-dropping behaviour for slow consumers.
+type Buffer struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots [][]byte // record payloads, recycled in place
+	seq   uint64   // total records ever written
+	cap   uint64
+	done  bool
+}
+
+// NewBuffer returns a buffer that retains the last capacity records.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Buffer{slots: make([][]byte, capacity), cap: uint64(capacity)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Publish appends one record, overwriting the oldest if full. The record
+// bytes are copied.
+func (b *Buffer) Publish(rec []byte) {
+	b.mu.Lock()
+	slot := b.seq % b.cap
+	b.slots[slot] = append(b.slots[slot][:0], rec...)
+	b.seq++
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Close marks the stream finished; blocked readers wake and see EOF after
+// draining.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	b.done = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Written returns the total number of records published.
+func (b *Buffer) Written() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Cursor is one consumer's read position in a Buffer.
+type Cursor struct {
+	b   *Buffer
+	pos uint64
+}
+
+// NewCursor returns a cursor positioned at the oldest retained record.
+func (b *Buffer) NewCursor() *Cursor {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pos := uint64(0)
+	if b.seq > b.cap {
+		pos = b.seq - b.cap
+	}
+	return &Cursor{b: b, pos: pos}
+}
+
+// Next returns the next record, blocking until one is available or the
+// buffer is closed. On EOF it returns (nil, 0, false). If the consumer was
+// lapped, lost reports how many records were skipped; the read still
+// succeeds with the oldest retained record.
+func (c *Cursor) Next() (rec []byte, lost uint64, ok bool) {
+	b := c.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c.pos == b.seq && !b.done {
+		b.cond.Wait()
+	}
+	if c.pos == b.seq {
+		return nil, 0, false
+	}
+	if b.seq-c.pos > b.cap {
+		lost = b.seq - b.cap - c.pos
+		c.pos = b.seq - b.cap
+	}
+	out := append([]byte(nil), b.slots[c.pos%b.cap]...)
+	c.pos++
+	return out, lost, true
+}
+
+// TryNext is the non-blocking variant of Next. ok is false when no record
+// is currently available (which does not imply EOF).
+func (c *Cursor) TryNext() (rec []byte, lost uint64, ok bool) {
+	b := c.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.pos == b.seq {
+		return nil, 0, false
+	}
+	if b.seq-c.pos > b.cap {
+		lost = b.seq - b.cap - c.pos
+		c.pos = b.seq - b.cap
+	}
+	out := append([]byte(nil), b.slots[c.pos%b.cap]...)
+	c.pos++
+	return out, lost, true
+}

@@ -1,0 +1,159 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufferBasicPublishRead(t *testing.T) {
+	b := NewBuffer(8)
+	c := b.NewCursor()
+	b.Publish([]byte("one"))
+	b.Publish([]byte("two"))
+
+	rec, lost, ok := c.Next()
+	if !ok || lost != 0 || string(rec) != "one" {
+		t.Fatalf("first = %q lost=%d ok=%v", rec, lost, ok)
+	}
+	rec, _, ok = c.Next()
+	if !ok || string(rec) != "two" {
+		t.Fatalf("second = %q", rec)
+	}
+	if _, _, ok := c.TryNext(); ok {
+		t.Fatal("TryNext on empty buffer returned ok")
+	}
+	if b.Written() != 2 {
+		t.Fatalf("Written = %d", b.Written())
+	}
+}
+
+func TestBufferOverrun(t *testing.T) {
+	b := NewBuffer(4)
+	c := b.NewCursor()
+	for i := 0; i < 10; i++ {
+		b.Publish([]byte{byte(i)})
+	}
+	rec, lost, ok := c.Next()
+	if !ok || lost != 6 || rec[0] != 6 {
+		t.Fatalf("after overrun: rec=%v lost=%d ok=%v; want rec=6 lost=6", rec, lost, ok)
+	}
+	// Subsequent reads are contiguous.
+	for want := byte(7); want < 10; want++ {
+		rec, lost, ok = c.Next()
+		if !ok || lost != 0 || rec[0] != want {
+			t.Fatalf("rec=%v lost=%d ok=%v want=%d", rec, lost, ok, want)
+		}
+	}
+}
+
+func TestBufferCursorStartsAtOldestRetained(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Publish([]byte{byte(i)})
+	}
+	c := b.NewCursor()
+	rec, lost, ok := c.Next()
+	if !ok || lost != 0 || rec[0] != 2 {
+		t.Fatalf("late cursor first read = %v lost=%d", rec, lost)
+	}
+}
+
+func TestBufferCloseWakesReaders(t *testing.T) {
+	b := NewBuffer(4)
+	c := b.NewCursor()
+	doneCh := make(chan bool)
+	go func() {
+		_, _, ok := c.Next()
+		doneCh <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-doneCh:
+		if ok {
+			t.Fatal("Next returned ok after Close with no data")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not woken by Close")
+	}
+}
+
+func TestBufferDrainAfterClose(t *testing.T) {
+	b := NewBuffer(4)
+	b.Publish([]byte("a"))
+	b.Close()
+	c := b.NewCursor()
+	if rec, _, ok := c.Next(); !ok || string(rec) != "a" {
+		t.Fatalf("drain after close: %q %v", rec, ok)
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("EOF not reported after drain")
+	}
+}
+
+func TestBufferMultipleReaders(t *testing.T) {
+	b := NewBuffer(1024)
+	const n = 500
+	const readers = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, readers)
+	for i := 0; i < readers; i++ {
+		c := b.NewCursor()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				rec, lost, ok := c.Next()
+				if lost != 0 {
+					t.Errorf("reader %d lost %d", i, lost)
+				}
+				if !ok {
+					return
+				}
+				results[i] = append(results[i], rec[0])
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		b.Publish([]byte{byte(i % 251)})
+	}
+	b.Close()
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if len(results[i]) != n {
+			t.Fatalf("reader %d saw %d records, want %d", i, len(results[i]), n)
+		}
+		for j := range results[i] {
+			if results[i][j] != byte(j%251) {
+				t.Fatalf("reader %d record %d = %d", i, j, results[i][j])
+			}
+		}
+	}
+}
+
+func TestBufferMinimumCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	b.Publish([]byte("only"))
+	c := b.NewCursor()
+	rec, _, ok := c.Next()
+	if !ok || string(rec) != "only" {
+		t.Fatalf("cap-0 buffer: %q %v", rec, ok)
+	}
+}
+
+func ExampleBuffer() {
+	b := NewBuffer(16)
+	c := b.NewCursor()
+	b.Publish([]byte("evt"))
+	b.Close()
+	for {
+		rec, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(string(rec))
+	}
+	// Output: evt
+}

@@ -1,0 +1,116 @@
+package shm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyRingMatchesModelQueue drives the ring with a random
+// interleaving of writes and drains and checks it behaves exactly like a
+// FIFO queue with drop-when-full semantics.
+func TestPropertyRingMatchesModelQueue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRing(1 << (6 + rng.Intn(5))) // 64..1024 bytes
+		var model [][]byte                   // what the ring should hold
+		var wrote, dropped uint64
+		used := 0
+
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) != 0 {
+				// Write a random record.
+				n := 1 + rng.Intn(40)
+				rec := make([]byte, n)
+				rng.Read(rec)
+				ok := r.Write(rec)
+				fits := used+4+n <= r.Cap()
+				if ok != fits {
+					t.Errorf("write accept mismatch: ok=%v fits=%v (used %d, n %d, cap %d)",
+						ok, fits, used, n, r.Cap())
+					return false
+				}
+				if ok {
+					model = append(model, rec)
+					used += 4 + n
+					wrote++
+				} else {
+					dropped++
+				}
+			} else {
+				// Drain a random number of records.
+				max := rng.Intn(5)
+				var got [][]byte
+				r.Drain(max, func(p []byte) {
+					got = append(got, append([]byte(nil), p...))
+				})
+				if max > 0 && len(got) > max {
+					t.Errorf("drained %d > max %d", len(got), max)
+					return false
+				}
+				for _, g := range got {
+					if len(model) == 0 {
+						t.Error("drained more than written")
+						return false
+					}
+					if !bytes.Equal(g, model[0]) {
+						t.Errorf("FIFO order broken")
+						return false
+					}
+					used -= 4 + len(model[0])
+					model = model[1:]
+				}
+			}
+		}
+		return r.Written() == wrote && r.Dropped() == dropped && r.Len() == used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBufferEveryReaderSeesSuffix: however records are published,
+// any cursor's reads are a contiguous suffix-aligned subsequence of the
+// published stream, and Lost accounting is exact.
+func TestPropertyBufferEveryReaderSeesSuffix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capr := 1 + rng.Intn(16)
+		b := NewBuffer(capr)
+		cur := b.NewCursor()
+		published := 0
+		readIdx := 0 // index of the next record this cursor should logically see
+		for op := 0; op < 300; op++ {
+			if rng.Intn(2) == 0 {
+				b.Publish([]byte{byte(published >> 8), byte(published)})
+				published++
+			} else {
+				rec, lost, ok := cur.TryNext()
+				if !ok {
+					if readIdx != published {
+						t.Error("TryNext empty while records pending")
+						return false
+					}
+					continue
+				}
+				readIdx += int(lost)
+				got := int(rec[0])<<8 | int(rec[1])
+				if got != readIdx {
+					t.Errorf("read %d, want %d (lost %d)", got, readIdx, lost)
+					return false
+				}
+				readIdx++
+				// Loss only happens when the writer lapped the reader.
+				if lost > 0 && published-int(lost)-readIdx+1 > capr {
+					t.Error("lost accounting inconsistent")
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package shm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	if got := NewRing(0).Cap(); got != MinRingBytes {
+		t.Errorf("NewRing(0).Cap() = %d, want %d", got, MinRingBytes)
+	}
+	if got := NewRing(100).Cap(); got != 128 {
+		t.Errorf("NewRing(100).Cap() = %d, want 128", got)
+	}
+	if got := NewRing(128).Cap(); got != 128 {
+		t.Errorf("NewRing(128).Cap() = %d, want 128", got)
+	}
+}
+
+func TestRingWriteDrain(t *testing.T) {
+	r := NewRing(256)
+	recs := [][]byte{[]byte("alpha"), []byte("b"), []byte("charlie3")}
+	for _, rec := range recs {
+		if !r.Write(rec) {
+			t.Fatalf("Write(%q) failed", rec)
+		}
+	}
+	if r.Written() != 3 || r.Dropped() != 0 {
+		t.Fatalf("written/dropped = %d/%d", r.Written(), r.Dropped())
+	}
+	var got [][]byte
+	n := r.Drain(0, func(rec []byte) {
+		got = append(got, append([]byte(nil), rec...))
+	})
+	if n != 3 {
+		t.Fatalf("Drain consumed %d, want 3", n)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after drain: %d", r.Len())
+	}
+}
+
+func TestRingDrainMaxRecords(t *testing.T) {
+	r := NewRing(256)
+	for i := 0; i < 5; i++ {
+		r.Write([]byte{byte(i)})
+	}
+	count := 0
+	if n := r.Drain(2, func([]byte) { count++ }); n != 2 || count != 2 {
+		t.Fatalf("Drain(2) = %d, emitted %d", n, count)
+	}
+	if n := r.Drain(0, func([]byte) { count++ }); n != 3 || count != 5 {
+		t.Fatalf("second drain = %d, total %d", n, count)
+	}
+}
+
+func TestRingFullDrops(t *testing.T) {
+	r := NewRing(64) // exactly MinRingBytes
+	rec := make([]byte, 20)
+	wrote := 0
+	for i := 0; i < 10; i++ {
+		if r.Write(rec) {
+			wrote++
+		}
+	}
+	if wrote == 10 || r.Dropped() == 0 {
+		t.Fatalf("expected drops: wrote=%d dropped=%d", wrote, r.Dropped())
+	}
+	if r.Written() != uint64(wrote) {
+		t.Fatalf("written counter %d != %d", r.Written(), wrote)
+	}
+	// After draining, writes succeed again.
+	r.Drain(0, func([]byte) {})
+	if !r.Write(rec) {
+		t.Fatal("write after drain failed")
+	}
+}
+
+func TestRingEntryTooLarge(t *testing.T) {
+	r := NewRing(64)
+	if r.Write(make([]byte, MaxEntryBytes+1)) {
+		t.Fatal("oversized write succeeded")
+	}
+	if r.Write(make([]byte, 80)) {
+		t.Fatal("write larger than ring succeeded")
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(64)
+	// Repeatedly fill and drain so head/tail wrap the buffer many times
+	// and records straddle the boundary.
+	rng := rand.New(rand.NewSource(7))
+	var expect [][]byte
+	var got [][]byte
+	for i := 0; i < 500; i++ {
+		rec := make([]byte, 1+rng.Intn(24))
+		binary.BigEndian.PutUint32(append(rec[:0], 0, 0, 0, 0), uint32(i))
+		for j := 4; j < len(rec); j++ {
+			rec[j] = byte(rng.Intn(256))
+		}
+		if r.Write(rec) {
+			expect = append(expect, append([]byte(nil), rec...))
+		}
+		if rng.Intn(3) == 0 {
+			r.Drain(0, func(p []byte) { got = append(got, append([]byte(nil), p...)) })
+		}
+	}
+	r.Drain(0, func(p []byte) { got = append(got, append([]byte(nil), p...)) })
+	if len(got) != len(expect) {
+		t.Fatalf("got %d records, want %d", len(got), len(expect))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], expect[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRingDrainAppend(t *testing.T) {
+	r := NewRing(256)
+	r.Write([]byte("aaaa"))
+	r.Write([]byte("bbbbbb"))
+	r.Write([]byte("cc"))
+	dst, n := r.DrainAppend(nil, 0)
+	if n != 3 || string(dst) != "aaaabbbbbbcc" {
+		t.Fatalf("DrainAppend = %q (%d records)", dst, n)
+	}
+}
+
+func TestRingDrainAppendMaxBytes(t *testing.T) {
+	r := NewRing(256)
+	r.Write([]byte("0123456789")) // 10 bytes
+	r.Write([]byte("0123456789"))
+	r.Write([]byte("0123456789"))
+	dst, n := r.DrainAppend(nil, 15)
+	if n != 1 || len(dst) != 10 {
+		t.Fatalf("first DrainAppend = %d records, %d bytes; want 1, 10", n, len(dst))
+	}
+	// A single record larger than maxBytes is still taken (progress).
+	dst2, n2 := r.DrainAppend(nil, 5)
+	if n2 != 1 || len(dst2) != 10 {
+		t.Fatalf("oversized-first DrainAppend = %d records, %d bytes", n2, len(dst2))
+	}
+}
+
+// TestRingSPSCConcurrent hammers the ring from one producer and one
+// consumer goroutine and verifies no tearing, loss (beyond counted drops),
+// or reordering.
+func TestRingSPSCConcurrent(t *testing.T) {
+	r := NewRing(1 << 10)
+	const total = 200_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+
+	written := make([]uint32, 0, total)
+	go func() {
+		defer wg.Done()
+		var rec [12]byte
+		for i := uint32(0); i < total; i++ {
+			binary.BigEndian.PutUint32(rec[:], i)
+			binary.BigEndian.PutUint32(rec[4:], i*2654435761)
+			binary.BigEndian.PutUint32(rec[8:], ^i)
+			if r.Write(rec[:]) {
+				written = append(written, i)
+			}
+		}
+	}()
+
+	var got []uint32
+	dch := done(&wg)
+	for {
+		n := r.Drain(0, func(rec []byte) {
+			if len(rec) != 12 {
+				t.Errorf("torn record of %d bytes", len(rec))
+				return
+			}
+			i := binary.BigEndian.Uint32(rec)
+			if binary.BigEndian.Uint32(rec[4:]) != i*2654435761 ||
+				binary.BigEndian.Uint32(rec[8:]) != ^i {
+				t.Errorf("corrupt record for seq %d", i)
+			}
+			got = append(got, i)
+		})
+		if n == 0 {
+			// Producer may have finished; check then spin once more.
+			select {
+			case <-dch:
+				r.Drain(0, func(rec []byte) { got = append(got, binary.BigEndian.Uint32(rec)) })
+				goto check
+			default:
+			}
+		}
+	}
+check:
+	if uint64(len(written)) != r.Written() {
+		t.Fatalf("writer saw %d successes, ring counted %d", len(written), r.Written())
+	}
+	if len(got) != len(written) {
+		t.Fatalf("consumer got %d records, producer wrote %d (dropped %d)",
+			len(got), len(written), r.Dropped())
+	}
+	for i := range got {
+		if got[i] != written[i] {
+			t.Fatalf("order violated at %d: got %d want %d", i, got[i], written[i])
+		}
+	}
+}
+
+// done adapts a WaitGroup to a select-able channel.
+func done(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+func TestRegion(t *testing.T) {
+	g := NewRegion()
+	r1 := g.Attach("app1", 128)
+	r2 := g.Attach("app2", 128)
+	r1.Write([]byte("x"))
+	r1.Write([]byte("y"))
+	r2.Write([]byte("z"))
+	rings := g.Rings()
+	if len(rings) != 2 {
+		t.Fatalf("Rings() returned %d", len(rings))
+	}
+	w, d := g.Stats()
+	if w != 3 || d != 0 {
+		t.Fatalf("Stats = %d, %d", w, d)
+	}
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkRingWrite(b *testing.B) {
+	r := NewRing(1 << 16)
+	rec := make([]byte, 40) // the paper's record size
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Write(rec) {
+			r.Drain(0, func([]byte) {})
+		}
+	}
+}
+
+func BenchmarkRingWriteDrainPaired(b *testing.B) {
+	r := NewRing(1 << 16)
+	rec := make([]byte, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Write(rec)
+		if i%512 == 511 {
+			r.Drain(0, func([]byte) {})
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"testing"
+
+	"brisk/internal/des"
+)
+
+func TestOneWayFloor(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 100, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if l := n.OneWay(); l < 100 {
+			t.Fatalf("latency %d below base", l)
+		}
+	}
+}
+
+func TestOneWayJitterMean(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 100, JitterMean: 50, Seed: 2})
+	var sum int64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		sum += n.OneWay()
+	}
+	mean := float64(sum) / draws
+	if mean < 145 || mean > 155 {
+		t.Fatalf("mean latency = %v, want ≈150", mean)
+	}
+}
+
+func TestMinimumLatencyIsOne(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 0, Seed: 3})
+	if l := n.OneWay(); l < 1 {
+		t.Fatalf("latency %d < 1", l)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []int64 {
+		sim := des.New()
+		n := New(sim, LAN(42))
+		out := make([]int64, 100)
+		for i := range out {
+			sim.RunUntil(sim.Now() + 1000)
+			out[i] = n.OneWay()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDisturbanceWindows(t *testing.T) {
+	sim := des.New()
+	p := Params{
+		BaseLatency:      100,
+		DisturbMeanGap:   10_000,
+		DisturbMeanDur:   10_000,
+		DisturbExtraMean: 10_000,
+		Seed:             5,
+	}
+	n := New(sim, p)
+	disturbed, total := 0, 0
+	var sumD, sumQ int64
+	var nD, nQ int
+	for i := 0; i < 20000; i++ {
+		sim.RunUntil(sim.Now() + 100)
+		d := n.Disturbed(sim.Now())
+		l := n.OneWay()
+		total++
+		if d {
+			disturbed++
+			sumD += l
+			nD++
+		} else {
+			sumQ += l
+			nQ++
+		}
+	}
+	if disturbed == 0 || disturbed == total {
+		t.Fatalf("disturbance windows degenerate: %d/%d", disturbed, total)
+	}
+	if nD > 0 && nQ > 0 {
+		meanD := float64(sumD) / float64(nD)
+		meanQ := float64(sumQ) / float64(nQ)
+		if meanD < meanQ+1000 {
+			t.Fatalf("disturbed mean %v not clearly above quiet mean %v", meanD, meanQ)
+		}
+	}
+}
+
+func TestQuietLANNeverDisturbed(t *testing.T) {
+	sim := des.New()
+	n := New(sim, QuietLAN(7))
+	for i := 0; i < 1000; i++ {
+		sim.RunUntil(sim.Now() + 100000)
+		if n.Disturbed(sim.Now()) {
+			t.Fatal("QuietLAN reported a disturbance")
+		}
+	}
+}
+
+func TestRoundTripAdvancesClock(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 200, Seed: 9})
+	served := false
+	var serveAt int64
+	start := sim.Now()
+	rtt := n.RoundTrip(func() {
+		served = true
+		serveAt = sim.Now()
+	})
+	if !served {
+		t.Fatal("serve not invoked")
+	}
+	if rtt < 400 {
+		t.Fatalf("rtt = %d below 2*base", rtt)
+	}
+	if sim.Now() != start+rtt {
+		t.Fatalf("clock advanced %d, rtt %d", sim.Now()-start, rtt)
+	}
+	if serveAt <= start || serveAt >= sim.Now() {
+		t.Fatalf("serve time %d outside (start, end)", serveAt)
+	}
+}
+
+func TestSendDeliversAsynchronously(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 300, Seed: 11})
+	delivered := int64(0)
+	n.Send(func() { delivered = sim.Now() })
+	if delivered != 0 {
+		t.Fatal("delivered synchronously")
+	}
+	sim.Run()
+	if delivered < 300 {
+		t.Fatalf("delivered at %d, want ≥300", delivered)
+	}
+}
+
+func TestLANPresets(t *testing.T) {
+	l := LAN(1)
+	if l.BaseLatency <= 0 || l.DisturbMeanGap <= 0 {
+		t.Fatal("LAN preset incomplete")
+	}
+	q := QuietLAN(1)
+	if q.DisturbMeanGap != 0 {
+		t.Fatal("QuietLAN still has disturbances")
+	}
+}

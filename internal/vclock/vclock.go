@@ -1,0 +1,138 @@
+// Package vclock provides the clock substrate for BRISK.
+//
+// The paper's sensors obtain raw local time from gettimeofday and the
+// external sensor maintains a correction value that is added to embedded
+// timestamps before records are shipped to the manager. Reproducing the
+// clock-synchronization evaluation requires nodes whose clocks disagree
+// and drift, which real test processes on one host do not exhibit; this
+// package therefore models clocks explicitly:
+//
+//   - System is the real wall clock (gettimeofday equivalent).
+//   - Manual is a hand-stepped clock for deterministic tests and the
+//     discrete-event simulator.
+//   - Drift derives a skewed, drifting node clock from a reference clock,
+//     simulating an unsynchronized workstation.
+//   - Corrected layers the external sensor's correction value over any raw
+//     clock; the clock-synchronization slave adjusts it.
+//
+// All clocks report microseconds of UTC as int64, the paper's eight-byte
+// timestamp unit.
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time in microseconds of UTC.
+type Clock interface {
+	NowMicros() int64
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() int64
+
+// NowMicros implements Clock.
+func (f ClockFunc) NowMicros() int64 { return f() }
+
+// System is the real wall clock.
+type System struct{}
+
+// NowMicros returns the current wall-clock time in microseconds of UTC.
+func (System) NowMicros() int64 { return time.Now().UnixMicro() }
+
+// Manual is a thread-safe, hand-stepped clock. The zero value reads zero
+// until stepped. It never moves on its own.
+type Manual struct {
+	now atomic.Int64
+}
+
+// NewManual returns a Manual clock initialized to start microseconds.
+func NewManual(start int64) *Manual {
+	m := &Manual{}
+	m.now.Store(start)
+	return m
+}
+
+// NowMicros returns the clock's current reading.
+func (m *Manual) NowMicros() int64 { return m.now.Load() }
+
+// Set moves the clock to t microseconds.
+func (m *Manual) Set(t int64) { m.now.Store(t) }
+
+// Advance moves the clock forward by d microseconds and returns the new
+// reading.
+func (m *Manual) Advance(d int64) int64 { return m.now.Add(d) }
+
+// Drift models an unsynchronized node clock: a reference ("true") clock
+// observed through an initial offset and a constant frequency error in
+// parts per million. A positive drift of 50 ppm gains 50 µs per true
+// second. Step adjustments (from the synchronization algorithm) accumulate
+// into the offset.
+type Drift struct {
+	mu       sync.Mutex
+	ref      Clock
+	epoch    int64 // reference reading at construction
+	offset   int64 // microseconds ahead of the reference at the epoch
+	driftPPM float64
+}
+
+// NewDrift returns a clock derived from ref with the given initial offset
+// (µs) and frequency error (ppm).
+func NewDrift(ref Clock, offsetMicros int64, driftPPM float64) *Drift {
+	return &Drift{ref: ref, epoch: ref.NowMicros(), offset: offsetMicros, driftPPM: driftPPM}
+}
+
+// NowMicros returns the skewed reading.
+func (d *Drift) NowMicros() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	elapsed := d.ref.NowMicros() - d.epoch
+	return d.epoch + d.offset + elapsed + int64(float64(elapsed)*d.driftPPM*1e-6)
+}
+
+// Step adds delta microseconds to the clock, as a synchronization
+// adjustment would.
+func (d *Drift) Step(delta int64) {
+	d.mu.Lock()
+	d.offset += delta
+	d.mu.Unlock()
+}
+
+// SkewAgainstRef returns the clock's current offset from its reference.
+func (d *Drift) SkewAgainstRef() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	elapsed := d.ref.NowMicros() - d.epoch
+	return d.offset + int64(float64(elapsed)*d.driftPPM*1e-6)
+}
+
+// Corrected layers the external sensor's correction value over a raw
+// clock. Sensors write raw timestamps; the EXS adds Correction() before
+// shipping records, and the synchronization slave calls Adjust when told
+// to advance. Reads and adjustments are lock-free.
+type Corrected struct {
+	raw        Clock
+	correction atomic.Int64
+}
+
+// NewCorrected wraps raw with a zero correction.
+func NewCorrected(raw Clock) *Corrected {
+	return &Corrected{raw: raw}
+}
+
+// NowMicros returns the corrected time: raw reading plus correction.
+func (c *Corrected) NowMicros() int64 {
+	return c.raw.NowMicros() + c.correction.Load()
+}
+
+// Raw returns the underlying clock's uncorrected reading.
+func (c *Corrected) Raw() int64 { return c.raw.NowMicros() }
+
+// Correction returns the current correction value in microseconds.
+func (c *Corrected) Correction() int64 { return c.correction.Load() }
+
+// Adjust adds delta microseconds to the correction value and returns the
+// new correction.
+func (c *Corrected) Adjust(delta int64) int64 { return c.correction.Add(delta) }

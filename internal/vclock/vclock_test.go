@@ -1,0 +1,146 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemClockAdvances(t *testing.T) {
+	var s System
+	a := s.NowMicros()
+	time.Sleep(2 * time.Millisecond)
+	b := s.NowMicros()
+	if b <= a {
+		t.Fatalf("system clock did not advance: %d then %d", a, b)
+	}
+	// Sanity: within a decade of the current date.
+	if a < time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC).UnixMicro() {
+		t.Fatalf("system clock reads before year 2000: %d", a)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := NewManual(100)
+	if m.NowMicros() != 100 {
+		t.Fatalf("start = %d", m.NowMicros())
+	}
+	if got := m.Advance(50); got != 150 {
+		t.Fatalf("Advance returned %d", got)
+	}
+	m.Set(7)
+	if m.NowMicros() != 7 {
+		t.Fatalf("Set failed: %d", m.NowMicros())
+	}
+}
+
+func TestManualClockConcurrent(t *testing.T) {
+	m := NewManual(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.NowMicros() != 8000 {
+		t.Fatalf("concurrent advances lost: %d", m.NowMicros())
+	}
+}
+
+func TestDriftOffsetOnly(t *testing.T) {
+	ref := NewManual(1_000_000)
+	d := NewDrift(ref, 500, 0)
+	if got := d.NowMicros(); got != 1_000_500 {
+		t.Fatalf("offset clock = %d, want 1000500", got)
+	}
+	ref.Advance(1000)
+	if got := d.NowMicros(); got != 1_001_500 {
+		t.Fatalf("after ref advance = %d, want 1001500", got)
+	}
+}
+
+func TestDriftRate(t *testing.T) {
+	ref := NewManual(0)
+	d := NewDrift(ref, 0, 100) // +100 ppm
+	ref.Advance(1_000_000)     // one true second
+	if got := d.NowMicros(); got != 1_000_100 {
+		t.Fatalf("100ppm over 1s = %d, want 1000100", got)
+	}
+	if got := d.SkewAgainstRef(); got != 100 {
+		t.Fatalf("SkewAgainstRef = %d, want 100", got)
+	}
+}
+
+func TestDriftNegativeRate(t *testing.T) {
+	ref := NewManual(0)
+	d := NewDrift(ref, 0, -50)
+	ref.Advance(2_000_000)
+	if got := d.NowMicros(); got != 1_999_900 {
+		t.Fatalf("-50ppm over 2s = %d, want 1999900", got)
+	}
+}
+
+func TestDriftStep(t *testing.T) {
+	ref := NewManual(0)
+	d := NewDrift(ref, -300, 0)
+	d.Step(300)
+	if got := d.NowMicros(); got != 0 {
+		t.Fatalf("after corrective step = %d, want 0", got)
+	}
+	if got := d.SkewAgainstRef(); got != 0 {
+		t.Fatalf("skew after step = %d, want 0", got)
+	}
+}
+
+func TestCorrected(t *testing.T) {
+	raw := NewManual(1000)
+	c := NewCorrected(raw)
+	if c.NowMicros() != 1000 || c.Raw() != 1000 || c.Correction() != 0 {
+		t.Fatal("fresh corrected clock misreads")
+	}
+	if got := c.Adjust(250); got != 250 {
+		t.Fatalf("Adjust returned %d", got)
+	}
+	if c.NowMicros() != 1250 {
+		t.Fatalf("corrected = %d, want 1250", c.NowMicros())
+	}
+	if c.Raw() != 1000 {
+		t.Fatalf("raw changed: %d", c.Raw())
+	}
+	c.Adjust(-50)
+	if c.Correction() != 200 {
+		t.Fatalf("correction = %d, want 200", c.Correction())
+	}
+}
+
+func TestClockFunc(t *testing.T) {
+	c := ClockFunc(func() int64 { return 42 })
+	if c.NowMicros() != 42 {
+		t.Fatal("ClockFunc adapter broken")
+	}
+}
+
+func TestCorrectedConcurrentAdjust(t *testing.T) {
+	raw := NewManual(0)
+	c := NewCorrected(raw)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Adjust(1)
+				_ = c.NowMicros()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Correction() != 4000 {
+		t.Fatalf("concurrent adjusts lost: %d", c.Correction())
+	}
+}

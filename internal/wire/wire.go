@@ -1,0 +1,352 @@
+// Package wire implements BRISK's transfer protocol (TP): the framed,
+// XDR-encoded message stream spoken between an external sensor and the
+// instrumentation-system manager over a TCP stream socket.
+//
+// Unlike JEWEL's rpcgen/static-typing use of XDR, BRISK ships each
+// dynamically-typed record with a compressed meta-information header (see
+// package record); the wire layer adds stream framing and the small
+// control vocabulary needed for connection setup, clock synchronization
+// and shutdown:
+//
+//	frame   := length(u32) type(u8) payload
+//	payload := XDR encoding of the typed message body
+//
+// The in-order delivery the manager's per-queue merge relies on is
+// inherited from the underlying stream transport.
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"brisk/internal/xdr"
+)
+
+// ProtocolVersion is negotiated in the HELLO exchange.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds one frame; larger declared frames abort the
+// connection rather than allocate unboundedly.
+const MaxFrameBytes = 1 << 22
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgHello opens a connection: EXS → ISM.
+	MsgHello MsgType = iota + 1
+	// MsgHelloAck completes setup and assigns the node id: ISM → EXS.
+	MsgHelloAck
+	// MsgData carries a batch of concatenated records: EXS → ISM.
+	MsgData
+	// MsgProbe is a clock-synchronization poll: ISM → EXS.
+	MsgProbe
+	// MsgProbeReply answers a probe with the slave clock reading.
+	MsgProbeReply
+	// MsgAdjust tells the slave to advance its clock correction.
+	MsgAdjust
+	// MsgBye announces orderly shutdown (either direction).
+	MsgBye
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "HELLO", MsgHelloAck: "HELLO_ACK", MsgData: "DATA",
+	MsgProbe: "PROBE", MsgProbeReply: "PROBE_REPLY", MsgAdjust: "ADJUST",
+	MsgBye: "BYE",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Errors reported by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameBytes")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+	ErrBadMessage    = errors.New("wire: malformed message body")
+)
+
+// Message is one protocol message.
+type Message interface {
+	// Type returns the frame type code.
+	Type() MsgType
+	encode(e *xdr.Encoder)
+	decode(d *xdr.Decoder) error
+}
+
+// Hello opens a connection. The external sensor identifies its node by
+// name; the manager assigns the numeric id in HelloAck.
+type Hello struct {
+	Version uint32
+	Name    string
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return MsgHello }
+
+func (m *Hello) encode(e *xdr.Encoder) {
+	e.Uint32(m.Version)
+	e.String(m.Name)
+}
+
+func (m *Hello) decode(d *xdr.Decoder) error {
+	var err error
+	if m.Version, err = d.Uint32(); err != nil {
+		return err
+	}
+	m.Name, err = d.String()
+	return err
+}
+
+// HelloAck assigns the node id used in batch attribution and trace output.
+type HelloAck struct {
+	Node int32
+}
+
+// Type implements Message.
+func (*HelloAck) Type() MsgType { return MsgHelloAck }
+
+func (m *HelloAck) encode(e *xdr.Encoder) { e.Int32(m.Node) }
+
+func (m *HelloAck) decode(d *xdr.Decoder) error {
+	var err error
+	m.Node, err = d.Int32()
+	return err
+}
+
+// DataBatch carries Count concatenated records (each self-framed by its
+// record meta header) produced by one external sensor.
+type DataBatch struct {
+	Count   uint32
+	Payload []byte
+}
+
+// Type implements Message.
+func (*DataBatch) Type() MsgType { return MsgData }
+
+func (m *DataBatch) encode(e *xdr.Encoder) {
+	e.Uint32(m.Count)
+	e.Opaque(m.Payload)
+}
+
+func (m *DataBatch) decode(d *xdr.Decoder) error {
+	var err error
+	if m.Count, err = d.Uint32(); err != nil {
+		return err
+	}
+	p, err := d.Opaque()
+	if err != nil {
+		return err
+	}
+	// Copy: the frame buffer is reused by the next Recv.
+	m.Payload = append(m.Payload[:0], p...)
+	return nil
+}
+
+// Probe is one clock-synchronization poll. MasterSend is the master clock
+// at transmission, echoed back so the master can pair replies without
+// per-slave state.
+type Probe struct {
+	Seq        uint32
+	MasterSend int64
+}
+
+// Type implements Message.
+func (*Probe) Type() MsgType { return MsgProbe }
+
+func (m *Probe) encode(e *xdr.Encoder) {
+	e.Uint32(m.Seq)
+	e.Int64(m.MasterSend)
+}
+
+func (m *Probe) decode(d *xdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.Uint32(); err != nil {
+		return err
+	}
+	m.MasterSend, err = d.Int64()
+	return err
+}
+
+// ProbeReply reports the slave's corrected clock reading at the moment the
+// probe was serviced.
+type ProbeReply struct {
+	Seq        uint32
+	MasterSend int64
+	SlaveTime  int64
+}
+
+// Type implements Message.
+func (*ProbeReply) Type() MsgType { return MsgProbeReply }
+
+func (m *ProbeReply) encode(e *xdr.Encoder) {
+	e.Uint32(m.Seq)
+	e.Int64(m.MasterSend)
+	e.Int64(m.SlaveTime)
+}
+
+func (m *ProbeReply) decode(d *xdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.MasterSend, err = d.Int64(); err != nil {
+		return err
+	}
+	m.SlaveTime, err = d.Int64()
+	return err
+}
+
+// Adjust advances the slave's clock correction by DeltaMicros. The BRISK
+// algorithm only ever advances clocks, so DeltaMicros is non-negative in
+// normal operation.
+type Adjust struct {
+	DeltaMicros int64
+}
+
+// Type implements Message.
+func (*Adjust) Type() MsgType { return MsgAdjust }
+
+func (m *Adjust) encode(e *xdr.Encoder) { e.Int64(m.DeltaMicros) }
+
+func (m *Adjust) decode(d *xdr.Decoder) error {
+	var err error
+	m.DeltaMicros, err = d.Int64()
+	return err
+}
+
+// Bye announces orderly shutdown.
+type Bye struct{}
+
+// Type implements Message.
+func (*Bye) Type() MsgType { return MsgBye }
+
+func (*Bye) encode(*xdr.Encoder)       {}
+func (*Bye) decode(*xdr.Decoder) error { return nil }
+
+// newMessage allocates an empty body for a frame type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgHello:
+		return &Hello{}, nil
+	case MsgHelloAck:
+		return &HelloAck{}, nil
+	case MsgData:
+		return &DataBatch{}, nil
+	case MsgProbe:
+		return &Probe{}, nil
+	case MsgProbeReply:
+		return &ProbeReply{}, nil
+	case MsgAdjust:
+		return &Adjust{}, nil
+	case MsgBye:
+		return &Bye{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+// Conn frames messages over any reliable byte stream. Sends are serialized
+// by an internal mutex (the external sensor writes data batches and probe
+// replies from different goroutines); Recv must be called from a single
+// goroutine.
+type Conn struct {
+	sendMu sync.Mutex
+	w      *bufio.Writer
+	enc    xdr.Encoder
+	hdr    [5]byte
+
+	r       *bufio.Reader
+	readBuf []byte
+	dec     xdr.Decoder
+
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+}
+
+// BytesOut returns the total frame bytes written, for throughput
+// accounting. Safe for concurrent use.
+func (c *Conn) BytesOut() uint64 { return c.bytesOut.Load() }
+
+// BytesIn returns the total frame bytes read. Safe for concurrent use.
+func (c *Conn) BytesIn() uint64 { return c.bytesIn.Load() }
+
+// NewConn wraps a byte stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		w: bufio.NewWriterSize(rw, 64<<10),
+		r: bufio.NewReaderSize(rw, 64<<10),
+	}
+}
+
+// Send frames, writes and flushes one message.
+func (c *Conn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.enc.Reset()
+	m.encode(&c.enc)
+	body := c.enc.Bytes()
+	n := len(body) + 1
+	if n > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	c.hdr[0] = byte(n >> 24)
+	c.hdr[1] = byte(n >> 16)
+	c.hdr[2] = byte(n >> 8)
+	c.hdr[3] = byte(n)
+	c.hdr[4] = byte(m.Type())
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return err
+	}
+	c.bytesOut.Add(uint64(n + 4))
+	return c.w.Flush()
+}
+
+// Recv reads the next message. The returned message does not alias the
+// connection's internal buffers beyond the next Recv for fixed-size
+// bodies; DataBatch payloads are copied.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 1 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: declared %d", ErrFrameTooLarge, n)
+	}
+	t := MsgType(hdr[4])
+	body := n - 1
+	if cap(c.readBuf) < body {
+		c.readBuf = make([]byte, body)
+	}
+	buf := c.readBuf[:body]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	c.bytesIn.Add(uint64(n + 4))
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	c.dec.Reset(buf)
+	c.dec.MaxOpaque = MaxFrameBytes
+	if err := m.decode(&c.dec); err != nil {
+		return nil, fmt.Errorf("%w: %v body: %v", ErrBadMessage, t, err)
+	}
+	if c.dec.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %v has %d trailing bytes", ErrBadMessage, t, c.dec.Remaining())
+	}
+	return m, nil
+}

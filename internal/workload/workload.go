@@ -1,0 +1,256 @@
+// Package workload generates the instrumented-application workloads used
+// by BRISK's evaluation:
+//
+//   - Looper is the paper's "simple looping application using notices
+//     having six fields of type integer", at a fixed or unbounded event
+//     rate (experiments E1–E3, E5).
+//   - Bursty issues exponential bursts, stressing ring and batch sizing.
+//   - DelayedStream synthesizes the "streams of artificially delayed
+//     event records" used to evaluate the on-line sorting algorithm (E7).
+//   - CausalPair drives reason/consequence traffic across two sensors for
+//     the causally-related-event machinery.
+package workload
+
+import (
+	"time"
+
+	"brisk/internal/des"
+	"brisk/internal/record"
+	"brisk/internal/sensor"
+)
+
+// Looper is the paper's looping application.
+type Looper struct {
+	// Sensor issues the notices.
+	Sensor *sensor.Sensor
+	// Event is the event class stamped on each notice.
+	Event uint8
+	// Rate is the target event rate per second; 0 means as fast as
+	// possible.
+	Rate int
+}
+
+// Run issues n notices, pacing to Rate when set. It returns the number of
+// notices accepted into the ring.
+func (l *Looper) Run(n int) int {
+	accepted := 0
+	if l.Rate <= 0 {
+		for i := 0; i < n; i++ {
+			if l.Sensor.Notice6i(l.Event, int32(i), 1, 2, 3, 4, 5) {
+				accepted++
+			}
+		}
+		return accepted
+	}
+	// Pace in ~1 ms chunks: per-event sleeps at tens of µs are dominated
+	// by scheduler noise and distort CPU accounting.
+	chunk := l.Rate / 1000
+	if chunk < 1 {
+		chunk = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if i%chunk == 0 {
+			target := start.Add(time.Duration(i) * time.Second / time.Duration(l.Rate))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if l.Sensor.Notice6i(l.Event, int32(i), 1, 2, 3, 4, 5) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// RunFor issues notices at Rate until d elapses, returning issued and
+// accepted counts.
+func (l *Looper) RunFor(d time.Duration) (issued, accepted int) {
+	chunk := 1
+	if l.Rate > 0 {
+		chunk = l.Rate / 1000
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	start := time.Now()
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		if l.Rate > 0 && issued%chunk == 0 {
+			target := start.Add(time.Duration(issued) * time.Second / time.Duration(l.Rate))
+			if wait := time.Until(target); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		issued++
+		if l.Sensor.Notice6i(l.Event, int32(issued), 1, 2, 3, 4, 5) {
+			accepted++
+		}
+	}
+	return issued, accepted
+}
+
+// Bursty issues bursts of back-to-back notices separated by idle gaps.
+type Bursty struct {
+	Sensor *sensor.Sensor
+	Event  uint8
+	// BurstLen is the number of notices per burst.
+	BurstLen int
+	// Gap is the idle time between bursts.
+	Gap time.Duration
+}
+
+// Run issues the given number of bursts, returning accepted notices.
+func (b *Bursty) Run(bursts int) int {
+	accepted := 0
+	for k := 0; k < bursts; k++ {
+		for i := 0; i < b.BurstLen; i++ {
+			if b.Sensor.Notice6i(b.Event, int32(k), int32(i), 0, 0, 0, 0) {
+				accepted++
+			}
+		}
+		time.Sleep(b.Gap)
+	}
+	return accepted
+}
+
+// DelayedEvent is one synthetic record for the on-line sorting evaluation:
+// created (timestamped) at TS, it reaches the manager at Arrival.
+type DelayedEvent struct {
+	Source  int32
+	TS      int64
+	Arrival int64
+}
+
+// DelayParams shapes one source's artificial delivery delay.
+type DelayParams struct {
+	// Base is the deterministic delay floor (µs).
+	Base int64
+	// JitterMean is the mean of the exponential jitter (µs); 0 disables.
+	JitterMean float64
+	// SpikeProb is the probability a record suffers an extra spike.
+	SpikeProb float64
+	// SpikeMean is the mean extra delay of a spike (µs).
+	SpikeMean float64
+}
+
+// StreamSpec describes one source feeding the sorter.
+type StreamSpec struct {
+	Source int32
+	// MeanGap is the mean inter-event creation gap (µs).
+	MeanGap float64
+	// Delay shapes the delivery delay.
+	Delay DelayParams
+}
+
+// GenDelayedStreams synthesizes eventsPerSource records per source with
+// per-source in-order delivery (the stream-socket guarantee), merged into
+// one list sorted by arrival time. Deterministic for a given seed.
+func GenDelayedStreams(specs []StreamSpec, eventsPerSource int, seed uint64) []DelayedEvent {
+	var all []DelayedEvent
+	for si, spec := range specs {
+		rng := des.NewRNG(seed + uint64(si)*0x9E37 + 1)
+		ts := int64(0)
+		prevArrival := int64(0)
+		for i := 0; i < eventsPerSource; i++ {
+			gap := int64(rng.Exp(spec.MeanGap))
+			if gap < 1 {
+				gap = 1
+			}
+			ts += gap
+			delay := spec.Delay.Base
+			if spec.Delay.JitterMean > 0 {
+				delay += int64(rng.Exp(spec.Delay.JitterMean))
+			}
+			if spec.Delay.SpikeProb > 0 && rng.Float64() < spec.Delay.SpikeProb {
+				delay += int64(rng.Exp(spec.Delay.SpikeMean))
+			}
+			arrival := ts + delay
+			if arrival < prevArrival {
+				arrival = prevArrival // in-order per source
+			}
+			prevArrival = arrival
+			all = append(all, DelayedEvent{Source: spec.Source, TS: ts, Arrival: arrival})
+		}
+	}
+	sortByArrival(all)
+	return all
+}
+
+func sortByArrival(orig []DelayedEvent) {
+	// Stable merge sort on arrival; input is per-source sorted already,
+	// so a simple bottom-up merge is efficient and stable.
+	n := len(orig)
+	if n < 2 {
+		return
+	}
+	evs := orig
+	buf := make([]DelayedEvent, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if evs[j].Arrival < evs[i].Arrival {
+					buf[k] = evs[j]
+					j++
+				} else {
+					buf[k] = evs[i]
+					i++
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = evs[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = evs[j]
+				j++
+				k++
+			}
+		}
+		evs, buf = buf, evs
+	}
+	// An odd number of passes leaves the result in the scratch array;
+	// copy it back into the caller's slice.
+	if &evs[0] != &orig[0] {
+		copy(orig, evs)
+	}
+}
+
+// Record materializes the delayed event as a sorter-ready record.
+func (e DelayedEvent) Record() record.Record {
+	return record.New(1, record.TSVal(e.TS), record.I32Val(e.Source))
+}
+
+// CausalPair drives reason/consequence traffic: each Fire issues a reason
+// on the first sensor and, after the given think time, the matching
+// consequence on the second.
+type CausalPair struct {
+	Reasoner   *sensor.Sensor
+	Consequent *sensor.Sensor
+	Event      uint8
+	Think      time.Duration
+	nextID     uint64
+}
+
+// Fire issues one reason/consequence pair and returns its identifier.
+func (c *CausalPair) Fire() uint64 {
+	c.nextID++
+	id := c.nextID
+	c.Reasoner.NoticeReason(c.Event, id, 0)
+	if c.Think > 0 {
+		time.Sleep(c.Think)
+	}
+	c.Consequent.NoticeConseq(c.Event+1, id, 0)
+	return id
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"brisk/internal/record"
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+func newSensor() *sensor.Sensor {
+	return sensor.New(shm.NewRegion(), "w", sensor.Options{
+		RingBytes: 1 << 20,
+		Clock:     vclock.NewManual(0),
+	})
+}
+
+func TestLooperUnpaced(t *testing.T) {
+	s := newSensor()
+	l := &Looper{Sensor: s, Event: 1}
+	if got := l.Run(1000); got != 1000 {
+		t.Fatalf("accepted %d", got)
+	}
+	if s.Notices() != 1000 {
+		t.Fatalf("notices = %d", s.Notices())
+	}
+	var first record.Record
+	s.Ring().Drain(1, func(b []byte) {
+		var err error
+		first, _, err = record.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(first.Fields) != 7 || first.Fields[1].Int() != 0 {
+		t.Fatalf("first = %+v", first)
+	}
+}
+
+func TestLooperPacedRate(t *testing.T) {
+	s := newSensor()
+	l := &Looper{Sensor: s, Event: 1, Rate: 10000}
+	start := time.Now()
+	l.Run(500)
+	elapsed := time.Since(start)
+	// 500 events at 10k/s should take ≈50 ms; allow generous slop but
+	// catch "no pacing at all" (would finish in microseconds).
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("pacing ineffective: %v", elapsed)
+	}
+}
+
+func TestLooperRunFor(t *testing.T) {
+	s := newSensor()
+	l := &Looper{Sensor: s, Event: 1, Rate: 50000}
+	issued, accepted := l.RunFor(30 * time.Millisecond)
+	if issued == 0 || accepted == 0 || accepted > issued {
+		t.Fatalf("issued=%d accepted=%d", issued, accepted)
+	}
+	// ~1500 expected; catch order-of-magnitude runaways.
+	if issued > 20000 {
+		t.Fatalf("rate not honoured: issued %d in 30ms", issued)
+	}
+}
+
+func TestBursty(t *testing.T) {
+	s := newSensor()
+	b := &Bursty{Sensor: s, Event: 2, BurstLen: 50, Gap: time.Millisecond}
+	if got := b.Run(4); got != 200 {
+		t.Fatalf("accepted %d", got)
+	}
+}
+
+func TestGenDelayedStreamsShape(t *testing.T) {
+	specs := []StreamSpec{
+		{Source: 1, MeanGap: 100, Delay: DelayParams{Base: 50}},
+		{Source: 2, MeanGap: 100, Delay: DelayParams{Base: 500, JitterMean: 100}},
+	}
+	evs := GenDelayedStreams(specs, 500, 42)
+	if len(evs) != 1000 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Arrival-sorted overall.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Arrival < evs[i-1].Arrival {
+			t.Fatalf("arrivals unsorted at %d", i)
+		}
+	}
+	// Per-source: both TS and Arrival monotone; delay ≥ base.
+	lastTS := map[int32]int64{}
+	lastArr := map[int32]int64{}
+	for _, e := range evs {
+		if e.TS <= lastTS[e.Source] && lastTS[e.Source] != 0 {
+			t.Fatalf("source %d ts not increasing", e.Source)
+		}
+		if e.Arrival < lastArr[e.Source] {
+			t.Fatalf("source %d arrivals reordered", e.Source)
+		}
+		if e.Arrival-e.TS < 50 {
+			t.Fatalf("delay below base: %+v", e)
+		}
+		lastTS[e.Source] = e.TS
+		lastArr[e.Source] = e.Arrival
+	}
+}
+
+func TestGenDelayedStreamsDeterministic(t *testing.T) {
+	specs := []StreamSpec{{Source: 1, MeanGap: 50, Delay: DelayParams{Base: 10, JitterMean: 30, SpikeProb: 0.1, SpikeMean: 500}}}
+	a := GenDelayedStreams(specs, 200, 7)
+	b := GenDelayedStreams(specs, 200, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	c := GenDelayedStreams(specs, 200, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenDelayedStreamsSpikes(t *testing.T) {
+	noSpike := GenDelayedStreams([]StreamSpec{
+		{Source: 1, MeanGap: 100, Delay: DelayParams{Base: 10}},
+	}, 1000, 3)
+	spiky := GenDelayedStreams([]StreamSpec{
+		{Source: 1, MeanGap: 100, Delay: DelayParams{Base: 10, SpikeProb: 0.2, SpikeMean: 2000}},
+	}, 1000, 3)
+	var meanA, meanB float64
+	for i := range noSpike {
+		meanA += float64(noSpike[i].Arrival - noSpike[i].TS)
+		meanB += float64(spiky[i].Arrival - spiky[i].TS)
+	}
+	if meanB <= meanA {
+		t.Fatal("spikes did not raise mean delay")
+	}
+}
+
+func TestDelayedEventRecord(t *testing.T) {
+	e := DelayedEvent{Source: 3, TS: 12345, Arrival: 99999}
+	r := e.Record()
+	if r.TS != 12345 || r.Fields[1].Int() != 3 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestCausalPair(t *testing.T) {
+	region := shm.NewRegion()
+	clk := vclock.NewManual(0)
+	a := sensor.New(region, "a", sensor.Options{Clock: clk})
+	b := sensor.New(region, "b", sensor.Options{Clock: clk})
+	cp := &CausalPair{Reasoner: a, Consequent: b, Event: 10}
+	id1 := cp.Fire()
+	id2 := cp.Fire()
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+	var recs []record.Record
+	for _, ring := range region.Rings() {
+		ring.Drain(0, func(buf []byte) {
+			r, _, err := record.Decode(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, r)
+		})
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	reasons, conseqs := 0, 0
+	for _, r := range recs {
+		if r.Reason != 0 {
+			reasons++
+		}
+		if r.Conseq != 0 {
+			conseqs++
+		}
+	}
+	if reasons != 2 || conseqs != 2 {
+		t.Fatalf("reasons=%d conseqs=%d", reasons, conseqs)
+	}
+}

@@ -1,0 +1,63 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder checks that arbitrary input never panics any decode path
+// and that accepted opaques/strings round-trip canonically.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder(64)
+	e.Uint32(7)
+	e.String("seed")
+	e.Opaque([]byte{1, 2, 3})
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5, 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.MaxOpaque = 1 << 16
+		// Walk the buffer with a mixed decode sequence; errors are fine,
+		// panics are not.
+		for d.Remaining() > 0 {
+			switch d.Remaining() % 5 {
+			case 0:
+				if _, err := d.Uint32(); err != nil {
+					return
+				}
+			case 1:
+				if _, err := d.Uint64(); err != nil {
+					return
+				}
+			case 2:
+				p, err := d.Opaque()
+				if err != nil {
+					return
+				}
+				// Canonical re-encode.
+				e := NewEncoder(len(p) + 8)
+				e.Opaque(p)
+				if e.Len()%Unit != 0 {
+					t.Fatal("opaque encoding not unit aligned")
+				}
+			case 3:
+				s, err := d.String()
+				if err != nil {
+					return
+				}
+				e := NewEncoder(len(s) + 8)
+				e.String(s)
+				src := data[d.Offset()-e.Len() : d.Offset()]
+				if !bytes.Equal(e.Bytes(), src) {
+					t.Fatalf("string round trip not canonical: % x vs % x", e.Bytes(), src)
+				}
+			default:
+				if _, err := d.Float64(); err != nil {
+					return
+				}
+			}
+		}
+	})
+}

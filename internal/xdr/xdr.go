@@ -1,0 +1,391 @@
+// Package xdr implements the subset of the External Data Representation
+// standard (RFC 4506) used by the BRISK transfer protocol.
+//
+// XDR lays every item out on a 4-byte boundary in big-endian byte order.
+// Variable-length items (strings, opaques) carry a 4-byte length and are
+// padded with zero bytes to the next 4-byte boundary. BRISK uses XDR so
+// that instrumentation data can cross heterogeneous nodes unchanged; the
+// encoder here is allocation-free on the hot path (it appends into a
+// caller-owned buffer) so that external sensors can package large event
+// batches without garbage-collector pressure.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Unit is the XDR basic block size: every encoded item occupies a multiple
+// of this many bytes.
+const Unit = 4
+
+// Errors returned by the decoder.
+var (
+	// ErrShortBuffer reports that a decode ran past the end of the input.
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	// ErrBadPadding reports nonzero bytes in the pad region of a
+	// variable-length item.
+	ErrBadPadding = errors.New("xdr: nonzero padding")
+	// ErrLengthRange reports a variable-length item whose declared length
+	// exceeds the decoder's configured maximum.
+	ErrLengthRange = errors.New("xdr: declared length out of range")
+)
+
+// Pad returns the number of zero bytes needed after n payload bytes to
+// reach the next 4-byte boundary.
+func Pad(n int) int {
+	return (Unit - n%Unit) % Unit
+}
+
+// PaddedLen returns n rounded up to the next multiple of the XDR unit.
+func PaddedLen(n int) int {
+	return n + Pad(n)
+}
+
+// OpaqueLen returns the full encoded size of a variable-length opaque of n
+// bytes: the 4-byte length word plus the padded payload.
+func OpaqueLen(n int) int {
+	return Unit + PaddedLen(n)
+}
+
+// Encoder appends XDR-encoded items to an internal buffer. The zero value
+// is ready to use. Buffers may be reused across messages via Reset.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder whose buffer has the given initial
+// capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Reset discards the buffered encoding but keeps the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded buffer. The slice is valid until the next
+// mutating call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes buffered so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer (XDR "int").
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR "unsigned hyper").
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = AppendUint64(e.buf, v)
+}
+
+// Int64 encodes a 64-bit signed integer (XDR "hyper").
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes a boolean as an XDR int of value 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Float32 encodes an IEEE-754 single-precision float.
+func (e *Encoder) Float32(v float32) { e.Uint32(math.Float32bits(v)) }
+
+// Float64 encodes an IEEE-754 double-precision float.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Opaque encodes a variable-length opaque: length word, payload, zero pad.
+func (e *Encoder) Opaque(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+	for i := 0; i < Pad(len(p)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String encodes a string as a variable-length opaque.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	for i := 0; i < Pad(len(s)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// FixedOpaque encodes payload bytes with zero padding but no length word
+// (XDR fixed-length opaque). The receiver must know the length.
+func (e *Encoder) FixedOpaque(p []byte) {
+	e.buf = append(e.buf, p...)
+	for i := 0; i < Pad(len(p)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Raw appends pre-encoded bytes verbatim. The caller asserts that p is
+// already a whole number of XDR units.
+func (e *Encoder) Raw(p []byte) {
+	e.buf = append(e.buf, p...)
+}
+
+// AppendUint32 appends the XDR encoding of v to dst and returns the
+// extended slice. It is the allocation-free building block used by the
+// sensor hot path.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendInt32 appends the XDR encoding of a signed 32-bit integer.
+func AppendInt32(dst []byte, v int32) []byte {
+	return AppendUint32(dst, uint32(v))
+}
+
+// AppendUint64 appends the XDR encoding of an unsigned hyper.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendInt64 appends the XDR encoding of a hyper.
+func AppendInt64(dst []byte, v int64) []byte {
+	return AppendUint64(dst, uint64(v))
+}
+
+// AppendFloat32 appends the XDR encoding of a single-precision float.
+func AppendFloat32(dst []byte, v float32) []byte {
+	return AppendUint32(dst, math.Float32bits(v))
+}
+
+// AppendFloat64 appends the XDR encoding of a double-precision float.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendString appends the XDR encoding of a string (length, bytes, pad).
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUint32(dst, uint32(len(s)))
+	dst = append(dst, s...)
+	for i := 0; i < Pad(len(s)); i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// AppendOpaque appends the XDR encoding of a variable-length opaque.
+func AppendOpaque(dst []byte, p []byte) []byte {
+	dst = AppendUint32(dst, uint32(len(p)))
+	dst = append(dst, p...)
+	for i := 0; i < Pad(len(p)); i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// PutUint32 writes the XDR encoding of v at b[0:4]. The slice must have at
+// least 4 bytes.
+func PutUint32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// PutUint64 writes the XDR encoding of v at b[0:8]. The slice must have at
+// least 8 bytes.
+func PutUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// Uint32At reads a big-endian 32-bit word from b[0:4].
+func Uint32At(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Uint64At reads a big-endian 64-bit word from b[0:8].
+func Uint64At(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// Decoder consumes XDR items from a byte slice. It performs strict bounds
+// and padding checks so that a malformed or truncated message from a remote
+// external sensor cannot crash the manager.
+type Decoder struct {
+	buf []byte
+	off int
+
+	// MaxOpaque bounds the declared length of variable-length items; a
+	// larger declared length fails with ErrLengthRange instead of causing
+	// a huge allocation. Zero means DefaultMaxOpaque.
+	MaxOpaque int
+}
+
+// DefaultMaxOpaque is the decoder's default bound on variable-length items.
+const DefaultMaxOpaque = 1 << 20
+
+// NewDecoder returns a decoder positioned at the start of buf. The decoder
+// does not copy buf; decoded strings and opaques alias it unless otherwise
+// documented.
+func NewDecoder(buf []byte) *Decoder {
+	return &Decoder{buf: buf}
+}
+
+// Reset repositions the decoder at the start of buf, reusing the struct.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the number of consumed bytes.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) need(n int) error {
+	if d.Remaining() < n {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrShortBuffer, n, d.off, d.Remaining())
+	}
+	return nil
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := Uint32At(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes an unsigned hyper.
+func (d *Decoder) Uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := Uint64At(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes a hyper.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool decodes an XDR boolean. Any nonzero word decodes as true, matching
+// the lenient behaviour of the reference Sun implementation.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	return v != 0, err
+}
+
+// Float32 decodes a single-precision float.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes a double-precision float.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+func (d *Decoder) maxOpaque() int {
+	if d.MaxOpaque > 0 {
+		return d.MaxOpaque
+	}
+	return DefaultMaxOpaque
+}
+
+// Opaque decodes a variable-length opaque. The returned slice aliases the
+// decoder's input buffer.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(d.maxOpaque()) {
+		return nil, fmt.Errorf("%w: opaque length %d > max %d", ErrLengthRange, n, d.maxOpaque())
+	}
+	total := PaddedLen(int(n))
+	if err := d.need(total); err != nil {
+		return nil, err
+	}
+	p := d.buf[d.off : d.off+int(n)]
+	for _, b := range d.buf[d.off+int(n) : d.off+total] {
+		if b != 0 {
+			return nil, ErrBadPadding
+		}
+	}
+	d.off += total
+	return p, nil
+}
+
+// String decodes a string. The result copies out of the input buffer (Go
+// strings are immutable, so aliasing is impossible anyway).
+func (d *Decoder) String() (string, error) {
+	p, err := d.Opaque()
+	return string(p), err
+}
+
+// FixedOpaque decodes n payload bytes plus padding, with no length word.
+// The returned slice aliases the input buffer.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative fixed length %d", ErrLengthRange, n)
+	}
+	total := PaddedLen(n)
+	if err := d.need(total); err != nil {
+		return nil, err
+	}
+	p := d.buf[d.off : d.off+n]
+	for _, b := range d.buf[d.off+n : d.off+total] {
+		if b != 0 {
+			return nil, ErrBadPadding
+		}
+	}
+	d.off += total
+	return p, nil
+}
+
+// Skip advances past n raw bytes without interpreting them.
+func (d *Decoder) Skip(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative skip %d", ErrLengthRange, n)
+	}
+	if err := d.need(n); err != nil {
+		return err
+	}
+	d.off += n
+	return nil
+}

@@ -1,0 +1,352 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPad(t *testing.T) {
+	cases := []struct{ n, pad, padded int }{
+		{0, 0, 0}, {1, 3, 4}, {2, 2, 4}, {3, 1, 4}, {4, 0, 4},
+		{5, 3, 8}, {7, 1, 8}, {8, 0, 8}, {100, 0, 100}, {101, 3, 104},
+	}
+	for _, c := range cases {
+		if got := Pad(c.n); got != c.pad {
+			t.Errorf("Pad(%d) = %d, want %d", c.n, got, c.pad)
+		}
+		if got := PaddedLen(c.n); got != c.padded {
+			t.Errorf("PaddedLen(%d) = %d, want %d", c.n, got, c.padded)
+		}
+	}
+}
+
+func TestOpaqueLen(t *testing.T) {
+	if got := OpaqueLen(0); got != 4 {
+		t.Errorf("OpaqueLen(0) = %d, want 4", got)
+	}
+	if got := OpaqueLen(5); got != 12 {
+		t.Errorf("OpaqueLen(5) = %d, want 12", got)
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		e := NewEncoder(8)
+		e.Uint32(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Uint32()
+		return err == nil && got == v && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		e := NewEncoder(8)
+		e.Int32(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Int32()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(8)
+		e.Uint64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Uint64()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MinInt64, math.MaxInt64, 123456789012345} {
+		e := NewEncoder(8)
+		e.Int64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Int64()
+		if err != nil || got != v {
+			t.Errorf("Int64 round trip of %d: got %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f32 := func(v float32) bool {
+		e := NewEncoder(8)
+		e.Float32(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Float32()
+		if err != nil {
+			return false
+		}
+		// NaN does not compare equal; compare bit patterns.
+		return math.Float32bits(got) == math.Float32bits(v)
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Fatal(err)
+	}
+	f64 := func(v float64) bool {
+		e := NewEncoder(8)
+		e.Float64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Float64()
+		if err != nil {
+			return false
+		}
+		return math.Float64bits(got) == math.Float64bits(v)
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBool(t *testing.T) {
+	e := NewEncoder(8)
+	e.Bool(true)
+	e.Bool(false)
+	want := []byte{0, 0, 0, 1, 0, 0, 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("bool encoding = %v, want %v", e.Bytes(), want)
+	}
+	d := NewDecoder(e.Bytes())
+	v1, err1 := d.Bool()
+	v2, err2 := d.Bool()
+	if err1 != nil || err2 != nil || !v1 || v2 {
+		t.Fatalf("bool decode got (%v,%v) errs (%v,%v)", v1, v2, err1, err2)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder(64)
+		e.String(s)
+		if e.Len()%Unit != 0 {
+			return false
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.String()
+		return err == nil && got == s && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		e := NewEncoder(64)
+		e.Opaque(p)
+		if e.Len()%Unit != 0 {
+			return false
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedOpaqueRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 17} {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = byte(i + 1)
+		}
+		e := NewEncoder(32)
+		e.FixedOpaque(p)
+		if e.Len() != PaddedLen(n) {
+			t.Errorf("FixedOpaque(%d) encoded %d bytes, want %d", n, e.Len(), PaddedLen(n))
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.FixedOpaque(n)
+		if err != nil || !bytes.Equal(got, p) {
+			t.Errorf("FixedOpaque(%d) round trip failed: %v %v", n, got, err)
+		}
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	// Fixed vectors from RFC 4506 layout rules.
+	e := NewEncoder(64)
+	e.Int32(-1)
+	if !bytes.Equal(e.Bytes(), []byte{0xff, 0xff, 0xff, 0xff}) {
+		t.Errorf("Int32(-1) = % x", e.Bytes())
+	}
+	e.Reset()
+	e.String("hi")
+	want := []byte{0, 0, 0, 2, 'h', 'i', 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("String(hi) = % x, want % x", e.Bytes(), want)
+	}
+	e.Reset()
+	e.Uint64(0x0102030405060708)
+	want = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("Uint64 = % x, want % x", e.Bytes(), want)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint32 on short buffer: err = %v, want ErrShortBuffer", err)
+	}
+	d.Reset([]byte{0, 0, 0, 9, 'x'})
+	if _, err := d.Opaque(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Opaque with truncated payload: err = %v, want ErrShortBuffer", err)
+	}
+	d.Reset([]byte{0, 0, 0, 1})
+	if _, err := d.Uint64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint64 on 4 bytes: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecoderBadPadding(t *testing.T) {
+	// String "a" with a nonzero pad byte.
+	buf := []byte{0, 0, 0, 1, 'a', 0xFF, 0, 0}
+	d := NewDecoder(buf)
+	if _, err := d.String(); !errors.Is(err, ErrBadPadding) {
+		t.Errorf("String with dirty padding: err = %v, want ErrBadPadding", err)
+	}
+	d.Reset([]byte{'a', 0xFF, 0, 0})
+	if _, err := d.FixedOpaque(1); !errors.Is(err, ErrBadPadding) {
+		t.Errorf("FixedOpaque with dirty padding: err = %v, want ErrBadPadding", err)
+	}
+}
+
+func TestDecoderLengthRange(t *testing.T) {
+	d := NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := d.Opaque(); !errors.Is(err, ErrLengthRange) {
+		t.Errorf("huge opaque length: err = %v, want ErrLengthRange", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	d.MaxOpaque = 4
+	if _, err := d.Opaque(); !errors.Is(err, ErrLengthRange) {
+		t.Errorf("opaque over MaxOpaque: err = %v, want ErrLengthRange", err)
+	}
+	if _, err := d.FixedOpaque(-1); !errors.Is(err, ErrLengthRange) {
+		t.Errorf("negative FixedOpaque: err = %v, want ErrLengthRange", err)
+	}
+	if err := d.Skip(-3); !errors.Is(err, ErrLengthRange) {
+		t.Errorf("negative Skip: err = %v, want ErrLengthRange", err)
+	}
+}
+
+func TestDecoderSkipAndOffset(t *testing.T) {
+	e := NewEncoder(32)
+	e.Uint32(7)
+	e.Uint32(8)
+	e.Uint32(9)
+	d := NewDecoder(e.Bytes())
+	if err := d.Skip(4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Uint32()
+	if err != nil || v != 8 {
+		t.Fatalf("after skip, Uint32 = %d, %v; want 8", v, err)
+	}
+	if d.Offset() != 8 || d.Remaining() != 4 {
+		t.Fatalf("offset/remaining = %d/%d, want 8/4", d.Offset(), d.Remaining())
+	}
+}
+
+func TestAppendHelpersMatchEncoder(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint32(42)
+	e.Int32(-7)
+	e.Uint64(1 << 40)
+	e.Int64(-(1 << 40))
+	e.Float32(3.5)
+	e.Float64(-2.25)
+	e.String("abc")
+	e.Opaque([]byte{9, 8})
+
+	var b []byte
+	b = AppendUint32(b, 42)
+	b = AppendInt32(b, -7)
+	b = AppendUint64(b, 1<<40)
+	b = AppendInt64(b, -(1 << 40))
+	b = AppendFloat32(b, 3.5)
+	b = AppendFloat64(b, -2.25)
+	b = AppendString(b, "abc")
+	b = AppendOpaque(b, []byte{9, 8})
+
+	if !bytes.Equal(e.Bytes(), b) {
+		t.Fatalf("append helpers disagree with encoder:\n% x\n% x", e.Bytes(), b)
+	}
+}
+
+func TestPutAndAt(t *testing.T) {
+	b := make([]byte, 8)
+	PutUint32(b, 0xDEADBEEF)
+	if Uint32At(b) != 0xDEADBEEF {
+		t.Fatalf("PutUint32/Uint32At mismatch: % x", b[:4])
+	}
+	PutUint64(b, 0x0102030405060708)
+	if Uint64At(b) != 0x0102030405060708 {
+		t.Fatalf("PutUint64/Uint64At mismatch: % x", b)
+	}
+}
+
+func TestEncoderRawAndReuse(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint32(1)
+	first := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset did not clear length")
+	}
+	e.Raw(first)
+	if !bytes.Equal(e.Bytes(), first) {
+		t.Fatal("Raw did not copy bytes verbatim")
+	}
+}
+
+func BenchmarkEncodeSixInts(b *testing.B) {
+	e := NewEncoder(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Int64(int64(i)) // timestamp
+		for j := int32(0); j < 6; j++ {
+			e.Int32(j)
+		}
+	}
+}
+
+func BenchmarkDecodeSixInts(b *testing.B) {
+	e := NewEncoder(64)
+	e.Int64(12345)
+	for j := int32(0); j < 6; j++ {
+		e.Int32(j)
+	}
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Reset(buf)
+		if _, err := d.Int64(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			if _, err := d.Int32(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package brisk
+
+import (
+	"io"
+	"time"
+
+	"brisk/internal/clocksync"
+	"brisk/internal/ism"
+	"brisk/internal/ols"
+	"brisk/internal/picl"
+	"brisk/internal/visual"
+)
+
+// TimeFramePolicy selects how the manager's on-line sorter adapts its
+// delay window T when it observes records arriving out of order.
+type TimeFramePolicy int
+
+const (
+	// TimeFrameLateness sets T to the latest late event's lateness — the
+	// paper's recommended strategy for latency-critical applications.
+	TimeFrameLateness TimeFramePolicy = iota
+	// TimeFrameDouble doubles T on each inversion.
+	TimeFrameDouble
+	// TimeFrameFixed never adapts T.
+	TimeFrameFixed
+)
+
+func (p TimeFramePolicy) grow() ols.GrowPolicy {
+	switch p {
+	case TimeFrameDouble:
+		return ols.GrowDouble
+	case TimeFrameFixed:
+		return ols.GrowFixed
+	default:
+		return ols.GrowToLateness
+	}
+}
+
+// SorterOptions tunes the on-line sorting algorithm.
+type SorterOptions struct {
+	// InitialT is the starting delay window in µs (default 1000).
+	InitialT int64
+	// MinT and MaxT bound the window (defaults 0 and 10 s).
+	MinT, MaxT int64
+	// HalfLife is the exponential-decay half-life of T in µs; 0 keeps T
+	// from decaying. A large half-life (small decay exponent) is the
+	// paper's recommendation outside latency-critical use.
+	HalfLife int64
+	// Policy selects the growth rule.
+	Policy TimeFramePolicy
+	// MaxBuffered bounds records delayed in memory (0 = unbounded).
+	MaxBuffered int
+}
+
+// SyncOptions tunes the clock-synchronization master.
+type SyncOptions struct {
+	// Period is the polling round period; 0 disables synchronization.
+	Period time.Duration
+	// ProbesPerSlave is the probes per slave per round (default 5).
+	ProbesPerSlave int
+	// Threshold is the average-relative-skew bound (µs) below which the
+	// damped correction applies (default 100).
+	Threshold int64
+	// Damping is the fixed portion applied below the threshold
+	// (default 0.7, the paper's value).
+	Damping float64
+	// MaxRTT discards probes with round trips above this bound (µs).
+	MaxRTT int64
+}
+
+// PICLOptions configures trace-file output.
+type PICLOptions struct {
+	// W receives the trace lines.
+	W io.Writer
+	// Relative selects floating-point seconds since start rather than
+	// absolute microseconds of UTC.
+	Relative bool
+	// Start is the µs instant used as second-zero in relative mode.
+	Start int64
+}
+
+// ManagerOptions configures StartManager. The zero value listens on an
+// ephemeral localhost port with default tuning.
+type ManagerOptions struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Clock is the manager clock (default: system clock).
+	Clock Clock
+	// Sorter tunes the on-line sorter.
+	Sorter SorterOptions
+	// Sync tunes the clock-synchronization master.
+	Sync SyncOptions
+	// CRETimeout bounds retention of unmatched causal records (µs).
+	CRETimeout int64
+	// MergeInterval is the merger wake period (default 5 ms) — the
+	// manager-side latency knob.
+	MergeInterval time.Duration
+	// BufferRecords is the consumer memory-buffer capacity (default
+	// 65536 records).
+	BufferRecords int
+	// PICL, when non-nil, enables trace-file output.
+	PICL *PICLOptions
+	// Filter, when non-nil, selects which sorted records reach the
+	// sinks. See FilterEvents for the common case of selecting event
+	// classes. The filter runs after sorting and causal repair.
+	Filter func(rec *Record) bool
+	// Logf receives diagnostics (default: standard log package).
+	Logf func(format string, args ...any)
+}
+
+// FilterEvents returns a Filter passing only the given event classes —
+// the "specify what to monitor" convenience for ManagerOptions.Filter.
+func FilterEvents(classes ...uint8) func(*Record) bool {
+	var wanted [256]bool
+	for _, c := range classes {
+		wanted[c] = true
+	}
+	return func(r *Record) bool { return wanted[r.Event] }
+}
+
+// ManagerStats snapshots the manager's counters.
+type ManagerStats = ism.Stats
+
+// Manager is a running instrumentation-system manager.
+type Manager struct {
+	inner *ism.Manager
+	disp  *visual.Dispatcher
+}
+
+// StartManager creates and starts a manager.
+func StartManager(opts ManagerOptions) (*Manager, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	cfg := ism.Config{
+		Addr:  opts.Addr,
+		Clock: opts.Clock,
+		Sorter: ols.Config{
+			InitialT:    opts.Sorter.InitialT,
+			MinT:        opts.Sorter.MinT,
+			MaxT:        opts.Sorter.MaxT,
+			HalfLife:    opts.Sorter.HalfLife,
+			Grow:        opts.Sorter.Policy.grow(),
+			MaxBuffered: opts.Sorter.MaxBuffered,
+		},
+		CRETimeout:    opts.CRETimeout,
+		MergeInterval: opts.MergeInterval,
+		BufferRecords: opts.BufferRecords,
+		Sync: clocksync.Config{
+			ProbesPerSlave: opts.Sync.ProbesPerSlave,
+			Threshold:      opts.Sync.Threshold,
+			Damping:        opts.Sync.Damping,
+			MaxRTT:         opts.Sync.MaxRTT,
+		},
+		SyncPeriod: opts.Sync.Period,
+		Filter:     opts.Filter,
+		Logf:       opts.Logf,
+	}
+	if opts.PICL != nil {
+		mode := picl.TimeUTC
+		if opts.PICL.Relative {
+			mode = picl.TimeRelative
+		}
+		cfg.PICL = picl.NewWriter(opts.PICL.W, mode, opts.PICL.Start)
+	}
+	disp := visual.NewDispatcher()
+	cfg.Visual = disp
+	m, err := ism.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Start()
+	return &Manager{inner: m, disp: disp}, nil
+}
+
+// Addr returns the manager's bound TCP address, which nodes connect to.
+func (m *Manager) Addr() string { return m.inner.Addr() }
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() ManagerStats { return m.inner.Stats() }
+
+// SyncNow requests an immediate clock-synchronization round.
+func (m *Manager) SyncNow() { m.inner.SyncRound() }
+
+// AttachVisual connects a remote visual object at addr (served by a
+// visual.Server, see cmd/briskview) under the given object name; every
+// sorted record is then delivered to it as a PICL string.
+func (m *Manager) AttachVisual(addr, object string, queue int) error {
+	r, err := visual.Dial(addr, object, queue)
+	if err != nil {
+		return err
+	}
+	m.disp.Attach(r)
+	return nil
+}
+
+// Consume returns a consumer positioned at the oldest retained record of
+// the manager's memory buffer.
+func (m *Manager) Consume() *Consumer {
+	return &Consumer{cur: m.inner.NewCursor()}
+}
+
+// Close shuts the manager down, flushing the sorter and every sink.
+func (m *Manager) Close() error {
+	err := m.inner.Close()
+	if cerr := m.disp.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// decodeBuffered decodes a memory-buffer entry (node prefix + record).
+func decodeBuffered(p []byte) (Record, error) {
+	return ism.DecodeBuffered(p)
+}

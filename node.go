@@ -1,0 +1,150 @@
+package brisk
+
+import (
+	"time"
+
+	"brisk/internal/exs"
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// NodeOptions configures ConnectNode.
+type NodeOptions struct {
+	// ManagerAddr is the manager's TCP address (required).
+	ManagerAddr string
+	// Name identifies the node to the manager (optional).
+	Name string
+	// RawClock is the node's uncorrected local clock; nil means the
+	// system clock. Simulated deployments inject skewed clocks here.
+	RawClock Clock
+	// BatchBytes triggers a batch send at this size (default 16384).
+	BatchBytes int
+	// FlushInterval bounds how long a partial batch waits (default 5 ms)
+	// — the node-side latency knob.
+	FlushInterval time.Duration
+	// PollInterval is the external sensor's ring-scan period while idle
+	// (default 500 µs).
+	PollInterval time.Duration
+	// Logf receives diagnostics (default: standard log package).
+	Logf func(format string, args ...any)
+}
+
+// SensorOptions tunes one internal sensor.
+type SensorOptions struct {
+	// RingBytes is the sensor's ring capacity (default 65536).
+	RingBytes int
+	// SampleEvery, when > 1, records only every n-th notice — the
+	// volume-control knob for very high-rate instrumentation points.
+	SampleEvery int
+}
+
+// NodeStats snapshots the node's external-sensor counters.
+type NodeStats = exs.Stats
+
+// Node is one node of the target system: its shared-memory region, its
+// corrected clock, and its external sensor connected to the manager.
+type Node struct {
+	region *shm.Region
+	clock  *vclock.Corrected
+	raw    Clock
+	ext    *exs.EXS
+}
+
+// ConnectNode creates a node's local instrumentation server and connects
+// its external sensor to the manager.
+func ConnectNode(opts NodeOptions) (*Node, error) {
+	raw := opts.RawClock
+	if raw == nil {
+		raw = vclock.System{}
+	}
+	region := shm.NewRegion()
+	clock := vclock.NewCorrected(raw)
+	e, err := exs.Dial(exs.Config{
+		ManagerAddr:   opts.ManagerAddr,
+		NodeName:      opts.Name,
+		Region:        region,
+		Clock:         clock,
+		BatchBytes:    opts.BatchBytes,
+		FlushInterval: opts.FlushInterval,
+		PollInterval:  opts.PollInterval,
+		Logf:          opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{region: region, clock: clock, raw: raw, ext: e}, nil
+}
+
+// ID returns the manager-assigned node id stamped on this node's records.
+func (n *Node) ID() int32 { return n.ext.Node() }
+
+// NewSensor attaches an internal sensor for one application goroutine.
+// Sensors write raw local timestamps; the external sensor adds the
+// node's clock correction when shipping.
+func (n *Node) NewSensor(name string, opts ...SensorOptions) *Sensor {
+	var o SensorOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sensor.New(n.region, name, sensor.Options{
+		RingBytes:   o.RingBytes,
+		SampleEvery: o.SampleEvery,
+		Clock:       n.raw,
+	})
+}
+
+// Correction returns the node's current clock-correction value in µs, as
+// maintained by the synchronization slave.
+func (n *Node) Correction() int64 { return n.clock.Correction() }
+
+// Flush ships any buffered records to the manager immediately.
+func (n *Node) Flush() { n.ext.Flush() }
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats { return n.ext.Stats() }
+
+// Close ships buffered records and disconnects from the manager.
+func (n *Node) Close() error { return n.ext.Close() }
+
+// Consumer iterates the manager's sorted output stream.
+type Consumer struct {
+	cur *shm.Cursor
+	// Lost accumulates records skipped because this consumer fell behind
+	// the memory buffer (the manager's event dropping for slow readers).
+	Lost uint64
+}
+
+// Next blocks for the next record; ok is false once the manager has
+// closed and the stream is drained.
+func (c *Consumer) Next() (Record, bool) {
+	for {
+		raw, lost, ok := c.cur.Next()
+		c.Lost += lost
+		if !ok {
+			return Record{}, false
+		}
+		rec, err := decodeBuffered(raw)
+		if err != nil {
+			continue // skip corrupt entry rather than wedge the consumer
+		}
+		return rec, true
+	}
+}
+
+// TryNext is the non-blocking variant; ok is false when no record is
+// currently available.
+func (c *Consumer) TryNext() (Record, bool) {
+	for {
+		raw, lost, ok := c.cur.TryNext()
+		c.Lost += lost
+		if !ok {
+			return Record{}, false
+		}
+		rec, err := decodeBuffered(raw)
+		if err != nil {
+			continue
+		}
+		return rec, true
+	}
+}

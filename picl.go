@@ -1,0 +1,23 @@
+package brisk
+
+import (
+	"strings"
+
+	"brisk/internal/picl"
+)
+
+// PICLLine renders one record as a PICL ASCII trace line (without the
+// trailing newline) — the "supplied code that creates PICL strings" the
+// paper provides for consumers reading the manager's memory buffer.
+// Timestamps are rendered as integer microseconds of UTC.
+func PICLLine(rec *Record) string {
+	var sb strings.Builder
+	w := picl.NewWriter(&sb, picl.TimeUTC, 0)
+	if err := w.WriteRecord(rec); err != nil {
+		return ""
+	}
+	if err := w.Flush(); err != nil {
+		return ""
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
