@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz eval examples clean
+.PHONY: all build vet test test-race race bench fuzz eval examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent transport core: the packages
+# where reconnect, resume, and fault injection hammer shared state.
+test-race:
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire
 
 # Full suite under the race detector (slower).
 race:

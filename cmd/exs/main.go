@@ -39,6 +39,11 @@ func main() {
 		drift   = flag.Float64("drift", 0, "clock frequency error in ppm (simulated)")
 		flush   = flag.Duration("flush", 5*time.Millisecond, "batch flush interval")
 		batch   = flag.Int("batch", 16384, "batch size in bytes")
+
+		reconnectBase = flag.Duration("reconnect-base", 0, "first reconnect backoff delay (0 = default 50ms)")
+		reconnectMax  = flag.Duration("reconnect-max", 0, "reconnect backoff cap (0 = default 5s)")
+		reconnectCap  = flag.Int("reconnect-attempts", -1, "failed reconnect attempts before giving up (-1 = retry forever)")
+		spill         = flag.Int("spill", 0, "bytes of unacknowledged records buffered across outages (0 = default 4MiB)")
 	)
 	flag.Parse()
 
@@ -47,11 +52,15 @@ func main() {
 		raw = vclock.NewDrift(vclock.System{}, skew.Microseconds(), *drift)
 	}
 	node, err := brisk.ConnectNode(brisk.NodeOptions{
-		ManagerAddr:   *manager,
-		Name:          *name,
-		RawClock:      raw,
-		BatchBytes:    *batch,
-		FlushInterval: *flush,
+		ManagerAddr:          *manager,
+		Name:                 *name,
+		RawClock:             raw,
+		BatchBytes:           *batch,
+		FlushInterval:        *flush,
+		ReconnectBase:        *reconnectBase,
+		ReconnectMax:         *reconnectMax,
+		MaxReconnectAttempts: *reconnectCap,
+		SpillBytes:           *spill,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exs: %v\n", err)
@@ -103,6 +112,10 @@ func main() {
 	}
 	fmt.Printf("exs: sent=%d batches=%d bytes=%d ringDropped=%d probes=%d correction=%dµs\n",
 		st.Sent, st.Batches, st.BytesOut, st.RingDropped, st.Probes, st.Correction)
+	if st.Reconnects > 0 || st.Dropped > 0 || st.LostOffline > 0 {
+		fmt.Printf("exs: reconnects=%d retransmits=%d spilled=%d dropped=%d lostOffline=%d\n",
+			st.Reconnects, st.Retransmits, st.Spilled, st.Dropped, st.LostOffline)
+	}
 }
 
 func hostnameOr(def string) string {

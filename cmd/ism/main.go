@@ -40,6 +40,8 @@ func main() {
 		print      = flag.Bool("print", false, "echo the sorted stream to stdout")
 		statsEvery = flag.Duration("stats", 0, "periodically print statistics (0 disables)")
 		statsHTTP  = flag.String("stats-http", "", "serve statistics as JSON on this address")
+		heartbeat  = flag.Duration("heartbeat", 0, "per-sensor PING period for dead-peer detection (0 = default 1s, <0 disables)")
+		retention  = flag.Duration("session-retention", 0, "how long a disconnected sensor's session is resumable (0 = default 2m, <0 disables)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,9 @@ func main() {
 			InitialT: *initialT,
 			HalfLife: *halfLife,
 		},
-		Sync: brisk.SyncOptions{Period: *syncPeriod},
+		Sync:              brisk.SyncOptions{Period: *syncPeriod},
+		HeartbeatInterval: *heartbeat,
+		SessionRetention:  *retention,
 	}
 	switch *policy {
 	case "lateness":
@@ -128,9 +132,10 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := mgr.Stats()
-				fmt.Printf("ism: nodes=%d received=%d emitted=%d T=%dµs inversions=%d tachyons=%d syncs=%d\n",
-					st.Connected, st.Received, st.Emitted,
-					st.Sorter.GrownTo, st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds)
+				fmt.Printf("ism: nodes=%d sessions=%d received=%d emitted=%d T=%dµs inversions=%d tachyons=%d syncs=%d resumed=%d deduped=%d deadPeers=%d\n",
+					st.Connected, st.Sessions, st.Received, st.Emitted,
+					st.Sorter.GrownTo, st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds,
+					st.ResumedSessions, st.DedupedBatches, st.DeadPeers)
 			}
 		}()
 	}
@@ -142,7 +147,8 @@ func main() {
 	if err := mgr.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "ism: close: %v\n", err)
 	}
-	fmt.Printf("ism: final stats: nodes=%d received=%d emitted=%d batches=%d inversions=%d tachyons=%d syncRounds=%d\n",
+	fmt.Printf("ism: final stats: nodes=%d received=%d emitted=%d batches=%d inversions=%d tachyons=%d syncRounds=%d resumed=%d deduped=%d deadPeers=%d\n",
 		st.Connected, st.Received, st.Emitted, st.Batches,
-		st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds)
+		st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds,
+		st.ResumedSessions, st.DedupedBatches, st.DeadPeers)
 }

@@ -34,6 +34,9 @@ type RoundReport struct {
 	Corrections Corrections
 	// Adjusted counts slaves actually told to step their clocks.
 	Adjusted int
+	// Failed counts slaves that yielded no usable estimate this round
+	// (all probes lost or filtered) — a dead-peer signal for the caller.
+	Failed int
 }
 
 // Master drives synchronization rounds against a set of slaves, per the
@@ -90,6 +93,8 @@ func (m *Master) Round() (RoundReport, error) {
 		if est, ok := EstimateOffset(samples, m.cfg.Filter, m.cfg.MaxRTT); ok {
 			rep.Offsets[i] = est
 			rep.Valid[i] = true
+		} else {
+			rep.Failed++
 		}
 	}
 	if rttN > 0 {

@@ -16,12 +16,30 @@
 // The external sensor is also the clock-synchronization slave: it answers
 // the manager's probes with its corrected clock and applies adjustment
 // messages to the correction value.
+//
+// # Fault tolerance
+//
+// The manager link is treated as lossy. Every shipped batch carries a
+// per-session sequence number and is retained in a bounded in-memory
+// queue until the manager acknowledges it. When the connection breaks the
+// sensor keeps draining the shm rings into that queue (so the application
+// never blocks) and reconnects with exponential backoff plus jitter; on
+// resume the manager reports the last sequence it accepted, acknowledged
+// batches are released, and the remainder replayed — the manager dedupes
+// anything that was in flight, giving exactly-once delivery to the sinks.
+// If the queue overflows, the oldest batches are dropped and counted
+// (Stats.Dropped); if the retry cap is exhausted the sensor degrades to
+// drain-and-discard (Stats.LostOffline) so the node never wedges.
 package exs
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -32,6 +50,10 @@ import (
 	"brisk/internal/vclock"
 	"brisk/internal/wire"
 )
+
+// DefaultReconnectAttempts is the reconnect cap used when
+// Config.MaxReconnectAttempts is zero.
+const DefaultReconnectAttempts = 20
 
 // Config configures an external sensor.
 type Config struct {
@@ -54,6 +76,27 @@ type Config struct {
 	FlushInterval time.Duration
 	// PollInterval is the ring-scan period while idle. Default 500 µs.
 	PollInterval time.Duration
+	// ReconnectBase is the first backoff delay after a lost manager
+	// connection; it doubles per failed attempt. Default 50 ms.
+	ReconnectBase time.Duration
+	// ReconnectMax caps the exponential backoff. Default 5 s.
+	ReconnectMax time.Duration
+	// ReconnectJitter is the ± fraction of uniform jitter applied to
+	// every backoff delay (0.2 = ±20%). Default 0.2; negative disables.
+	ReconnectJitter float64
+	// MaxReconnectAttempts caps consecutive failed reconnect attempts
+	// per outage before the sensor gives up and degrades to
+	// drain-and-discard. 0 means DefaultReconnectAttempts; negative
+	// means retry forever.
+	MaxReconnectAttempts int
+	// SpillBytes bounds the in-memory retransmit/spill queue holding
+	// unacknowledged and offline batches. When exceeded, the oldest
+	// batches are dropped and their records counted in Stats.Dropped.
+	// Default 4 MiB.
+	SpillBytes int
+	// DialTimeout bounds one connection attempt including the HELLO
+	// exchange. Default 5 s.
+	DialTimeout time.Duration
 	// Logf logs diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -62,11 +105,16 @@ type Config struct {
 type Stats struct {
 	// Node is the manager-assigned node id (0 before HELLO completes).
 	Node int32
-	// Sent counts records shipped to the manager.
+	// Session is the node's resume-session identifier.
+	Session uint64
+	// Online reports whether the manager connection is currently up.
+	Online bool
+	// Sent counts records shipped to the manager (first transmission;
+	// replays after a resume are not double-counted).
 	Sent uint64
-	// Batches counts data batches sent.
+	// Batches counts data-batch frames written, including retransmits.
 	Batches uint64
-	// BytesOut counts wire payload bytes sent.
+	// BytesOut counts wire payload bytes sent across all connections.
 	BytesOut uint64
 	// RingDropped counts records lost at the sensor rings (application
 	// outran the drain).
@@ -77,44 +125,96 @@ type Stats struct {
 	Adjusts uint64
 	// Correction is the current clock-correction value (µs).
 	Correction int64
-	// LostOffline counts records discarded after the manager connection
-	// failed (the external sensor keeps draining so the application
-	// never blocks).
+	// Reconnects counts successful reconnections to the manager.
+	Reconnects uint64
+	// Retransmits counts batches replayed after a resume.
+	Retransmits uint64
+	// Spilled counts records buffered while the manager was unreachable.
+	Spilled uint64
+	// Dropped counts records evicted from the bounded spill queue
+	// (drop-oldest) or discarded with it at shutdown.
+	Dropped uint64
+	// QueuedBytes is the current size of the unacknowledged/spill queue.
+	QueuedBytes int
+	// LostOffline counts records discarded after the sensor gave up
+	// reconnecting (the drain keeps running so the application never
+	// blocks).
 	LostOffline uint64
 }
 
-// EXS is one running external sensor. Create with Dial, stop with Close.
+// Connection states.
+const (
+	stateOnline int32 = iota
+	stateReconnecting
+	stateDead
+)
+
+// qEntry is one batch retained until the manager acknowledges it.
+type qEntry struct {
+	seq      uint64
+	count    int
+	payload  []byte
+	sent     bool // written to the current connection
+	everSent bool // written to some connection at least once
+}
+
+// EXS is one running external sensor. Create with Dial or DialContext,
+// stop with Close.
 type EXS struct {
 	cfg   Config
 	clock *vclock.Corrected
 	logf  func(string, ...any)
 
-	raw  net.Conn
-	conn *wire.Conn
-	node int32
+	session uint64
+	ctx     context.Context
+	cancel  context.CancelFunc
 
-	sent    atomic.Uint64
-	batches atomic.Uint64
-	probes  atomic.Uint64
-	adjusts atomic.Uint64
-	// dead is set when the manager connection fails; the drain loop then
-	// keeps emptying the rings (so the application never blocks or leaks
-	// memory) but discards the records, counting them.
-	dead        atomic.Bool
-	lostOffline atomic.Uint64
+	connMu sync.Mutex
+	conn   *wire.Conn // nil while disconnected
+	raw    net.Conn
+	node   atomic.Int32
 
-	done    chan struct{}
-	wgDrain sync.WaitGroup
-	wgCtl   sync.WaitGroup
-	closed  atomic.Bool
+	state       atomic.Int32
+	reconnectCh chan struct{}
 
-	// flushNow lets tests and latency-sensitive callers force a send.
+	// qMu guards the retransmit queue; pump holds it across sends so
+	// replayed and fresh batches stay sequence-ordered on the wire.
+	qMu     sync.Mutex
+	queue   []qEntry
+	qBytes  int
+	nextSeq uint64
+
+	sent         atomic.Uint64
+	batches      atomic.Uint64
+	probes       atomic.Uint64
+	adjusts      atomic.Uint64
+	reconnects   atomic.Uint64
+	retransmits  atomic.Uint64
+	spilled      atomic.Uint64
+	dropped      atomic.Uint64
+	lostOffline  atomic.Uint64
+	bytesOutBase atomic.Uint64 // BytesOut of finished connections
+
+	rng *mrand.Rand // jitter source; reconnector-goroutine only
+
+	done     chan struct{}
+	wgDrain  sync.WaitGroup
+	wgCtl    sync.WaitGroup // control loops + reconnector
+	closed   atomic.Bool
 	flushNow chan struct{}
 }
 
 // Dial connects to the manager, performs the HELLO exchange, and starts
-// the drain and control loops.
+// the drain, control and reconnect loops.
 func Dial(cfg Config) (*EXS, error) {
+	return DialContext(context.Background(), cfg)
+}
+
+// DialContext is Dial with a lifetime context: canceling ctx aborts any
+// in-flight dial or backoff wait and permanently stops reconnection (the
+// drain keeps discarding so the application never blocks); call Close to
+// release the remaining resources.
+func DialContext(ctx context.Context, cfg Config) (*EXS, error) {
 	if cfg.Region == nil {
 		return nil, errors.New("exs: Config.Region is required")
 	}
@@ -130,47 +230,110 @@ func Dial(cfg Config) (*EXS, error) {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 500 * time.Microsecond
 	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 5 * time.Second
+	}
+	if cfg.ReconnectJitter == 0 {
+		cfg.ReconnectJitter = 0.2
+	} else if cfg.ReconnectJitter < 0 {
+		cfg.ReconnectJitter = 0
+	}
+	if cfg.MaxReconnectAttempts == 0 {
+		cfg.MaxReconnectAttempts = DefaultReconnectAttempts
+	}
+	if cfg.SpillBytes <= 0 {
+		cfg.SpillBytes = 4 << 20
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	raw, err := net.Dial("tcp", cfg.ManagerAddr)
-	if err != nil {
-		return nil, fmt.Errorf("exs: dial manager: %w", err)
+	e := &EXS{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		logf:        cfg.Logf,
+		session:     newSessionID(),
+		reconnectCh: make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		flushNow:    make(chan struct{}, 1),
 	}
+	e.ctx, e.cancel = context.WithCancel(ctx)
+	e.rng = mrand.New(mrand.NewSource(int64(e.session) ^ time.Now().UnixNano()))
+	raw, conn, ack, err := e.connect(false)
+	if err != nil {
+		e.cancel()
+		return nil, err
+	}
+	e.raw, e.conn = raw, conn
+	e.node.Store(ack.Node)
+	e.wgDrain.Add(1)
+	go e.drainLoop()
+	e.wgCtl.Add(1)
+	go e.controlLoop(conn)
+	e.wgCtl.Add(1)
+	go e.reconnector()
+	return e, nil
+}
+
+// newSessionID returns a random non-zero session identifier.
+func newSessionID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to the clock; uniqueness only needs to hold per
+			// manager across the retention window.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// connect dials the manager and runs the HELLO exchange, bounded by
+// DialTimeout and the sensor's context.
+func (e *EXS) connect(resume bool) (net.Conn, *wire.Conn, *wire.HelloAck, error) {
+	d := net.Dialer{Timeout: e.cfg.DialTimeout}
+	raw, err := d.DialContext(e.ctx, "tcp", e.cfg.ManagerAddr)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("exs: dial manager: %w", err)
+	}
+	raw.SetDeadline(time.Now().Add(e.cfg.DialTimeout))
 	conn := wire.NewConn(raw)
-	if err := conn.Send(&wire.Hello{Version: wire.ProtocolVersion, Name: cfg.NodeName}); err != nil {
+	hello := &wire.Hello{
+		Version: wire.ProtocolVersion,
+		Name:    e.cfg.NodeName,
+		Session: e.session,
+		Resume:  resume,
+	}
+	if err := conn.Send(hello); err != nil {
 		raw.Close()
-		return nil, fmt.Errorf("exs: hello: %w", err)
+		return nil, nil, nil, fmt.Errorf("exs: hello: %w", err)
 	}
 	msg, err := conn.Recv()
 	if err != nil {
 		raw.Close()
-		return nil, fmt.Errorf("exs: hello ack: %w", err)
+		return nil, nil, nil, fmt.Errorf("exs: hello ack: %w", err)
 	}
 	ack, ok := msg.(*wire.HelloAck)
 	if !ok {
 		raw.Close()
-		return nil, fmt.Errorf("exs: expected HELLO_ACK, got %v", msg.Type())
+		return nil, nil, nil, fmt.Errorf("exs: expected HELLO_ACK, got %v", msg.Type())
 	}
-	e := &EXS{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		logf:     cfg.Logf,
-		raw:      raw,
-		conn:     conn,
-		node:     ack.Node,
-		done:     make(chan struct{}),
-		flushNow: make(chan struct{}, 1),
-	}
-	e.wgDrain.Add(1)
-	go e.drainLoop()
-	e.wgCtl.Add(1)
-	go e.controlLoop()
-	return e, nil
+	raw.SetDeadline(time.Time{})
+	return raw, conn, ack, nil
 }
 
 // Node returns the manager-assigned node id.
-func (e *EXS) Node() int32 { return e.node }
+func (e *EXS) Node() int32 { return e.node.Load() }
+
+// Session returns the node's resume-session identifier.
+func (e *EXS) Session() uint64 { return e.session }
 
 // Clock returns the node's corrected clock.
 func (e *EXS) Clock() *vclock.Corrected { return e.clock }
@@ -180,6 +343,229 @@ func (e *EXS) Flush() {
 	select {
 	case e.flushNow <- struct{}{}:
 	default:
+	}
+}
+
+// liveConn returns the current connection, or nil while disconnected.
+func (e *EXS) liveConn() *wire.Conn {
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
+	return e.conn
+}
+
+// enqueue copies one batch into the retransmit queue, assigning its
+// sequence number and applying the drop-oldest bound.
+func (e *EXS) enqueue(payload []byte, count int) {
+	cp := append([]byte(nil), payload...)
+	e.qMu.Lock()
+	e.nextSeq++
+	e.queue = append(e.queue, qEntry{seq: e.nextSeq, count: count, payload: cp})
+	e.qBytes += len(cp)
+	var evicted uint64
+	for e.qBytes > e.cfg.SpillBytes && len(e.queue) > 1 {
+		old := e.queue[0]
+		e.queue = e.queue[1:]
+		e.qBytes -= len(old.payload)
+		evicted += uint64(old.count)
+	}
+	e.qMu.Unlock()
+	if evicted > 0 {
+		e.dropped.Add(evicted)
+	}
+	if e.state.Load() != stateOnline {
+		e.spilled.Add(uint64(count))
+	}
+}
+
+// pump writes every not-yet-sent queued batch to c in sequence order.
+// Holding qMu across the sends keeps replays and fresh batches ordered;
+// the ack path contends on the same mutex but never blocks the socket.
+func (e *EXS) pump(c *wire.Conn) error {
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	for i := range e.queue {
+		ent := &e.queue[i]
+		if ent.sent {
+			continue
+		}
+		msg := &wire.DataBatch{Seq: ent.seq, Count: uint32(ent.count), Payload: ent.payload}
+		if err := c.Send(msg); err != nil {
+			return err
+		}
+		ent.sent = true
+		e.batches.Add(1)
+		if ent.everSent {
+			e.retransmits.Add(1)
+		} else {
+			ent.everSent = true
+			e.sent.Add(uint64(ent.count))
+		}
+	}
+	return nil
+}
+
+// ackTo releases every queued batch with sequence ≤ seq.
+func (e *EXS) ackTo(seq uint64) {
+	e.qMu.Lock()
+	for len(e.queue) > 0 && e.queue[0].seq <= seq {
+		e.qBytes -= len(e.queue[0].payload)
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) == 0 {
+		e.queue = nil // let the backing array go
+	}
+	e.qMu.Unlock()
+}
+
+// markDisconnected tears down the given connection (if it is still the
+// current one), flags queued batches for retransmission, and wakes the
+// reconnector. Safe to call from any goroutine; duplicate reports against
+// the same connection are ignored.
+func (e *EXS) markDisconnected(c *wire.Conn, err error) {
+	e.connMu.Lock()
+	if e.conn != c || c == nil {
+		e.connMu.Unlock()
+		return
+	}
+	e.bytesOutBase.Add(c.BytesOut())
+	raw := e.raw
+	e.conn, e.raw = nil, nil
+	e.connMu.Unlock()
+	raw.Close()
+	e.qMu.Lock()
+	for i := range e.queue {
+		e.queue[i].sent = false
+	}
+	e.qMu.Unlock()
+	if e.closed.Load() {
+		return
+	}
+	if e.state.CompareAndSwap(stateOnline, stateReconnecting) {
+		e.logf("exs: manager connection lost (%v), reconnecting", err)
+	}
+	select {
+	case e.reconnectCh <- struct{}{}:
+	default:
+	}
+}
+
+// markDead gives up on the manager permanently: the queue is discarded
+// (counted) and the drain degrades to discarding new records.
+func (e *EXS) markDead(reason string) {
+	if e.state.Swap(stateDead) == stateDead {
+		return
+	}
+	e.qMu.Lock()
+	var lost uint64
+	for _, ent := range e.queue {
+		lost += uint64(ent.count)
+	}
+	e.queue, e.qBytes = nil, 0
+	e.qMu.Unlock()
+	if lost > 0 {
+		e.dropped.Add(lost)
+	}
+	if !e.closed.Load() {
+		e.logf("exs: giving up on manager (%s), discarding records", reason)
+	}
+}
+
+// backoffDelay computes the exponential-backoff delay for the given
+// 0-based attempt: base·2^attempt capped at max, with ±jitter uniform
+// noise drawn from rnd (a [0,1) source).
+func backoffDelay(attempt int, base, max time.Duration, jitter float64, rnd func() float64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if jitter > 0 {
+		f := 1 + jitter*(2*rnd()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// reconnector owns redialing: it sleeps through the backoff schedule,
+// re-runs the HELLO exchange with the session id, trims the queue to the
+// manager's resume point, replays the backlog, and only then marks the
+// link online.
+func (e *EXS) reconnector() {
+	defer e.wgCtl.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.reconnectCh:
+		}
+		if e.state.Load() != stateReconnecting {
+			continue
+		}
+		if !e.reconnectLoop() {
+			return
+		}
+	}
+}
+
+// reconnectLoop runs one outage's retry schedule. It returns false when
+// the reconnector should exit (shutdown or permanent give-up).
+func (e *EXS) reconnectLoop() bool {
+	max := e.cfg.MaxReconnectAttempts
+	for attempt := 0; ; attempt++ {
+		if max >= 0 && attempt >= max {
+			e.markDead(fmt.Sprintf("retry cap %d reached", max))
+			return false
+		}
+		delay := backoffDelay(attempt, e.cfg.ReconnectBase, e.cfg.ReconnectMax,
+			e.cfg.ReconnectJitter, e.rng.Float64)
+		timer := time.NewTimer(delay)
+		select {
+		case <-e.done:
+			timer.Stop()
+			return false
+		case <-e.ctx.Done():
+			timer.Stop()
+			e.markDead("context canceled")
+			return false
+		case <-timer.C:
+		}
+		raw, conn, ack, err := e.connect(true)
+		if err != nil {
+			if e.ctx.Err() != nil {
+				e.markDead("context canceled")
+				return false
+			}
+			continue
+		}
+		e.node.Store(ack.Node)
+		if ack.Resumed {
+			// Everything the manager already accepted is delivered.
+			e.ackTo(ack.LastSeq)
+		}
+		// Replay the backlog before going online so fresh batches cannot
+		// overtake older sequence numbers.
+		if err := e.pump(conn); err != nil {
+			raw.Close()
+			continue
+		}
+		e.connMu.Lock()
+		e.raw, e.conn = raw, conn
+		e.connMu.Unlock()
+		e.state.Store(stateOnline)
+		e.reconnects.Add(1)
+		e.logf("exs: reconnected to manager as node %d (resumed=%v)", ack.Node, ack.Resumed)
+		e.wgCtl.Add(1)
+		go e.controlLoop(conn)
+		// Catch anything queued while we were replaying.
+		if err := e.pump(conn); err != nil {
+			e.markDisconnected(conn, err)
+		}
+		return true
 	}
 }
 
@@ -195,26 +581,22 @@ func (e *EXS) drainLoop() {
 		if count == 0 {
 			return
 		}
-		if e.dead.Load() {
+		if e.state.Load() == stateDead {
 			e.lostOffline.Add(uint64(count))
 			batch = batch[:0]
 			count = 0
 			return
 		}
-		msg := &wire.DataBatch{Count: uint32(count), Payload: batch}
-		if err := e.conn.Send(msg); err != nil {
-			if !e.closed.Load() && !e.dead.Swap(true) {
-				e.logf("exs: manager unreachable, discarding records: %v", err)
-			}
-			e.lostOffline.Add(uint64(count))
-			batch = batch[:0]
-			count = 0
-			return
-		}
-		e.sent.Add(uint64(count))
-		e.batches.Add(1)
+		e.enqueue(batch, count)
 		batch = batch[:0]
 		count = 0
+		if e.state.Load() == stateOnline {
+			if c := e.liveConn(); c != nil {
+				if err := e.pump(c); err != nil {
+					e.markDisconnected(c, err)
+				}
+			}
+		}
 	}
 
 	ticker := time.NewTicker(e.cfg.PollInterval)
@@ -300,14 +682,16 @@ func patchRegion(region []byte, correction int64) {
 	}
 }
 
-// controlLoop services manager messages: clock probes and adjustments.
-func (e *EXS) controlLoop() {
+// controlLoop services manager messages on one connection: clock probes,
+// adjustments, batch acknowledgements and heartbeats. It exits when the
+// connection dies, handing recovery to the reconnector.
+func (e *EXS) controlLoop(c *wire.Conn) {
 	defer e.wgCtl.Done()
 	for {
-		msg, err := e.conn.Recv()
+		msg, err := c.Recv()
 		if err != nil {
 			if !e.closed.Load() {
-				e.logf("exs: manager connection: %v", err)
+				e.markDisconnected(c, err)
 			}
 			return
 		}
@@ -319,16 +703,28 @@ func (e *EXS) controlLoop() {
 				MasterSend: t.MasterSend,
 				SlaveTime:  e.clock.NowMicros(),
 			}
-			if err := e.conn.Send(reply); err != nil {
+			if err := c.Send(reply); err != nil {
+				e.markDisconnected(c, err)
 				return
 			}
 		case *wire.Adjust:
 			e.adjusts.Add(1)
 			e.clock.Adjust(t.DeltaMicros)
+		case *wire.DataAck:
+			e.ackTo(t.Seq)
+		case *wire.Ping:
+			if err := c.Send(&wire.Pong{Seq: t.Seq}); err != nil {
+				e.markDisconnected(c, err)
+				return
+			}
 		case *wire.Bye:
+			// Manager announced shutdown; treat it like a lost link so a
+			// restarted manager picks the session back up.
+			e.markDisconnected(c, errors.New("manager sent BYE"))
 			return
 		default:
 			e.logf("exs: unexpected %v from manager", msg.Type())
+			e.markDisconnected(c, fmt.Errorf("unexpected %v", msg.Type()))
 			return
 		}
 	}
@@ -337,29 +733,88 @@ func (e *EXS) controlLoop() {
 // Stats returns a snapshot of counters.
 func (e *EXS) Stats() Stats {
 	_, ringDropped := e.cfg.Region.Stats()
+	var liveBytes uint64
+	e.connMu.Lock()
+	if e.conn != nil {
+		liveBytes = e.conn.BytesOut()
+	}
+	e.connMu.Unlock()
+	e.qMu.Lock()
+	queued := e.qBytes
+	e.qMu.Unlock()
 	return Stats{
-		Node:        e.node,
+		Node:        e.node.Load(),
+		Session:     e.session,
+		Online:      e.state.Load() == stateOnline,
 		Sent:        e.sent.Load(),
 		Batches:     e.batches.Load(),
-		BytesOut:    e.conn.BytesOut(),
+		BytesOut:    e.bytesOutBase.Load() + liveBytes,
 		RingDropped: ringDropped,
 		Probes:      e.probes.Load(),
 		Adjusts:     e.adjusts.Load(),
 		Correction:  e.clock.Correction(),
+		Reconnects:  e.reconnects.Load(),
+		Retransmits: e.retransmits.Load(),
+		Spilled:     e.spilled.Load(),
+		Dropped:     e.dropped.Load(),
+		QueuedBytes: queued,
 		LostOffline: e.lostOffline.Load(),
 	}
 }
 
-// Close ships any buffered records, announces BYE, and disconnects.
+// Close ships any buffered records, announces BYE, and disconnects. It
+// returns promptly even while a reconnect loop is mid-backoff or
+// mid-dial; records still unacknowledged at that point are dropped and
+// counted.
 func (e *EXS) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	e.cancel() // abort any in-flight dial or backoff wait
+	// Bound the final sends so a wedged peer cannot block Close.
+	e.connMu.Lock()
+	if e.raw != nil {
+		e.raw.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	}
+	e.connMu.Unlock()
 	close(e.done)
 	// Let the drain loop ship its final batch before the socket goes.
 	e.wgDrain.Wait()
-	_ = e.conn.Send(&wire.Bye{})
-	err := e.raw.Close() // unblocks the control loop's Recv
+	// Wait (bounded) for the manager to acknowledge the tail. Closing the
+	// socket while acknowledgements are still in flight would make the
+	// manager's ack writes hit a closed peer — a TCP reset that destroys
+	// the final batches sitting unread in its receive buffer.
+	drainDeadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(drainDeadline) {
+		e.qMu.Lock()
+		empty := len(e.queue) == 0
+		e.qMu.Unlock()
+		if empty || e.state.Load() != stateOnline || e.liveConn() == nil {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	e.connMu.Lock()
+	c, raw := e.conn, e.raw
+	e.conn, e.raw = nil, nil
+	e.connMu.Unlock()
+	var err error
+	if c != nil {
+		e.bytesOutBase.Add(c.BytesOut())
+		_ = c.Send(&wire.Bye{})
+		err = raw.Close() // unblocks the control loop's Recv
+	}
 	e.wgCtl.Wait()
+	// Whatever the manager never acknowledged is gone now.
+	e.qMu.Lock()
+	var lost uint64
+	for _, ent := range e.queue {
+		lost += uint64(ent.count)
+	}
+	e.queue, e.qBytes = nil, 0
+	e.qMu.Unlock()
+	if lost > 0 {
+		e.dropped.Add(lost)
+	}
 	return err
 }

@@ -1,0 +1,412 @@
+package exs
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/wire"
+)
+
+// fakeISM is a minimal manager: it completes the HELLO exchange, records
+// what it receives, and (optionally) acknowledges batches.
+type fakeISM struct {
+	ln      net.Listener
+	ackAll  bool
+	mu      sync.Mutex
+	conns   []net.Conn
+	hellos  []wire.Hello
+	batches []wire.DataBatch
+	wg      sync.WaitGroup
+}
+
+func newFakeISM(t *testing.T, ackAll bool) *fakeISM {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeISM{ln: ln, ackAll: ackAll}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func (f *fakeISM) addr() string { return f.ln.Addr().String() }
+
+func (f *fakeISM) acceptLoop() {
+	defer f.wg.Done()
+	node := int32(0)
+	for {
+		raw, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns = append(f.conns, raw)
+		f.mu.Unlock()
+		node++
+		f.wg.Add(1)
+		go f.serve(raw, node)
+	}
+}
+
+func (f *fakeISM) serve(raw net.Conn, node int32) {
+	defer f.wg.Done()
+	wc := wire.NewConn(raw)
+	msg, err := wc.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.hellos = append(f.hellos, *hello)
+	f.mu.Unlock()
+	if wc.Send(&wire.HelloAck{Node: node}) != nil {
+		return
+	}
+	for {
+		msg, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		if b, ok := msg.(*wire.DataBatch); ok {
+			f.mu.Lock()
+			f.batches = append(f.batches, wire.DataBatch{Seq: b.Seq, Count: b.Count})
+			f.mu.Unlock()
+			if f.ackAll {
+				if wc.Send(&wire.DataAck{Seq: b.Seq}) != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close severs everything: listener and all accepted connections.
+func (f *fakeISM) Close() {
+	f.ln.Close()
+	f.mu.Lock()
+	for _, c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func fixedRand(v float64) func() float64 { return func() float64 { return v } }
+
+// TestBackoffDelaySchedule verifies the exponential schedule and its cap
+// with jitter disabled.
+func TestBackoffDelaySchedule(t *testing.T) {
+	const base = 10 * time.Millisecond
+	const max = 80 * time.Millisecond
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for attempt, w := range want {
+		got := backoffDelay(attempt, base, max, 0, fixedRand(0))
+		if got != w*time.Millisecond {
+			t.Errorf("attempt %d: delay = %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestBackoffDelayJitterBounds verifies the ±jitter fraction holds at the
+// extremes of the random source and in between.
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	const jitter = 0.2
+	cases := []struct {
+		rnd  float64
+		want time.Duration
+	}{
+		{0, 80 * time.Millisecond},    // 1 + 0.2*(-1)
+		{0.5, 100 * time.Millisecond}, // 1 + 0.2*0
+		{1, 120 * time.Millisecond},   // 1 + 0.2*(+1)
+	}
+	for _, c := range cases {
+		got := backoffDelay(0, base, time.Second, jitter, fixedRand(c.rnd))
+		if got != c.want {
+			t.Errorf("rnd=%v: delay = %v, want %v", c.rnd, got, c.want)
+		}
+	}
+	// Any rnd value must land inside the band.
+	for _, rnd := range []float64{0.1, 0.25, 0.33, 0.7, 0.99} {
+		got := backoffDelay(3, base, 10*time.Second, jitter, fixedRand(rnd))
+		lo := time.Duration(float64(8*base) * (1 - jitter))
+		hi := time.Duration(float64(8*base) * (1 + jitter))
+		if got < lo || got > hi {
+			t.Errorf("rnd=%v: delay %v outside [%v, %v]", rnd, got, lo, hi)
+		}
+	}
+}
+
+// TestBackoffDelayFloor verifies sub-millisecond results are clamped, so
+// a zero base cannot spin-dial.
+func TestBackoffDelayFloor(t *testing.T) {
+	if got := backoffDelay(0, 1, time.Second, 0, fixedRand(0)); got < time.Millisecond {
+		t.Fatalf("delay = %v, want >= 1ms", got)
+	}
+}
+
+// TestEnqueueDropOldestAccounting exercises the spill bound directly: the
+// queue keeps the newest batches, evicts from the front, and counts every
+// dropped record.
+func TestEnqueueDropOldestAccounting(t *testing.T) {
+	e := &EXS{cfg: Config{SpillBytes: 100}}
+	e.state.Store(stateReconnecting)
+
+	payload := make([]byte, 40)
+	for i := 0; i < 5; i++ { // 200 bytes total against a 100-byte budget
+		e.enqueue(payload, 3)
+	}
+	st := struct {
+		dropped uint64
+		spilled uint64
+	}{e.dropped.Load(), e.spilled.Load()}
+	e.qMu.Lock()
+	n := len(e.queue)
+	bytes := e.qBytes
+	firstSeq := e.queue[0].seq
+	lastSeq := e.queue[n-1].seq
+	e.qMu.Unlock()
+
+	if bytes > 100 {
+		t.Fatalf("queue holds %d bytes, budget 100", bytes)
+	}
+	if n != 2 || firstSeq != 4 || lastSeq != 5 {
+		t.Fatalf("queue = %d entries, seqs [%d..%d]; want the 2 newest (4..5)", n, firstSeq, lastSeq)
+	}
+	if st.dropped != 9 { // 3 evicted batches × 3 records
+		t.Fatalf("Dropped = %d, want 9", st.dropped)
+	}
+	if st.spilled != 15 { // all 5 batches enqueued while offline
+		t.Fatalf("Spilled = %d, want 15", st.spilled)
+	}
+}
+
+// TestEnqueueKeepsOversizedBatch verifies a single batch larger than the
+// whole budget is still retained (the bound drops oldest, never newest).
+func TestEnqueueKeepsOversizedBatch(t *testing.T) {
+	e := &EXS{cfg: Config{SpillBytes: 10}}
+	e.state.Store(stateReconnecting)
+	e.enqueue(make([]byte, 50), 2)
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	if len(e.queue) != 1 || e.dropped.Load() != 0 {
+		t.Fatalf("oversized batch evicted: queue=%d dropped=%d", len(e.queue), e.dropped.Load())
+	}
+}
+
+// TestAckToReleasesPrefix verifies cumulative acknowledgement frees
+// exactly the acked prefix.
+func TestAckToReleasesPrefix(t *testing.T) {
+	e := &EXS{cfg: Config{SpillBytes: 1 << 20}}
+	for i := 0; i < 4; i++ {
+		e.enqueue(make([]byte, 8), 1)
+	}
+	e.ackTo(2)
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	if len(e.queue) != 2 || e.queue[0].seq != 3 {
+		t.Fatalf("after ackTo(2): %d entries, head seq %d", len(e.queue), e.queue[0].seq)
+	}
+	if e.qBytes != 16 {
+		t.Fatalf("qBytes = %d, want 16", e.qBytes)
+	}
+}
+
+// dialFake connects an EXS to a fake manager with fast test timings.
+func dialFake(t *testing.T, f *fakeISM, mutate func(*Config)) (*EXS, *shm.Region) {
+	t.Helper()
+	region := shm.NewRegion()
+	cfg := Config{
+		ManagerAddr:   f.addr(),
+		NodeName:      "t",
+		Region:        region,
+		FlushInterval: time.Millisecond,
+		PollInterval:  200 * time.Microsecond,
+		ReconnectBase: 2 * time.Millisecond,
+		ReconnectMax:  10 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, region
+}
+
+// TestRetryCapDegradesToOffline kills the manager for good and verifies
+// the sensor runs its capped schedule, gives up, counts the stranded
+// queue as dropped, and keeps draining (LostOffline grows, ring empties).
+func TestRetryCapDegradesToOffline(t *testing.T) {
+	f := newFakeISM(t, false)
+	e, region := dialFake(t, f, func(c *Config) { c.MaxReconnectAttempts = 2 })
+	s := sensor.New(region, "app", sensor.Options{})
+
+	s.Notice2i(1, 1, 0)
+	e.Flush()
+	waitFor(t, 5*time.Second, func() bool { return e.Stats().Sent == 1 })
+
+	f.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s.Notice2i(1, 2, 0)
+		e.Flush()
+		st := e.Stats()
+		if !st.Online && st.LostOffline > 0 {
+			// The unacked in-flight record was stranded in the queue and
+			// counted when the sensor gave up.
+			if st.Dropped == 0 {
+				t.Fatalf("stranded queue not counted: %+v", st)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sensor never degraded to offline: %+v", e.Stats())
+}
+
+// TestReconnectResumesAndRetransmits bounces every connection after the
+// first batch and verifies the sensor reconnects (new HELLO carries the
+// same session id with Resume set) and replays the unacked batch.
+func TestReconnectResumesAndRetransmits(t *testing.T) {
+	f := newFakeISM(t, false) // never acks: everything stays queued
+	e, region := dialFake(t, f, nil)
+	s := sensor.New(region, "app", sensor.Options{})
+
+	s.Notice2i(1, 1, 0)
+	e.Flush()
+	waitFor(t, 5*time.Second, func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.batches) >= 1
+	})
+
+	// Kill the live connection only; the listener stays up.
+	f.mu.Lock()
+	for _, c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+
+	waitFor(t, 5*time.Second, func() bool {
+		st := e.Stats()
+		return st.Online && st.Reconnects >= 1
+	})
+	waitFor(t, 5*time.Second, func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.batches) >= 2 // the unacked batch was replayed
+	})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.hellos) < 2 {
+		t.Fatalf("hellos = %d, want 2", len(f.hellos))
+	}
+	h0, h1 := f.hellos[0], f.hellos[1]
+	if h0.Session == 0 || h0.Session != h1.Session {
+		t.Fatalf("session ids: first %d, second %d — must match and be nonzero", h0.Session, h1.Session)
+	}
+	if h0.Resume || !h1.Resume {
+		t.Fatalf("resume flags: first %v, second %v", h0.Resume, h1.Resume)
+	}
+	if f.batches[0].Seq != f.batches[len(f.batches)-1].Seq {
+		t.Fatalf("replayed batch changed seq: %d vs %d", f.batches[0].Seq, f.batches[len(f.batches)-1].Seq)
+	}
+	if e.Stats().Retransmits == 0 {
+		t.Fatal("Retransmits not counted")
+	}
+	if e.Stats().Sent != 1 {
+		t.Fatalf("Sent = %d after replay, want 1 (no double count)", e.Stats().Sent)
+	}
+}
+
+// TestCloseDuringReconnectDoesNotBlock is the regression test for Close
+// racing an active reconnect loop: with the manager gone and an
+// effectively unbounded retry schedule, Close must still return promptly
+// and leave no goroutine wedged in a backoff sleep or dial.
+func TestCloseDuringReconnectDoesNotBlock(t *testing.T) {
+	f := newFakeISM(t, false)
+	e, region := dialFake(t, f, func(c *Config) {
+		c.MaxReconnectAttempts = -1 // retry forever
+		c.ReconnectBase = 10 * time.Second
+		c.ReconnectMax = 10 * time.Second
+	})
+	s := sensor.New(region, "app", sensor.Options{})
+	s.Notice2i(1, 1, 0)
+	e.Flush()
+	waitFor(t, 5*time.Second, func() bool { return e.Stats().Sent == 1 })
+
+	f.Close()
+	waitFor(t, 5*time.Second, func() bool { return !e.Stats().Online })
+
+	closed := make(chan error, 1)
+	go func() { closed <- e.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on an active reconnect loop")
+	}
+	// The stranded queue is accounted for, not leaked.
+	if st := e.Stats(); st.Dropped == 0 {
+		t.Fatalf("unacked records not counted at close: %+v", st)
+	}
+}
+
+// TestDialContextCancelAbortsBackoff verifies canceling the lifetime
+// context mid-outage stops reconnection permanently.
+func TestDialContextCancelAbortsBackoff(t *testing.T) {
+	f := newFakeISM(t, false)
+	region := shm.NewRegion()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e, err := DialContext(ctx, Config{
+		ManagerAddr:          f.addr(),
+		Region:               region,
+		FlushInterval:        time.Millisecond,
+		PollInterval:         200 * time.Microsecond,
+		ReconnectBase:        time.Hour, // would block Close without ctx
+		ReconnectMax:         time.Hour,
+		MaxReconnectAttempts: -1,
+		Logf:                 func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	f.Close()
+	waitFor(t, 5*time.Second, func() bool { return !e.Stats().Online })
+	cancel()
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked despite canceled context")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

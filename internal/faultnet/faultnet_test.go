@@ -1,0 +1,255 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func newProxy(t *testing.T) *Proxy {
+	t.Helper()
+	srv := echoServer(t)
+	p, err := Listen(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPassThrough(t *testing.T) {
+	p := newProxy(t)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+	if p.BytesUp() != int64(len(msg)) || p.BytesDown() != int64(len(msg)) {
+		t.Fatalf("counters up=%d down=%d, want %d", p.BytesUp(), p.BytesDown(), len(msg))
+	}
+}
+
+// TestCutAfterExactBytes verifies the byte-deterministic cut: exactly N
+// upstream bytes pass, then both sides of the link die.
+func TestCutAfterExactBytes(t *testing.T) {
+	// A sink server that records everything it receives.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		data []byte
+		err  error
+	}
+	sunk := make(chan result, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				data, err := io.ReadAll(c)
+				sunk <- result{data, err}
+			}()
+		}
+	}()
+
+	p, err := Listen(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p.CutAfter(5)
+	if _, err := c.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	// The server sees exactly the first 5 bytes, then EOF from the cut.
+	r := <-sunk
+	if string(r.data) != "01234" {
+		t.Fatalf("server received %q, want %q", r.data, "01234")
+	}
+	// The client side of the link is dead too.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("link survived the armed cut")
+	}
+	if p.BytesUp() != 5 {
+		t.Fatalf("BytesUp = %d, want 5", p.BytesUp())
+	}
+	if p.Cuts() != 1 {
+		t.Fatalf("Cuts = %d, want 1", p.Cuts())
+	}
+	// The budget is one-shot: a new connection relays freely again.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	r2 := <-sunk
+	if string(r2.data) != "abcdefgh" {
+		t.Fatalf("post-cut connection relayed %q", r2.data)
+	}
+}
+
+func TestCutNowSeversActiveLinks(t *testing.T) {
+	p := newProxy(t)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	p.CutNow()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded after CutNow")
+	}
+}
+
+// TestRefuseAcceptWindow verifies connections die during the window and
+// flow again after it closes.
+func TestRefuseAcceptWindow(t *testing.T) {
+	p := newProxy(t)
+	p.SetAccepting(false)
+	c, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// The OS accepts, the proxy slams the door: first use fails.
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, rerr := c.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("refused connection delivered data")
+		}
+		c.Close()
+	}
+	if p.Refused() == 0 {
+		t.Fatal("refusal not counted")
+	}
+
+	p.SetAccepting(true)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatalf("post-window connection blocked: %v", err)
+	}
+}
+
+// TestStallHoldsBytesWithoutClosing verifies a stalled proxy neither
+// closes the link nor delivers data, and releases everything on unstall.
+func TestStallHoldsBytesWithoutClosing(t *testing.T) {
+	p := newProxy(t)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Prime the link so both pumps are running.
+	if _, err := c.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Stall(true)
+	if _, err := c.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled proxy delivered data")
+	}
+
+	p.Stall(false)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("unstall did not release data: %v", err)
+	}
+	if got[0] != 'b' {
+		t.Fatalf("got %q after unstall, want 'b'", got)
+	}
+}
+
+func TestCloseIdempotentAndUnblocksStall(t *testing.T) {
+	p := newProxy(t)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.Stall(true)
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a stalled pump")
+	}
+}

@@ -1,12 +1,14 @@
 package ism
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"brisk/internal/exs"
+	"brisk/internal/faultnet"
 	"brisk/internal/sensor"
 	"brisk/internal/shm"
 )
@@ -88,4 +90,149 @@ func TestNodeChurnSoak(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("churn did not settle: %+v (want emitted %d)", m.Stats(), want)
+}
+
+// TestLinkFlapSoak runs several nodes through a faultnet proxy whose link
+// randomly flaps — cuts, stalls, and refuse-accept windows from a seeded
+// source — while the nodes stream records. Once the faults stop, every
+// record must be delivered exactly once: reconnection, session resume,
+// retransmission, and dedupe working together under sustained abuse.
+func TestLinkFlapSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	m := newManager(t, Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	proxy, err := faultnet.Listen(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const nodes = 3
+	const perNode = 600
+	type nodeState struct {
+		e *exs.EXS
+		s *sensor.Sensor
+	}
+	states := make([]nodeState, nodes)
+	for i := range states {
+		region := shm.NewRegion()
+		e, err := exs.Dial(exs.Config{
+			ManagerAddr:          proxy.Addr(),
+			NodeName:             "flap",
+			Region:               region,
+			FlushInterval:        time.Millisecond,
+			PollInterval:         200 * time.Microsecond,
+			ReconnectBase:        2 * time.Millisecond,
+			ReconnectMax:         10 * time.Millisecond,
+			MaxReconnectAttempts: -1,      // the soak must never give up
+			SpillBytes:           8 << 20, // never drop under this load
+			Logf:                 quietLog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		states[i] = nodeState{e: e, s: sensor.New(region, "app", sensor.Options{})}
+	}
+
+	// The flapper: seeded random faults while the writers stream.
+	flapsDone := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		rng := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-flapsDone:
+				// Leave the link healthy.
+				proxy.SetAccepting(true)
+				proxy.Stall(false)
+				return
+			case <-time.After(time.Duration(2+rng.Intn(10)) * time.Millisecond):
+			}
+			switch rng.Intn(4) {
+			case 0:
+				proxy.CutNow()
+			case 1:
+				proxy.CutAfter(int64(1 + rng.Intn(500)))
+			case 2:
+				proxy.SetAccepting(false)
+				time.Sleep(time.Duration(1+rng.Intn(10)) * time.Millisecond)
+				proxy.SetAccepting(true)
+			case 3:
+				proxy.Stall(true)
+				time.Sleep(time.Duration(1+rng.Intn(10)) * time.Millisecond)
+				proxy.Stall(false)
+			}
+		}
+	}()
+
+	// Guarantee at least one mid-stream severance regardless of the
+	// flapper's timing.
+	proxy.CutAfter(64)
+
+	var writers sync.WaitGroup
+	for i := range states {
+		writers.Add(1)
+		go func(ns nodeState) {
+			defer writers.Done()
+			for k := 0; k < perNode; k++ {
+				for !ns.s.Notice2i(1, int32(k), 0) {
+					time.Sleep(time.Microsecond)
+				}
+				if k%10 == 0 {
+					time.Sleep(time.Millisecond) // let flaps land mid-stream
+				}
+			}
+		}(states[i])
+	}
+	writers.Wait()
+	close(flapsDone)
+	flapWG.Wait()
+
+	// With the link healthy again, every queue must drain to acked-empty.
+	const total = nodes * perNode
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		allDrained := true
+		for _, ns := range states {
+			ns.e.Flush()
+			st := ns.e.Stats()
+			if !st.Online || st.QueuedBytes != 0 || st.Sent != perNode {
+				allDrained = false
+			}
+			if st.Dropped != 0 || st.LostOffline != 0 {
+				t.Fatalf("soak lost records: %+v", st)
+			}
+		}
+		if allDrained && m.Stats().Emitted == total {
+			st := m.Stats()
+			if st.Received != total {
+				t.Fatalf("Received = %d, want exactly %d (dedupe leak)", st.Received, total)
+			}
+			if st.Connected != nodes || st.Sessions != nodes {
+				t.Fatalf("Connected=%d Sessions=%d, want %d/%d", st.Connected, st.Sessions, nodes, nodes)
+			}
+			var reconnects uint64
+			for _, ns := range states {
+				reconnects += ns.e.Stats().Reconnects
+			}
+			if reconnects == 0 || proxy.Cuts() == 0 {
+				t.Fatalf("soak exercised no faults: reconnects=%d cuts=%d", reconnects, proxy.Cuts())
+			}
+			t.Logf("soak: reconnects=%d resumed=%d deduped=%d cuts=%d refused=%d",
+				reconnects, st.ResumedSessions, st.DedupedBatches,
+				proxy.Cuts(), proxy.Refused())
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, ns := range states {
+		t.Logf("exs: %+v", ns.e.Stats())
+	}
+	t.Fatalf("flap soak did not settle: %+v (want emitted %d)", m.Stats(), total)
 }

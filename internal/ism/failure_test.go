@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"brisk/internal/exs"
 	"brisk/internal/ols"
 	"brisk/internal/sensor"
 	"brisk/internal/shm"
@@ -185,11 +186,27 @@ func TestManagerSurvivesByeThenData(t *testing.T) {
 func newTestRegion() *shm.Region { return shm.NewRegion() }
 
 // TestEXSSurvivesManagerDeath kills the manager and verifies the external
-// sensor degrades to draining-and-discarding rather than blocking the
-// application or spamming failed sends.
+// sensor — its reconnect budget exhausted — degrades to
+// draining-and-discarding rather than blocking the application or
+// spamming failed sends.
 func TestEXSSurvivesManagerDeath(t *testing.T) {
 	m := newManager(t, Config{})
-	e, region := newNode(t, m, "n", nil)
+	region := shm.NewRegion()
+	e, err := exs.Dial(exs.Config{
+		ManagerAddr:          m.Addr(),
+		NodeName:             "n",
+		Region:               region,
+		FlushInterval:        time.Millisecond,
+		PollInterval:         200 * time.Microsecond,
+		ReconnectBase:        time.Millisecond,
+		ReconnectMax:         5 * time.Millisecond,
+		MaxReconnectAttempts: 2,
+		Logf:                 quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
 	s := sensor.New(region, "app", sensor.Options{RingBytes: 1 << 12})
 	s.Notice2i(1, 1, 0)
 	drainCursor(t, m, 1, 5*time.Second)

@@ -70,6 +70,18 @@ type Config struct {
 	SyncPeriod time.Duration
 	// ProbeTimeout bounds one probe exchange. Default 250 ms.
 	ProbeTimeout time.Duration
+	// HeartbeatInterval is the per-connection PING period. A sensor that
+	// sends nothing (not even a PONG) for HeartbeatMisses intervals is
+	// declared dead and disconnected, so half-open links from crashed or
+	// partitioned nodes cannot pin queue state forever. Default 1 s;
+	// negative disables heartbeats.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals kill a peer. Default 3.
+	HeartbeatMisses int
+	// SessionRetention bounds how long a detached session (its node id
+	// and dedupe state) is kept for resumption after its connection
+	// drops. Default 2 min; negative drops sessions immediately.
+	SessionRetention time.Duration
 	// Filter, when non-nil, selects which sorted records reach the
 	// sinks; records it rejects are counted but not delivered. It runs
 	// downstream of the causal matcher so causal bookkeeping stays
@@ -102,6 +114,17 @@ type Stats struct {
 	TachyonSyncs uint64
 	// Filtered counts sorted records suppressed by the configured filter.
 	Filtered uint64
+	// ResumedSessions counts reconnections that reattached an existing
+	// session (same node id, dedupe state intact).
+	ResumedSessions uint64
+	// DedupedBatches counts replayed data batches dropped by the
+	// sequence-number filter (already merged before the link broke).
+	DedupedBatches uint64
+	// DeadPeers counts connections severed by heartbeat timeout.
+	DeadPeers uint64
+	// Sessions is the number of live sessions (attached or within the
+	// retention window).
+	Sessions int
 	// EmitLatencyMeanMicros and EmitLatencyP99Micros summarize delivery
 	// latency (manager clock at emission minus the record's corrected
 	// timestamp) over the manager's lifetime.
@@ -111,13 +134,30 @@ type Stats struct {
 
 // conn is one attached external sensor.
 type conn struct {
-	node    int32
-	name    string
-	wc      *wire.Conn
-	raw     net.Conn
-	replies chan *wire.ProbeReply
-	seq     atomic.Uint32
-	gone    atomic.Bool
+	node     int32
+	name     string
+	wc       *wire.Conn
+	raw      net.Conn
+	replies  chan *wire.ProbeReply
+	seq      atomic.Uint32
+	gone     atomic.Bool
+	sess     *session     // nil for sessionless (v1-style) sensors
+	lastRecv atomic.Int64 // UnixNano of the last frame received
+	pingSeq  atomic.Uint32
+}
+
+// session is the durable identity of one external sensor across
+// reconnections: the node id the sorter and clock-sync master key on, and
+// the batch-sequence high-water mark that makes replays idempotent.
+type session struct {
+	id   uint64
+	node int32
+
+	mu         sync.Mutex
+	name       string
+	lastSeq    uint64 // highest batch sequence accepted into the merger
+	cur        *conn  // attached connection, nil while detached
+	detachedAt time.Time
 }
 
 // Manager is the ISM. Create with New, start with Serve (or let New's
@@ -132,6 +172,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	conns    map[int32]*conn
+	sessions map[uint64]*session
 	nextNode int32
 
 	merge    chan srcBatch
@@ -152,6 +193,9 @@ type Manager struct {
 	syncRounds   atomic.Uint64
 	tachyonSyncs atomic.Uint64
 	filtered     atomic.Uint64
+	resumed      atomic.Uint64
+	deduped      atomic.Uint64
+	deadPeers    atomic.Uint64
 
 	visualBuf  *lineBuffer
 	visualPICL *picl.Writer
@@ -187,6 +231,15 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 250 * time.Millisecond
 	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	if cfg.SessionRetention == 0 {
+		cfg.SessionRetention = 2 * time.Minute
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -196,16 +249,17 @@ func New(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("ism: listen: %w", err)
 	}
 	m := &Manager{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		logf:    logf,
-		ln:      ln,
-		buffer:  shm.NewBuffer(cfg.BufferRecords),
-		conns:   make(map[int32]*conn),
-		merge:   make(chan srcBatch, 256),
-		syncNow: make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		sorter:  ols.New(cfg.Sorter),
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		logf:     logf,
+		ln:       ln,
+		buffer:   shm.NewBuffer(cfg.BufferRecords),
+		conns:    make(map[int32]*conn),
+		sessions: make(map[uint64]*session),
+		merge:    make(chan srcBatch, 256),
+		syncNow:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		sorter:   ols.New(cfg.Sorter),
 	}
 	m.matcher = cre.New(cre.Config{
 		Timeout: cfg.CRETimeout,
@@ -258,6 +312,10 @@ func (m *Manager) Serve() error {
 		m.wg.Add(1)
 		go m.syncLoop()
 	}
+	if m.cfg.HeartbeatInterval > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
 	for {
 		raw, err := m.ln.Accept()
 		if err != nil {
@@ -294,40 +352,108 @@ func (m *Manager) handleConn(raw net.Conn) {
 		m.logf("ism: bad hello from %v", raw.RemoteAddr())
 		return
 	}
-	m.mu.Lock()
-	m.nextNode++
 	c := &conn{
-		node:    m.nextNode,
 		name:    hello.Name,
 		wc:      wc,
 		raw:     raw,
 		replies: make(chan *wire.ProbeReply, 8),
 	}
+	c.lastRecv.Store(time.Now().UnixNano())
+
+	var sess *session
+	var evict *conn
+	resumed := false
+	m.mu.Lock()
+	if hello.Session != 0 {
+		if s, ok := m.sessions[hello.Session]; ok && hello.Resume {
+			// Reattach: same node id, dedupe state intact. If the old
+			// connection is still draining (half-open link the sensor gave
+			// up on first), evict it — the session follows the newest link.
+			sess = s
+			resumed = true
+		}
+	}
+	if sess == nil {
+		m.nextNode++
+		sess = &session{node: m.nextNode}
+		if hello.Session != 0 {
+			sess.id = hello.Session
+			m.sessions[hello.Session] = sess
+		}
+	}
+	c.node = sess.node
+	c.sess = sess
+	sess.mu.Lock()
+	evict = sess.cur
+	sess.cur = c
+	sess.name = hello.Name
+	lastSeq := sess.lastSeq
+	sess.mu.Unlock()
 	m.conns[c.node] = c
 	m.mu.Unlock()
+	if evict != nil && evict != c {
+		evict.gone.Store(true)
+		evict.raw.Close()
+	}
+	if resumed {
+		m.resumed.Add(1)
+	}
 	defer func() {
 		c.gone.Store(true)
 		m.mu.Lock()
-		delete(m.conns, c.node)
+		// Resume may already have replaced this node's entry; only remove
+		// what is still ours.
+		if m.conns[c.node] == c {
+			delete(m.conns, c.node)
+		}
+		sess.mu.Lock()
+		if sess.cur == c {
+			sess.cur = nil
+			sess.detachedAt = time.Now()
+		}
+		sess.mu.Unlock()
+		if sess.id != 0 && m.cfg.SessionRetention < 0 {
+			delete(m.sessions, sess.id)
+		}
 		m.mu.Unlock()
 	}()
-	if err := wc.Send(&wire.HelloAck{Node: c.node}); err != nil {
+	if err := wc.Send(&wire.HelloAck{Node: c.node, Resumed: resumed, LastSeq: lastSeq}); err != nil {
 		return
 	}
-	m.logf("ism: node %d (%s) connected", c.node, c.name)
+	if resumed {
+		m.logf("ism: node %d (%s) resumed session (last seq %d)", c.node, c.name, lastSeq)
+	} else {
+		m.logf("ism: node %d (%s) connected", c.node, c.name)
+	}
 
 	for {
 		msg, err := wc.Recv()
 		if err != nil {
-			if !m.closed.Load() {
+			if !m.closed.Load() && !c.gone.Load() {
 				m.logf("ism: node %d: %v", c.node, err)
 			}
 			return
 		}
+		c.lastRecv.Store(time.Now().UnixNano())
 		switch t := msg.(type) {
 		case *wire.DataBatch:
 			m.batches.Add(1)
 			m.bytesIn.Add(uint64(len(t.Payload)))
+			if t.Seq != 0 && sess.id != 0 {
+				sess.mu.Lock()
+				dup := t.Seq <= sess.lastSeq
+				high := sess.lastSeq
+				sess.mu.Unlock()
+				if dup {
+					// Replay of a batch merged before the link broke.
+					// Re-ack so the sensor can release it.
+					m.deduped.Add(1)
+					if err := wc.Send(&wire.DataAck{Seq: high}); err != nil {
+						return
+					}
+					continue
+				}
+			}
 			recs, err := decodeBatch(t)
 			if err != nil {
 				m.logf("ism: node %d: bad batch: %v", c.node, err)
@@ -339,11 +465,23 @@ func (m *Manager) handleConn(raw net.Conn) {
 			case <-m.done:
 				return
 			}
+			if t.Seq != 0 && sess.id != 0 {
+				sess.mu.Lock()
+				if t.Seq > sess.lastSeq {
+					sess.lastSeq = t.Seq
+				}
+				sess.mu.Unlock()
+				if err := wc.Send(&wire.DataAck{Seq: t.Seq}); err != nil {
+					return
+				}
+			}
 		case *wire.ProbeReply:
 			select {
 			case c.replies <- t:
 			default: // stale reply, drop
 			}
+		case *wire.Pong:
+			// Heartbeat answer; lastRecv above is all it needed to say.
 		case *wire.Bye:
 			return
 		default:
@@ -471,6 +609,57 @@ func (m *Manager) deliver(rec record.Record) {
 	}
 }
 
+// heartbeatLoop pings every attached sensor each interval and severs
+// peers that have been silent for HeartbeatMisses intervals — the
+// half-open links a stalled network leaves behind. It also expires
+// detached sessions past the retention window.
+func (m *Manager) heartbeatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+		}
+		deadline := time.Now().Add(-time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatInterval).UnixNano()
+		m.mu.Lock()
+		conns := make([]*conn, 0, len(m.conns))
+		for _, c := range m.conns {
+			conns = append(conns, c)
+		}
+		if m.cfg.SessionRetention > 0 {
+			cutoff := time.Now().Add(-m.cfg.SessionRetention)
+			for id, s := range m.sessions {
+				s.mu.Lock()
+				expired := s.cur == nil && !s.detachedAt.IsZero() && s.detachedAt.Before(cutoff)
+				s.mu.Unlock()
+				if expired {
+					delete(m.sessions, id)
+					m.logf("ism: session of node %d expired", s.node)
+				}
+			}
+		}
+		m.mu.Unlock()
+		for _, c := range conns {
+			if c.gone.Load() {
+				continue
+			}
+			if c.lastRecv.Load() < deadline {
+				m.deadPeers.Add(1)
+				m.logf("ism: node %d (%s) missed %d heartbeats, disconnecting",
+					c.node, c.name, m.cfg.HeartbeatMisses)
+				c.raw.Close() // handleConn's Recv fails and cleans up
+				continue
+			}
+			if err := c.wc.Send(&wire.Ping{Seq: c.pingSeq.Add(1)}); err != nil {
+				c.raw.Close()
+			}
+		}
+	}
+}
+
 // connSlave adapts an attached external sensor to clocksync.SlaveConn.
 type connSlave struct {
 	m *Manager
@@ -539,9 +728,13 @@ func (m *Manager) runSyncRound() {
 		return
 	}
 	master := clocksync.NewMaster(m.clock, m.cfg.Sync, slaves)
-	if _, err := master.Round(); err != nil {
+	rep, err := master.Round()
+	if err != nil {
 		m.logf("ism: sync round: %v", err)
 		return
+	}
+	if rep.Failed > 0 {
+		m.logf("ism: sync round %d: %d slave(s) unreachable", rep.Round, rep.Failed)
 	}
 	m.syncRounds.Add(1)
 }
@@ -559,6 +752,7 @@ func (m *Manager) SyncRound() {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	connected := len(m.conns)
+	sessions := len(m.sessions)
 	m.mu.Unlock()
 	m.sorterMu.Lock()
 	ss := m.sorter.Stats()
@@ -577,6 +771,10 @@ func (m *Manager) Stats() Stats {
 		SyncRounds:            m.syncRounds.Load(),
 		TachyonSyncs:          m.tachyonSyncs.Load(),
 		Filtered:              m.filtered.Load(),
+		ResumedSessions:       m.resumed.Load(),
+		DedupedBatches:        m.deduped.Load(),
+		DeadPeers:             m.deadPeers.Load(),
+		Sessions:              sessions,
 		EmitLatencyMeanMicros: latMean,
 		EmitLatencyP99Micros:  latP99,
 	}

@@ -55,6 +55,8 @@ func newNode(t *testing.T, m *Manager, name string, clock *vclock.Corrected) (*e
 		Clock:         clock,
 		FlushInterval: time.Millisecond,
 		PollInterval:  200 * time.Microsecond,
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  25 * time.Millisecond,
 		Logf:          quietLog,
 	})
 	if err != nil {

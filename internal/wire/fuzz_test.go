@@ -12,12 +12,18 @@ func FuzzRecv(f *testing.F) {
 	// Seed with valid frames of each message type.
 	msgs := []Message{
 		&Hello{Version: ProtocolVersion, Name: "n"},
+		&Hello{Version: ProtocolVersion, Name: "n", Session: 0x1122334455667788, Resume: true},
 		&HelloAck{Node: 1},
+		&HelloAck{Node: 1, Resumed: true, LastSeq: 9},
 		&DataBatch{Count: 1, Payload: []byte{1, 2, 3, 4}},
+		&DataBatch{Seq: 5, Count: 1, Payload: []byte{1, 2, 3, 4}},
 		&Probe{Seq: 1, MasterSend: 2},
 		&ProbeReply{Seq: 1, MasterSend: 2, SlaveTime: 3},
 		&Adjust{DeltaMicros: -4},
 		&Bye{},
+		&DataAck{Seq: 5},
+		&Ping{Seq: 3},
+		&Pong{Seq: 3},
 	}
 	for _, m := range msgs {
 		var buf bytes.Buffer

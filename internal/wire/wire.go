@@ -26,8 +26,10 @@ import (
 	"brisk/internal/xdr"
 )
 
-// ProtocolVersion is negotiated in the HELLO exchange.
-const ProtocolVersion = 1
+// ProtocolVersion is negotiated in the HELLO exchange. Version 2 added
+// session resume (session ids in HELLO, per-batch sequence numbers,
+// cumulative DATA_ACKs) and the PING/PONG heartbeat.
+const ProtocolVersion = 2
 
 // MaxFrameBytes bounds one frame; larger declared frames abort the
 // connection rather than allocate unboundedly.
@@ -52,12 +54,19 @@ const (
 	MsgAdjust
 	// MsgBye announces orderly shutdown (either direction).
 	MsgBye
+	// MsgDataAck acknowledges data batches cumulatively by sequence
+	// number, letting the sensor release its retransmit buffer: ISM → EXS.
+	MsgDataAck
+	// MsgPing is a liveness heartbeat: ISM → EXS.
+	MsgPing
+	// MsgPong answers a heartbeat: EXS → ISM.
+	MsgPong
 )
 
 var msgNames = map[MsgType]string{
 	MsgHello: "HELLO", MsgHelloAck: "HELLO_ACK", MsgData: "DATA",
 	MsgProbe: "PROBE", MsgProbeReply: "PROBE_REPLY", MsgAdjust: "ADJUST",
-	MsgBye: "BYE",
+	MsgBye: "BYE", MsgDataAck: "DATA_ACK", MsgPing: "PING", MsgPong: "PONG",
 }
 
 // String names the message type.
@@ -84,10 +93,16 @@ type Message interface {
 }
 
 // Hello opens a connection. The external sensor identifies its node by
-// name; the manager assigns the numeric id in HelloAck.
+// name; the manager assigns the numeric id in HelloAck. Session is a
+// node-chosen identifier that survives reconnects; a sensor re-dialing
+// after a link failure sets Resume so the manager can reattach the
+// existing per-node state instead of minting a new node id. Session 0
+// means the client does not participate in session resume.
 type Hello struct {
 	Version uint32
 	Name    string
+	Session uint64
+	Resume  bool
 }
 
 // Type implements Message.
@@ -96,6 +111,8 @@ func (*Hello) Type() MsgType { return MsgHello }
 func (m *Hello) encode(e *xdr.Encoder) {
 	e.Uint32(m.Version)
 	e.String(m.Name)
+	e.Uint64(m.Session)
+	e.Bool(m.Resume)
 }
 
 func (m *Hello) decode(d *xdr.Decoder) error {
@@ -103,29 +120,69 @@ func (m *Hello) decode(d *xdr.Decoder) error {
 	if m.Version, err = d.Uint32(); err != nil {
 		return err
 	}
-	m.Name, err = d.String()
+	if m.Name, err = d.String(); err != nil {
+		return err
+	}
+	if m.Session, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Resume, err = strictBool(d)
 	return err
 }
 
-// HelloAck assigns the node id used in batch attribution and trace output.
+// HelloAck assigns the node id used in batch attribution and trace
+// output. Resumed reports that the manager recognized the session and
+// reattached it; LastSeq is the highest data-batch sequence number the
+// manager has accepted for the session, so the sensor can discard
+// already-delivered batches from its retransmit buffer.
 type HelloAck struct {
-	Node int32
+	Node    int32
+	Resumed bool
+	LastSeq uint64
 }
 
 // Type implements Message.
 func (*HelloAck) Type() MsgType { return MsgHelloAck }
 
-func (m *HelloAck) encode(e *xdr.Encoder) { e.Int32(m.Node) }
+func (m *HelloAck) encode(e *xdr.Encoder) {
+	e.Int32(m.Node)
+	e.Bool(m.Resumed)
+	e.Uint64(m.LastSeq)
+}
 
 func (m *HelloAck) decode(d *xdr.Decoder) error {
 	var err error
-	m.Node, err = d.Int32()
+	if m.Node, err = d.Int32(); err != nil {
+		return err
+	}
+	if m.Resumed, err = strictBool(d); err != nil {
+		return err
+	}
+	m.LastSeq, err = d.Uint64()
 	return err
 }
 
+// strictBool decodes an XDR boolean but rejects words other than 0 and 1,
+// keeping the wire format canonical (every accepted frame re-encodes
+// byte-identically, which the fuzz harness checks).
+func strictBool(d *xdr.Decoder) (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, fmt.Errorf("wire: non-canonical bool %d", v)
+	}
+	return v == 1, nil
+}
+
 // DataBatch carries Count concatenated records (each self-framed by its
-// record meta header) produced by one external sensor.
+// record meta header) produced by one external sensor. Seq numbers the
+// batch within its session (1-based, strictly increasing); the manager
+// uses it to discard batches replayed after a session resume. Seq 0 marks
+// a batch outside any session (no dedup, no ack expected).
 type DataBatch struct {
+	Seq     uint64
 	Count   uint32
 	Payload []byte
 }
@@ -134,12 +191,16 @@ type DataBatch struct {
 func (*DataBatch) Type() MsgType { return MsgData }
 
 func (m *DataBatch) encode(e *xdr.Encoder) {
+	e.Uint64(m.Seq)
 	e.Uint32(m.Count)
 	e.Opaque(m.Payload)
 }
 
 func (m *DataBatch) decode(d *xdr.Decoder) error {
 	var err error
+	if m.Seq, err = d.Uint64(); err != nil {
+		return err
+	}
 	if m.Count, err = d.Uint32(); err != nil {
 		return err
 	}
@@ -150,6 +211,58 @@ func (m *DataBatch) decode(d *xdr.Decoder) error {
 	// Copy: the frame buffer is reused by the next Recv.
 	m.Payload = append(m.Payload[:0], p...)
 	return nil
+}
+
+// DataAck acknowledges every data batch of the session with sequence
+// number ≤ Seq. The external sensor drops acknowledged batches from its
+// retransmit buffer; unacknowledged ones are replayed after a resume.
+type DataAck struct {
+	Seq uint64
+}
+
+// Type implements Message.
+func (*DataAck) Type() MsgType { return MsgDataAck }
+
+func (m *DataAck) encode(e *xdr.Encoder) { e.Uint64(m.Seq) }
+
+func (m *DataAck) decode(d *xdr.Decoder) error {
+	var err error
+	m.Seq, err = d.Uint64()
+	return err
+}
+
+// Ping is a manager-issued heartbeat; the peer answers with a Pong
+// echoing Seq. Any received frame counts as liveness, so pings only cost
+// traffic on otherwise idle connections.
+type Ping struct {
+	Seq uint32
+}
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return MsgPing }
+
+func (m *Ping) encode(e *xdr.Encoder) { e.Uint32(m.Seq) }
+
+func (m *Ping) decode(d *xdr.Decoder) error {
+	var err error
+	m.Seq, err = d.Uint32()
+	return err
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	Seq uint32
+}
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return MsgPong }
+
+func (m *Pong) encode(e *xdr.Encoder) { e.Uint32(m.Seq) }
+
+func (m *Pong) decode(d *xdr.Decoder) error {
+	var err error
+	m.Seq, err = d.Uint32()
+	return err
 }
 
 // Probe is one clock-synchronization poll. MasterSend is the master clock
@@ -250,6 +363,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &Adjust{}, nil
 	case MsgBye:
 		return &Bye{}, nil
+	case MsgDataAck:
+		return &DataAck{}, nil
+	case MsgPing:
+		return &Ping{}, nil
+	case MsgPong:
+		return &Pong{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

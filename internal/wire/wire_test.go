@@ -39,12 +39,18 @@ func exchange(t *testing.T, m Message) Message {
 func TestRoundTripAllMessages(t *testing.T) {
 	msgs := []Message{
 		&Hello{Version: ProtocolVersion, Name: "node-07"},
+		&Hello{Version: ProtocolVersion, Name: "node-07", Session: 0xDEADBEEF, Resume: true},
 		&HelloAck{Node: 3},
+		&HelloAck{Node: 3, Resumed: true, LastSeq: 42},
 		&DataBatch{Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
+		&DataBatch{Seq: 17, Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
 		&Probe{Seq: 9, MasterSend: 123456789},
 		&ProbeReply{Seq: 9, MasterSend: 123456789, SlaveTime: 123456800},
 		&Adjust{DeltaMicros: 250},
 		&Bye{},
+		&DataAck{Seq: 99},
+		&Ping{Seq: 7},
+		&Pong{Seq: 7},
 	}
 	for _, m := range msgs {
 		got := exchange(t, m)
@@ -263,21 +269,29 @@ func TestPropertyMessageStreamRoundTrip(t *testing.T) {
 		n := 1 + rng.Intn(40)
 		for i := 0; i < n; i++ {
 			var m Message
-			switch rng.Intn(7) {
+			switch rng.Intn(10) {
 			case 0:
-				m = &Hello{Version: rng.Uint32(), Name: randString(rng, 20)}
+				m = &Hello{Version: rng.Uint32(), Name: randString(rng, 20),
+					Session: rng.Uint64(), Resume: rng.Intn(2) == 1}
 			case 1:
-				m = &HelloAck{Node: int32(rng.Int31())}
+				m = &HelloAck{Node: int32(rng.Int31()),
+					Resumed: rng.Intn(2) == 1, LastSeq: rng.Uint64()}
 			case 2:
 				p := make([]byte, rng.Intn(200))
 				rng.Read(p)
-				m = &DataBatch{Count: uint32(rng.Intn(50)), Payload: p}
+				m = &DataBatch{Seq: rng.Uint64(), Count: uint32(rng.Intn(50)), Payload: p}
 			case 3:
 				m = &Probe{Seq: rng.Uint32(), MasterSend: rng.Int63() - rng.Int63()}
 			case 4:
 				m = &ProbeReply{Seq: rng.Uint32(), MasterSend: rng.Int63(), SlaveTime: -rng.Int63()}
 			case 5:
 				m = &Adjust{DeltaMicros: rng.Int63() - rng.Int63()}
+			case 6:
+				m = &DataAck{Seq: rng.Uint64()}
+			case 7:
+				m = &Ping{Seq: rng.Uint32()}
+			case 8:
+				m = &Pong{Seq: rng.Uint32()}
 			default:
 				m = &Bye{}
 			}

@@ -98,6 +98,13 @@ type ManagerOptions struct {
 	// BufferRecords is the consumer memory-buffer capacity (default
 	// 65536 records).
 	BufferRecords int
+	// HeartbeatInterval is the per-sensor PING period for dead-peer
+	// detection (default 1 s; negative disables).
+	HeartbeatInterval time.Duration
+	// SessionRetention bounds how long a disconnected sensor's session
+	// (node id + dedupe state) is kept for resumption (default 2 min;
+	// negative drops sessions immediately).
+	SessionRetention time.Duration
 	// PICL, when non-nil, enables trace-file output.
 	PICL *PICLOptions
 	// Filter, when non-nil, selects which sorted records reach the
@@ -152,9 +159,11 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 			Damping:        opts.Sync.Damping,
 			MaxRTT:         opts.Sync.MaxRTT,
 		},
-		SyncPeriod: opts.Sync.Period,
-		Filter:     opts.Filter,
-		Logf:       opts.Logf,
+		SyncPeriod:        opts.Sync.Period,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		SessionRetention:  opts.SessionRetention,
+		Filter:            opts.Filter,
+		Logf:              opts.Logf,
 	}
 	if opts.PICL != nil {
 		mode := picl.TimeUTC

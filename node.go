@@ -1,6 +1,7 @@
 package brisk
 
 import (
+	"context"
 	"time"
 
 	"brisk/internal/exs"
@@ -26,6 +27,22 @@ type NodeOptions struct {
 	// PollInterval is the external sensor's ring-scan period while idle
 	// (default 500 µs).
 	PollInterval time.Duration
+	// ReconnectBase is the first backoff delay after a lost manager
+	// connection; it doubles per failed attempt (default 50 ms).
+	ReconnectBase time.Duration
+	// ReconnectMax caps the exponential backoff (default 5 s).
+	ReconnectMax time.Duration
+	// ReconnectJitter is the ± jitter fraction on each backoff delay
+	// (default 0.2; negative disables).
+	ReconnectJitter float64
+	// MaxReconnectAttempts caps failed reconnect attempts per outage
+	// before the node degrades to drain-and-discard. 0 means the default
+	// cap; negative retries forever.
+	MaxReconnectAttempts int
+	// SpillBytes bounds the in-memory buffer of unacknowledged records
+	// kept across outages (default 4 MiB; oldest batches are dropped and
+	// counted beyond it).
+	SpillBytes int
 	// Logf receives diagnostics (default: standard log package).
 	Logf func(format string, args ...any)
 }
@@ -54,21 +71,33 @@ type Node struct {
 // ConnectNode creates a node's local instrumentation server and connects
 // its external sensor to the manager.
 func ConnectNode(opts NodeOptions) (*Node, error) {
+	return ConnectNodeContext(context.Background(), opts)
+}
+
+// ConnectNodeContext is ConnectNode with a lifetime context: canceling
+// ctx aborts any in-flight dial or reconnect backoff permanently (the
+// node keeps running in drain-and-discard mode until Close).
+func ConnectNodeContext(ctx context.Context, opts NodeOptions) (*Node, error) {
 	raw := opts.RawClock
 	if raw == nil {
 		raw = vclock.System{}
 	}
 	region := shm.NewRegion()
 	clock := vclock.NewCorrected(raw)
-	e, err := exs.Dial(exs.Config{
-		ManagerAddr:   opts.ManagerAddr,
-		NodeName:      opts.Name,
-		Region:        region,
-		Clock:         clock,
-		BatchBytes:    opts.BatchBytes,
-		FlushInterval: opts.FlushInterval,
-		PollInterval:  opts.PollInterval,
-		Logf:          opts.Logf,
+	e, err := exs.DialContext(ctx, exs.Config{
+		ManagerAddr:          opts.ManagerAddr,
+		NodeName:             opts.Name,
+		Region:               region,
+		Clock:                clock,
+		BatchBytes:           opts.BatchBytes,
+		FlushInterval:        opts.FlushInterval,
+		PollInterval:         opts.PollInterval,
+		ReconnectBase:        opts.ReconnectBase,
+		ReconnectMax:         opts.ReconnectMax,
+		ReconnectJitter:      opts.ReconnectJitter,
+		MaxReconnectAttempts: opts.MaxReconnectAttempts,
+		SpillBytes:           opts.SpillBytes,
+		Logf:                 opts.Logf,
 	})
 	if err != nil {
 		return nil, err
