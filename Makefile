@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race bench fuzz eval examples clean
+.PHONY: all check build vet test test-race race bench fuzz eval examples docs-check clean
 
 all: build vet test test-race
+
+# The default gate: compile, lint, docs, tests.
+check: build vet docs-check test
 
 build:
 	$(GO) build ./...
@@ -12,13 +15,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Documentation gate: every relative Markdown link must resolve, and all
+# source must be gofmt-clean.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent transport core: the packages
 # where reconnect, resume, and fault injection hammer shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics
 
 # Full suite under the race detector (slower).
 race:

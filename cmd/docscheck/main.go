@@ -1,0 +1,109 @@
+// Command docscheck is the repository's documentation gate: it walks
+// every Markdown file and verifies that each relative link — inline
+// [text](target) and reference-style [label]: target — resolves to a
+// file or directory in the tree. External URLs and intra-document
+// anchors are skipped; a `#fragment` on a resolving file link is
+// accepted without checking the heading.
+//
+// Usage:
+//
+//	docscheck [root]
+//
+// Exits non-zero listing every broken link. Run via `make docs-check`.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links, capturing the target. Images
+// (![alt](target)) match too, which is what we want.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// refRE matches reference-style definitions: [label]: target
+var refRE = regexp.MustCompile(`(?m)^\[[^\]]+\]:\s+(\S+)`)
+
+// skipDirs are trees never scanned for Markdown or used as link targets.
+var skipDirs = map[string]bool{".git": true, "testdata": false}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		broken += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all Markdown links resolve")
+}
+
+// checkFile verifies every relative link in one Markdown file, printing
+// each broken one, and returns how many were broken.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	targets := make([]string, 0, 16)
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		targets = append(targets, m[1])
+	}
+	for _, m := range refRE.FindAllStringSubmatch(string(data), -1) {
+		targets = append(targets, m[1])
+	}
+	for _, target := range targets {
+		if !checkTarget(path, target) {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q\n", path, target)
+			broken++
+		}
+	}
+	return broken
+}
+
+// checkTarget reports whether one link target from the given file
+// resolves. Non-relative targets (URLs, mailto, pure anchors) pass.
+func checkTarget(from, target string) bool {
+	if strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#") {
+		return true
+	}
+	// Drop a trailing #fragment; the file part is what must exist.
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+		if target == "" {
+			return true
+		}
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(from), target))
+	return err == nil
+}

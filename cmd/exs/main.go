@@ -44,6 +44,8 @@ func main() {
 		reconnectMax  = flag.Duration("reconnect-max", 0, "reconnect backoff cap (0 = default 5s)")
 		reconnectCap  = flag.Int("reconnect-attempts", -1, "failed reconnect attempts before giving up (-1 = retry forever)")
 		spill         = flag.Int("spill", 0, "bytes of unacknowledged records buffered across outages (0 = default 4MiB)")
+		obsAddr       = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		traceEvery    = flag.Int("trace-sample", 0, "pipeline trace sampling period (0 = default 64, <0 disables)")
 	)
 	flag.Parse()
 
@@ -61,12 +63,23 @@ func main() {
 		ReconnectMax:         *reconnectMax,
 		MaxReconnectAttempts: *reconnectCap,
 		SpillBytes:           *spill,
+		TraceSampleEvery:     *traceEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exs: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("exs: node %d (%s) connected to %s\n", node.ID(), *name, *manager)
+
+	if *obsAddr != "" {
+		obs, err := brisk.ServeObservability(*obsAddr, node.Metrics(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exs: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer obs.Close()
+		fmt.Printf("exs: metrics at http://%s/metrics\n", obs.Addr())
+	}
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

@@ -7,6 +7,7 @@ package cmd_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -268,4 +269,83 @@ func TestISMStatsHTTP(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatal("stats endpoint never reported the received records")
+}
+
+// TestISMObservabilityHTTP drives a real ism process with -obs and checks
+// the Prometheus exposition covers the acceptance surface: the sorter's
+// window T, the causal matcher's tachyon counter, and the per-session
+// batch/dedupe counters, plus a healthy /healthz.
+func TestISMObservabilityHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	bin := buildAll(t)
+	addr := freePort(t)
+	obsAddr := freePort(t)
+	ism := exec.Command(filepath.Join(bin, "ism"),
+		"-addr", addr, "-sync", "0", "-obs", obsAddr)
+	if err := ism.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ism.Process.Kill()
+		ism.Wait()
+	}()
+	waitListening(t, addr)
+	waitListening(t, obsAddr)
+
+	exs := exec.Command(filepath.Join(bin, "exs"),
+		"-manager", addr, "-rate", "0", "-count", "50")
+	if out, err := exs.CombinedOutput(); err != nil {
+		t.Fatalf("exs: %v\n%s", err, out)
+	}
+
+	resp, err := http.Get("http://" + obsAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	want := []string{
+		"# TYPE brisk_ols_window_microseconds gauge",
+		"brisk_cre_tachyons_total",
+		"brisk_ism_session_batches_total{node=\"1\",session=\"",
+		"brisk_ism_session_deduped_total{node=\"1\",session=\"",
+		"brisk_ism_records_received_total 50",
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + obsAddr + "/metrics")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = string(raw)
+		ok := true
+		for _, w := range want {
+			if !strings.Contains(body, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, w := range want {
+		if !strings.Contains(body, w) {
+			t.Errorf("metrics output missing %q", w)
+		}
+	}
+	t.Fatalf("exposition never converged; last body:\n%s", body)
 }

@@ -40,6 +40,8 @@ func main() {
 		print      = flag.Bool("print", false, "echo the sorted stream to stdout")
 		statsEvery = flag.Duration("stats", 0, "periodically print statistics (0 disables)")
 		statsHTTP  = flag.String("stats-http", "", "serve statistics as JSON on this address")
+		obsAddr    = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		traceEvery = flag.Int("trace-sample", 0, "pipeline trace sampling period (0 = default 64, <0 disables)")
 		heartbeat  = flag.Duration("heartbeat", 0, "per-sensor PING period for dead-peer detection (0 = default 1s, <0 disables)")
 		retention  = flag.Duration("session-retention", 0, "how long a disconnected sensor's session is resumable (0 = default 2m, <0 disables)")
 	)
@@ -55,6 +57,7 @@ func main() {
 		Sync:              brisk.SyncOptions{Period: *syncPeriod},
 		HeartbeatInterval: *heartbeat,
 		SessionRetention:  *retention,
+		TraceSampleEvery:  *traceEvery,
 	}
 	switch *policy {
 	case "lateness":
@@ -107,6 +110,15 @@ func main() {
 				fmt.Println(rec.String())
 			}
 		}()
+	}
+	if *obsAddr != "" {
+		obs, err := brisk.ServeObservability(*obsAddr, mgr.Metrics(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ism: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer obs.Close()
+		fmt.Printf("ism: metrics at http://%s/metrics\n", obs.Addr())
 	}
 	if *statsHTTP != "" {
 		ln, err := net.Listen("tcp", *statsHTTP)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"brisk"
+)
+
+// Example starts a manager with a shared registry, runs one node through
+// it, and scrapes the live introspection endpoint — the miniature of what
+// main does, with deterministic output.
+func Example() {
+	reg := brisk.NewMetrics()
+	mgr, err := brisk.StartManager(brisk.ManagerOptions{
+		Metrics: reg,
+		Logf:    func(string, ...any) {}, // keep the example output exact
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer mgr.Close()
+	obs, err := brisk.ServeObservability("127.0.0.1:0", reg, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer obs.Close()
+
+	node, err := brisk.ConnectNode(brisk.NodeOptions{ManagerAddr: mgr.Addr(), Name: "n"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+	s := node.NewSensor("app")
+	for i := 0; i < 100; i++ {
+		s.Notice2i(1, int32(i), 0)
+	}
+	node.Flush()
+	c := mgr.Consume()
+	for got := 0; got < 100; {
+		if _, ok := c.TryNext(); ok {
+			got++
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + obs.Addr() + "/healthz")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("healthz: %s", health)
+
+	resp, err = http.Get("http://" + obs.Addr() + "/metrics")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exposition := string(body)
+	for _, name := range []string{
+		"brisk_ism_records_received_total 100",
+		"brisk_ols_window_microseconds",
+		"brisk_cre_tachyons_total",
+	} {
+		fmt.Printf("%s present: %v\n", name, strings.Contains(exposition, name))
+	}
+
+	// Output:
+	// healthz: ok
+	// brisk_ism_records_received_total 100 present: true
+	// brisk_ols_window_microseconds present: true
+	// brisk_cre_tachyons_total present: true
+}

@@ -45,10 +45,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"brisk/internal/metrics"
 	"brisk/internal/record"
 	"brisk/internal/shm"
 	"brisk/internal/vclock"
 	"brisk/internal/wire"
+)
+
+// Pipeline trace stages observed by the external sensor (see
+// metrics.StageTracer): a record's age when it leaves the shared-memory
+// ring, and again when its batch is written to the wire.
+const (
+	stageRingDrain = iota
+	stageWireSend
 )
 
 // DefaultReconnectAttempts is the reconnect cap used when
@@ -97,9 +106,20 @@ type Config struct {
 	// DialTimeout bounds one connection attempt including the HELLO
 	// exchange. Default 5 s.
 	DialTimeout time.Duration
+	// Metrics is the registry the sensor's counters live in; nil means a
+	// fresh private registry (see EXS.Metrics).
+	Metrics *metrics.Registry
+	// TraceSampleEvery is the pipeline-trace sampling period: every Nth
+	// drained batch has one record's stage ages recorded. 0 means
+	// DefaultTraceSampleEvery; negative disables tracing.
+	TraceSampleEvery int
 	// Logf logs diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
+
+// DefaultTraceSampleEvery is the pipeline-trace sampling period used when
+// Config.TraceSampleEvery is zero.
+const DefaultTraceSampleEvery = 64
 
 // Stats is a snapshot of external-sensor counters.
 type Stats struct {
@@ -184,15 +204,19 @@ type EXS struct {
 	qBytes  int
 	nextSeq uint64
 
-	sent         atomic.Uint64
-	batches      atomic.Uint64
-	probes       atomic.Uint64
-	adjusts      atomic.Uint64
-	reconnects   atomic.Uint64
-	retransmits  atomic.Uint64
-	spilled      atomic.Uint64
-	dropped      atomic.Uint64
-	lostOffline  atomic.Uint64
+	// Counters live in the metrics registry; the Stats snapshot is a
+	// typed view over them.
+	reg          *metrics.Registry
+	tracer       *metrics.StageTracer // nil when tracing is disabled
+	sent         *metrics.Counter
+	batches      *metrics.Counter
+	probes       *metrics.Counter
+	adjusts      *metrics.Counter
+	reconnects   *metrics.Counter
+	retransmits  *metrics.Counter
+	spilled      *metrics.Counter
+	dropped      *metrics.Counter
+	lostOffline  *metrics.Counter
 	bytesOutBase atomic.Uint64 // BytesOut of finished connections
 
 	rng *mrand.Rand // jitter source; reconnector-goroutine only
@@ -262,6 +286,7 @@ func DialContext(ctx context.Context, cfg Config) (*EXS, error) {
 		done:        make(chan struct{}),
 		flushNow:    make(chan struct{}, 1),
 	}
+	e.registerMetrics(cfg.Metrics)
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	e.rng = mrand.New(mrand.NewSource(int64(e.session) ^ time.Now().UnixNano()))
 	raw, conn, ack, err := e.connect(false)
@@ -294,6 +319,83 @@ func newSessionID() uint64 {
 		}
 	}
 }
+
+// registerMetrics creates (or adopts) the registry and binds every
+// external-sensor series: live counters for the event path, func-backed
+// counters and gauges over state owned elsewhere (the rings, the spill
+// queue, the connection), and the pipeline stage tracer.
+func (e *EXS) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	e.reg = reg
+	e.sent = reg.Counter(metrics.Desc{Name: "brisk_exs_records_sent_total",
+		Help: "records shipped to the manager (first transmission only)", Unit: "records"})
+	e.batches = reg.Counter(metrics.Desc{Name: "brisk_exs_batches_sent_total",
+		Help: "data-batch frames written, including retransmits", Unit: "batches"})
+	e.probes = reg.Counter(metrics.Desc{Name: "brisk_exs_clock_probes_total",
+		Help: "clock-synchronization probes answered", Unit: "probes"})
+	e.adjusts = reg.Counter(metrics.Desc{Name: "brisk_exs_clock_adjusts_total",
+		Help: "clock adjustments applied", Unit: "adjustments"})
+	e.reconnects = reg.Counter(metrics.Desc{Name: "brisk_exs_reconnects_total",
+		Help: "successful reconnections to the manager", Unit: "connections"})
+	e.retransmits = reg.Counter(metrics.Desc{Name: "brisk_exs_retransmit_batches_total",
+		Help: "batches replayed after a session resume", Unit: "batches"})
+	e.spilled = reg.Counter(metrics.Desc{Name: "brisk_exs_spilled_records_total",
+		Help: "records buffered while the manager was unreachable", Unit: "records"})
+	e.dropped = reg.Counter(metrics.Desc{Name: "brisk_exs_dropped_records_total",
+		Help: "records evicted from the bounded spill queue or discarded at shutdown", Unit: "records"})
+	e.lostOffline = reg.Counter(metrics.Desc{Name: "brisk_exs_lost_offline_records_total",
+		Help: "records discarded after reconnection was abandoned", Unit: "records"})
+	reg.CounterFunc(metrics.Desc{Name: "brisk_exs_ring_records_written_total",
+		Help: "records accepted by the node's sensor rings", Unit: "records"},
+		func() uint64 { written, _ := e.cfg.Region.Stats(); return written })
+	reg.CounterFunc(metrics.Desc{Name: "brisk_exs_ring_records_dropped_total",
+		Help: "records dropped at the sensor rings (application outran the drain)", Unit: "records"},
+		func() uint64 { _, dropped := e.cfg.Region.Stats(); return dropped })
+	reg.CounterFunc(metrics.Desc{Name: "brisk_exs_wire_bytes_out_total",
+		Help: "wire frame bytes written across all manager connections", Unit: "bytes"},
+		func() uint64 {
+			e.connMu.Lock()
+			var live uint64
+			if e.conn != nil {
+				live = e.conn.BytesOut()
+			}
+			e.connMu.Unlock()
+			return e.bytesOutBase.Load() + live
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_exs_online",
+		Help: "1 while the manager connection is up, else 0"},
+		func() float64 {
+			if e.state.Load() == stateOnline {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_exs_queue_bytes",
+		Help: "current bytes held in the unacknowledged/spill queue", Unit: "bytes"},
+		func() float64 {
+			e.qMu.Lock()
+			defer e.qMu.Unlock()
+			return float64(e.qBytes)
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_exs_clock_correction_microseconds",
+		Help: "current clock-correction value", Unit: "microseconds"},
+		func() float64 { return float64(e.clock.Correction()) })
+	if e.cfg.TraceSampleEvery >= 0 {
+		every := e.cfg.TraceSampleEvery
+		if every == 0 {
+			every = DefaultTraceSampleEvery
+		}
+		e.tracer = metrics.NewStageTracer(reg, "brisk_pipeline_stage_age_microseconds",
+			"age of a sampled record (local clock minus record timestamp) on reaching each pipeline stage",
+			every, "ring_drain", "wire_send")
+	}
+}
+
+// Metrics returns the registry holding the sensor's counters, for serving
+// through an introspection endpoint or merging into snapshots.
+func (e *EXS) Metrics() *metrics.Registry { return e.reg }
 
 // connect dials the manager and runs the HELLO exchange, bounded by
 // DialTimeout and the sensor's context.
@@ -391,6 +493,11 @@ func (e *EXS) pump(c *wire.Conn) error {
 		msg := &wire.DataBatch{Seq: ent.seq, Count: uint32(ent.count), Payload: ent.payload}
 		if err := c.Send(msg); err != nil {
 			return err
+		}
+		if e.tracer != nil && !ent.everSent && e.tracer.ShouldSample(stageWireSend) {
+			if ts, ok := peekFirstTS(ent.payload); ok {
+				e.tracer.Observe(stageWireSend, e.clock.NowMicros()-ts)
+			}
 		}
 		ent.sent = true
 		e.batches.Add(1)
@@ -663,8 +770,26 @@ func (e *EXS) collect(batch *[]byte, count *int) int {
 		if correction != 0 {
 			patchRegion((*batch)[start:], correction)
 		}
+		if e.tracer != nil && e.tracer.ShouldSample(stageRingDrain) {
+			// The timestamp is already corrected here, so age against the
+			// corrected clock measures ring dwell plus drain latency.
+			if ts, ok := peekFirstTS((*batch)[start:]); ok {
+				e.tracer.Observe(stageRingDrain, e.clock.NowMicros()-ts)
+			}
+		}
 	}
 	return total
+}
+
+// peekFirstTS reads the (possibly corrected) timestamp of the first record
+// in an encoded region without decoding it.
+func peekFirstTS(region []byte) (int64, bool) {
+	size, err := record.PeekSize(region)
+	if err != nil || size > len(region) {
+		return 0, false
+	}
+	ts, _, ok := record.PeekTS(region[:size])
+	return ts, ok
 }
 
 // patchRegion adds the correction to the TS field of every record in an
@@ -746,19 +871,19 @@ func (e *EXS) Stats() Stats {
 		Node:        e.node.Load(),
 		Session:     e.session,
 		Online:      e.state.Load() == stateOnline,
-		Sent:        e.sent.Load(),
-		Batches:     e.batches.Load(),
+		Sent:        e.sent.Value(),
+		Batches:     e.batches.Value(),
 		BytesOut:    e.bytesOutBase.Load() + liveBytes,
 		RingDropped: ringDropped,
-		Probes:      e.probes.Load(),
-		Adjusts:     e.adjusts.Load(),
+		Probes:      e.probes.Value(),
+		Adjusts:     e.adjusts.Value(),
 		Correction:  e.clock.Correction(),
-		Reconnects:  e.reconnects.Load(),
-		Retransmits: e.retransmits.Load(),
-		Spilled:     e.spilled.Load(),
-		Dropped:     e.dropped.Load(),
+		Reconnects:  e.reconnects.Value(),
+		Retransmits: e.retransmits.Value(),
+		Spilled:     e.spilled.Value(),
+		Dropped:     e.dropped.Value(),
 		QueuedBytes: queued,
-		LostOffline: e.lostOffline.Load(),
+		LostOffline: e.lostOffline.Value(),
 	}
 }
 

@@ -161,6 +161,7 @@ func TestBackoffDelayFloor(t *testing.T) {
 // dropped record.
 func TestEnqueueDropOldestAccounting(t *testing.T) {
 	e := &EXS{cfg: Config{SpillBytes: 100}}
+	e.registerMetrics(nil)
 	e.state.Store(stateReconnecting)
 
 	payload := make([]byte, 40)
@@ -170,7 +171,7 @@ func TestEnqueueDropOldestAccounting(t *testing.T) {
 	st := struct {
 		dropped uint64
 		spilled uint64
-	}{e.dropped.Load(), e.spilled.Load()}
+	}{e.dropped.Value(), e.spilled.Value()}
 	e.qMu.Lock()
 	n := len(e.queue)
 	bytes := e.qBytes
@@ -196,12 +197,13 @@ func TestEnqueueDropOldestAccounting(t *testing.T) {
 // whole budget is still retained (the bound drops oldest, never newest).
 func TestEnqueueKeepsOversizedBatch(t *testing.T) {
 	e := &EXS{cfg: Config{SpillBytes: 10}}
+	e.registerMetrics(nil)
 	e.state.Store(stateReconnecting)
 	e.enqueue(make([]byte, 50), 2)
 	e.qMu.Lock()
 	defer e.qMu.Unlock()
-	if len(e.queue) != 1 || e.dropped.Load() != 0 {
-		t.Fatalf("oversized batch evicted: queue=%d dropped=%d", len(e.queue), e.dropped.Load())
+	if len(e.queue) != 1 || e.dropped.Value() != 0 {
+		t.Fatalf("oversized batch evicted: queue=%d dropped=%d", len(e.queue), e.dropped.Value())
 	}
 }
 
@@ -209,6 +211,7 @@ func TestEnqueueKeepsOversizedBatch(t *testing.T) {
 // exactly the acked prefix.
 func TestAckToReleasesPrefix(t *testing.T) {
 	e := &EXS{cfg: Config{SpillBytes: 1 << 20}}
+	e.registerMetrics(nil)
 	for i := 0; i < 4; i++ {
 		e.enqueue(make([]byte, 8), 1)
 	}

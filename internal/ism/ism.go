@@ -22,17 +22,18 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"brisk/internal/clocksync"
 	"brisk/internal/cre"
+	"brisk/internal/metrics"
 	"brisk/internal/ols"
 	"brisk/internal/picl"
 	"brisk/internal/record"
 	"brisk/internal/shm"
-	"brisk/internal/stats"
 	"brisk/internal/vclock"
 	"brisk/internal/visual"
 	"brisk/internal/wire"
@@ -91,7 +92,17 @@ type Config struct {
 	Filter func(rec *record.Record) bool
 	// Logf logs diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the registry the manager registers its
+	// series in; nil means a private registry (see Manager.Metrics).
+	Metrics *metrics.Registry
+	// TraceSampleEvery is the pipeline stage tracer's sampling period:
+	// every Nth record through a stage has its age measured. 0 means
+	// DefaultTraceSampleEvery; negative disables tracing.
+	TraceSampleEvery int
 }
+
+// DefaultTraceSampleEvery is the default pipeline-trace sampling period.
+const DefaultTraceSampleEvery = 64
 
 // Stats is a snapshot of manager counters.
 type Stats struct {
@@ -153,6 +164,12 @@ type session struct {
 	id   uint64
 	node int32
 
+	// batchesC and dedupedC are this session's labeled batch and replay
+	// counters; nil for sessionless sensors. They live as long as the
+	// session: expiry unregisters them from the registry.
+	batchesC *metrics.Counter
+	dedupedC *metrics.Counter
+
 	mu         sync.Mutex
 	name       string
 	lastSeq    uint64 // highest batch sequence accepted into the merger
@@ -175,31 +192,44 @@ type Manager struct {
 	sessions map[uint64]*session
 	nextNode int32
 
-	merge    chan srcBatch
-	syncNow  chan struct{}
-	done     chan struct{}
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	received atomic.Uint64
-	batches  atomic.Uint64
-	bytesIn  atomic.Uint64
-	emitted  atomic.Uint64
+	merge   chan srcBatch
+	syncNow chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	reg      *metrics.Registry
+	tracer   *metrics.StageTracer
+	received *metrics.Counter
+	batches  *metrics.Counter
+	bytesIn  *metrics.Counter
+	emitted  *metrics.Counter
 
 	sorterMu sync.Mutex
 	sorter   *ols.Sorter
 	matcher  *cre.Matcher
-	emitLat  stats.Hist
+	emitLat  *metrics.Histogram
+	windowT  *metrics.Histogram
 
-	syncRounds   atomic.Uint64
-	tachyonSyncs atomic.Uint64
-	filtered     atomic.Uint64
-	resumed      atomic.Uint64
-	deduped      atomic.Uint64
-	deadPeers    atomic.Uint64
+	syncRounds   *metrics.Counter
+	tachyonSyncs *metrics.Counter
+	filtered     *metrics.Counter
+	resumed      *metrics.Counter
+	deduped      *metrics.Counter
+	deadPeers    *metrics.Counter
+	syncFailed   *metrics.Counter
+	syncSkew     *metrics.Histogram
 
 	visualBuf  *lineBuffer
 	visualPICL *picl.Writer
 }
+
+// Pipeline tracer stages owned by the manager side.
+const (
+	stageIngest      = iota // batch decoded off the wire, entering the merge queue
+	stageSorterEmit         // record left the on-line sorter
+	stageSinkDeliver        // record delivered to the sinks
+)
 
 type srcBatch struct {
 	node int32
@@ -261,10 +291,11 @@ func New(cfg Config) (*Manager, error) {
 		done:     make(chan struct{}),
 		sorter:   ols.New(cfg.Sorter),
 	}
+	m.registerMetrics(cfg.Metrics)
 	m.matcher = cre.New(cre.Config{
 		Timeout: cfg.CRETimeout,
 		OnTachyon: func(int64, *record.Record) {
-			m.tachyonSyncs.Add(1)
+			m.tachyonSyncs.Inc()
 			select {
 			case m.syncNow <- struct{}{}:
 			default:
@@ -277,6 +308,139 @@ func New(cfg Config) (*Manager, error) {
 	}
 	return m, nil
 }
+
+// registerMetrics creates (or adopts) the registry and binds every
+// manager-side series: live counters for the record path, histograms for
+// emit latency and the sorter's window trajectory, and func-backed views
+// over state owned by the merger (sorterMu) and the session table (m.mu).
+// Func-backed series are evaluated outside the registry lock, so the
+// closures here may take those locks freely.
+func (m *Manager) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m.reg = reg
+	m.received = reg.Counter(metrics.Desc{Name: "brisk_ism_records_received_total",
+		Help: "records accepted from all external sensors", Unit: "records"})
+	m.batches = reg.Counter(metrics.Desc{Name: "brisk_ism_batches_received_total",
+		Help: "data-batch frames received, including replays", Unit: "batches"})
+	m.bytesIn = reg.Counter(metrics.Desc{Name: "brisk_ism_wire_bytes_in_total",
+		Help: "wire payload bytes received from all sensors", Unit: "bytes"})
+	m.emitted = reg.Counter(metrics.Desc{Name: "brisk_ism_records_emitted_total",
+		Help: "sorted records delivered to the sinks", Unit: "records"})
+	m.syncRounds = reg.Counter(metrics.Desc{Name: "brisk_ism_sync_rounds_total",
+		Help: "completed clock-synchronization rounds", Unit: "rounds"})
+	m.tachyonSyncs = reg.Counter(metrics.Desc{Name: "brisk_ism_tachyon_syncs_total",
+		Help: "extra synchronization rounds requested by the causal matcher", Unit: "rounds"})
+	m.filtered = reg.Counter(metrics.Desc{Name: "brisk_ism_records_filtered_total",
+		Help: "sorted records suppressed by the configured filter", Unit: "records"})
+	m.resumed = reg.Counter(metrics.Desc{Name: "brisk_ism_sessions_resumed_total",
+		Help: "reconnections that reattached an existing session", Unit: "sessions"})
+	m.deduped = reg.Counter(metrics.Desc{Name: "brisk_ism_batches_deduped_total",
+		Help: "replayed batches dropped by the sequence-number filter", Unit: "batches"})
+	m.deadPeers = reg.Counter(metrics.Desc{Name: "brisk_ism_dead_peers_total",
+		Help: "connections severed by heartbeat timeout", Unit: "connections"})
+	m.syncFailed = reg.Counter(metrics.Desc{Name: "brisk_ism_sync_failed_probes_total",
+		Help: "slaves that yielded no usable offset estimate in a round", Unit: "slaves"})
+	m.emitLat = reg.Histogram(metrics.Desc{Name: "brisk_ism_emit_latency_microseconds",
+		Help: "delivery latency: manager clock at emission minus the record's corrected timestamp",
+		Unit: "microseconds"})
+	m.windowT = reg.Histogram(metrics.Desc{Name: "brisk_ols_window_trajectory_microseconds",
+		Help: "on-line sorter window T sampled at every merge tick (its adaptation trajectory)",
+		Unit: "microseconds"})
+	m.syncSkew = reg.Histogram(metrics.Desc{Name: "brisk_ism_sync_skew_microseconds",
+		Help: "mean relative clock skew observed per synchronization round",
+		Unit: "microseconds"})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_connected_sensors",
+		Help: "external sensors currently attached"},
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.conns))
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_sessions",
+		Help: "live sessions (attached or within the retention window)"},
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.sessions))
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_window_microseconds",
+		Help: "current on-line sorter window T (the adaptive time frame)", Unit: "microseconds"},
+		func() float64 {
+			m.sorterMu.Lock()
+			defer m.sorterMu.Unlock()
+			return float64(m.sorter.TimeFrame())
+		})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_heap_depth",
+		Help: "records currently buffered in the sorter's heaps", Unit: "records"},
+		func() float64 {
+			m.sorterMu.Lock()
+			defer m.sorterMu.Unlock()
+			return float64(m.sorter.Buffered())
+		})
+	olsCounter := func(name, help string, get func(ols.Stats) uint64) {
+		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
+			m.sorterMu.Lock()
+			defer m.sorterMu.Unlock()
+			return get(m.sorter.Stats())
+		})
+	}
+	olsCounter("brisk_ols_pushed_total", "records pushed into the on-line sorter",
+		func(s ols.Stats) uint64 { return s.Pushed })
+	olsCounter("brisk_ols_emitted_total", "records extracted from the on-line sorter in order",
+		func(s ols.Stats) uint64 { return s.Emitted })
+	olsCounter("brisk_ols_inversions_total", "records that arrived after a later-stamped record was emitted",
+		func(s ols.Stats) uint64 { return s.Inversions })
+	olsCounter("brisk_ols_dropped_full_total", "records dropped because the sorter buffer bound was hit",
+		func(s ols.Stats) uint64 { return s.DroppedFull })
+	creCounter := func(name, help string, get func(cre.Stats) uint64) {
+		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
+			m.sorterMu.Lock()
+			defer m.sorterMu.Unlock()
+			return get(m.matcher.Stats())
+		})
+	}
+	creCounter("brisk_cre_processed_total", "records passed through the causal matcher",
+		func(s cre.Stats) uint64 { return s.Processed })
+	creCounter("brisk_cre_matched_total", "consequence records whose reason was found",
+		func(s cre.Stats) uint64 { return s.Matched })
+	creCounter("brisk_cre_tachyons_total", "consequence records whose timestamps had to be overridden",
+		func(s cre.Stats) uint64 { return s.Tachyons })
+	creCounter("brisk_cre_held_timed_out_total", "held consequences released because their reason never arrived",
+		func(s cre.Stats) uint64 { return s.HeldTimedOut })
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_cre_held_now",
+		Help: "consequence records currently held awaiting their reason", Unit: "records"},
+		func() float64 {
+			m.sorterMu.Lock()
+			defer m.sorterMu.Unlock()
+			return float64(m.matcher.Stats().HeldNow)
+		})
+	reg.CounterFunc(metrics.Desc{Name: "brisk_ism_buffer_written_total",
+		Help: "records published to the memory buffer sink", Unit: "records"},
+		func() uint64 { return m.buffer.Written() })
+	if m.cfg.Visual != nil {
+		reg.CounterFunc(metrics.Desc{Name: "brisk_visual_lines_sent_total",
+			Help: "PICL lines delivered to remote visual objects", Unit: "lines"},
+			func() uint64 { sent, _ := m.cfg.Visual.Totals(); return sent })
+		reg.CounterFunc(metrics.Desc{Name: "brisk_visual_lines_dropped_total",
+			Help: "PICL lines dropped at slow visual consumers", Unit: "lines"},
+			func() uint64 { _, dropped := m.cfg.Visual.Totals(); return dropped })
+	}
+	if m.cfg.TraceSampleEvery >= 0 {
+		every := m.cfg.TraceSampleEvery
+		if every == 0 {
+			every = DefaultTraceSampleEvery
+		}
+		m.tracer = metrics.NewStageTracer(reg, "brisk_pipeline_stage_age_microseconds",
+			"age of a sampled record (local clock minus record timestamp) on reaching each pipeline stage",
+			every, "ism_ingest", "sorter_emit", "sink_deliver")
+	}
+}
+
+// Metrics returns the registry holding the manager's series, for serving
+// through an introspection endpoint.
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 
 // Addr returns the bound listen address.
 func (m *Manager) Addr() string { return m.ln.Addr().String() }
@@ -379,6 +543,17 @@ func (m *Manager) handleConn(raw net.Conn) {
 		if hello.Session != 0 {
 			sess.id = hello.Session
 			m.sessions[hello.Session] = sess
+			labels := metrics.L(
+				"node", strconv.FormatInt(int64(sess.node), 10),
+				"session", strconv.FormatUint(sess.id, 16))
+			sess.batchesC = m.reg.Counter(metrics.Desc{
+				Name: "brisk_ism_session_batches_total",
+				Help: "data batches accepted into the merger, per session",
+				Unit: "batches", Labels: labels})
+			sess.dedupedC = m.reg.Counter(metrics.Desc{
+				Name: "brisk_ism_session_deduped_total",
+				Help: "replayed batches dropped by the sequence filter, per session",
+				Unit: "batches", Labels: labels})
 		}
 	}
 	c.node = sess.node
@@ -396,7 +571,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 		evict.raw.Close()
 	}
 	if resumed {
-		m.resumed.Add(1)
+		m.resumed.Inc()
 	}
 	defer func() {
 		c.gone.Store(true)
@@ -414,6 +589,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 		sess.mu.Unlock()
 		if sess.id != 0 && m.cfg.SessionRetention < 0 {
 			delete(m.sessions, sess.id)
+			m.unregisterSession(sess)
 		}
 		m.mu.Unlock()
 	}()
@@ -437,7 +613,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 		c.lastRecv.Store(time.Now().UnixNano())
 		switch t := msg.(type) {
 		case *wire.DataBatch:
-			m.batches.Add(1)
+			m.batches.Inc()
 			m.bytesIn.Add(uint64(len(t.Payload)))
 			if t.Seq != 0 && sess.id != 0 {
 				sess.mu.Lock()
@@ -447,7 +623,10 @@ func (m *Manager) handleConn(raw net.Conn) {
 				if dup {
 					// Replay of a batch merged before the link broke.
 					// Re-ack so the sensor can release it.
-					m.deduped.Add(1)
+					m.deduped.Inc()
+					if sess.dedupedC != nil {
+						sess.dedupedC.Inc()
+					}
 					if err := wc.Send(&wire.DataAck{Seq: high}); err != nil {
 						return
 					}
@@ -460,6 +639,14 @@ func (m *Manager) handleConn(raw net.Conn) {
 				return
 			}
 			m.received.Add(uint64(len(recs)))
+			if sess.batchesC != nil {
+				sess.batchesC.Inc()
+			}
+			if m.tracer != nil && len(recs) > 0 && m.tracer.ShouldSample(stageIngest) {
+				if r := &recs[0]; r.HasTS {
+					m.tracer.Observe(stageIngest, m.clock.NowMicros()-r.TS)
+				}
+			}
 			select {
 			case m.merge <- srcBatch{node: c.node, recs: recs}:
 			case <-m.done:
@@ -489,6 +676,19 @@ func (m *Manager) handleConn(raw net.Conn) {
 			return
 		}
 	}
+}
+
+// unregisterSession drops a dead session's labeled series so the registry
+// does not accumulate one pair of counters per sensor lifetime forever.
+func (m *Manager) unregisterSession(s *session) {
+	if s.batchesC == nil {
+		return
+	}
+	labels := metrics.L(
+		"node", strconv.FormatInt(int64(s.node), 10),
+		"session", strconv.FormatUint(s.id, 16))
+	m.reg.Unregister("brisk_ism_session_batches_total", labels)
+	m.reg.Unregister("brisk_ism_session_deduped_total", labels)
 }
 
 func decodeBatch(b *wire.DataBatch) ([]record.Record, error) {
@@ -527,6 +727,7 @@ func (m *Manager) mergeLoop() {
 		case <-ticker.C:
 			now := m.clock.NowMicros()
 			m.sorterMu.Lock()
+			m.windowT.Observe(m.sorter.TimeFrame())
 			m.sorter.Extract(now, m.sinkRecord)
 			m.matcher.Tick(now, m.deliver)
 			m.sorterMu.Unlock()
@@ -564,6 +765,9 @@ func (m *Manager) mergeLoop() {
 // sinkRecord feeds one sorted record through the CRE matcher into the
 // sinks. Runs with sorterMu held.
 func (m *Manager) sinkRecord(rec record.Record) {
+	if m.tracer != nil && rec.HasTS && m.tracer.ShouldSample(stageSorterEmit) {
+		m.tracer.Observe(stageSorterEmit, m.clock.NowMicros()-rec.TS)
+	}
 	m.matcher.Process(rec, m.clock.NowMicros(), m.deliver)
 }
 
@@ -571,12 +775,16 @@ func (m *Manager) sinkRecord(rec record.Record) {
 // sorterMu held.
 func (m *Manager) deliver(rec record.Record) {
 	if m.cfg.Filter != nil && !m.cfg.Filter(&rec) {
-		m.filtered.Add(1)
+		m.filtered.Inc()
 		return
 	}
-	m.emitted.Add(1)
+	m.emitted.Inc()
 	if rec.HasTS {
-		m.emitLat.Add(float64(m.clock.NowMicros() - rec.TS))
+		age := m.clock.NowMicros() - rec.TS
+		m.emitLat.Observe(age)
+		if m.tracer != nil && m.tracer.ShouldSample(stageSinkDeliver) {
+			m.tracer.Observe(stageSinkDeliver, age)
+		}
 	}
 	// Memory buffer: node prefix + the NOTICE binary structure.
 	buf := make([]byte, 4, 4+rec.WireSize())
@@ -637,6 +845,7 @@ func (m *Manager) heartbeatLoop() {
 				s.mu.Unlock()
 				if expired {
 					delete(m.sessions, id)
+					m.unregisterSession(s)
 					m.logf("ism: session of node %d expired", s.node)
 				}
 			}
@@ -647,7 +856,7 @@ func (m *Manager) heartbeatLoop() {
 				continue
 			}
 			if c.lastRecv.Load() < deadline {
-				m.deadPeers.Add(1)
+				m.deadPeers.Inc()
 				m.logf("ism: node %d (%s) missed %d heartbeats, disconnecting",
 					c.node, c.name, m.cfg.HeartbeatMisses)
 				c.raw.Close() // handleConn's Recv fails and cleans up
@@ -735,8 +944,10 @@ func (m *Manager) runSyncRound() {
 	}
 	if rep.Failed > 0 {
 		m.logf("ism: sync round %d: %d slave(s) unreachable", rep.Round, rep.Failed)
+		m.syncFailed.Add(uint64(rep.Failed))
 	}
-	m.syncRounds.Add(1)
+	m.syncSkew.Observe(int64(rep.Corrections.AvgRelSkew))
+	m.syncRounds.Inc()
 }
 
 // SyncRound triggers one synchronization round immediately (used by tests
@@ -757,26 +968,25 @@ func (m *Manager) Stats() Stats {
 	m.sorterMu.Lock()
 	ss := m.sorter.Stats()
 	cs := m.matcher.Stats()
-	latMean := m.emitLat.Mean()
-	latP99 := m.emitLat.Quantile(0.99)
 	m.sorterMu.Unlock()
+	lat := m.emitLat.Snapshot()
 	return Stats{
 		Connected:             connected,
-		Received:              m.received.Load(),
-		Emitted:               m.emitted.Load(),
-		Batches:               m.batches.Load(),
-		BytesIn:               m.bytesIn.Load(),
+		Received:              m.received.Value(),
+		Emitted:               m.emitted.Value(),
+		Batches:               m.batches.Value(),
+		BytesIn:               m.bytesIn.Value(),
 		Sorter:                ss,
 		CRE:                   cs,
-		SyncRounds:            m.syncRounds.Load(),
-		TachyonSyncs:          m.tachyonSyncs.Load(),
-		Filtered:              m.filtered.Load(),
-		ResumedSessions:       m.resumed.Load(),
-		DedupedBatches:        m.deduped.Load(),
-		DeadPeers:             m.deadPeers.Load(),
+		SyncRounds:            m.syncRounds.Value(),
+		TachyonSyncs:          m.tachyonSyncs.Value(),
+		Filtered:              m.filtered.Value(),
+		ResumedSessions:       m.resumed.Value(),
+		DedupedBatches:        m.deduped.Value(),
+		DeadPeers:             m.deadPeers.Value(),
 		Sessions:              sessions,
-		EmitLatencyMeanMicros: latMean,
-		EmitLatencyP99Micros:  latP99,
+		EmitLatencyMeanMicros: lat.Mean(),
+		EmitLatencyP99Micros:  lat.Quantile(0.99),
 	}
 }
 

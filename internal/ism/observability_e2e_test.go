@@ -1,0 +1,151 @@
+package ism
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"brisk/internal/exs"
+	"brisk/internal/faultnet"
+	"brisk/internal/metrics"
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// scrape fetches one exposition from the introspection endpoint.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	return string(body)
+}
+
+// metricValue extracts an unlabeled series' value from an exposition, or
+// -1 when the series is absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// TestObservabilityEndToEndUnderFaults runs the whole pipeline — manager
+// and two sensor nodes sharing one registry, one node behind a faultnet
+// proxy with a skewed clock — and asserts through real /metrics scrapes
+// that the fault counters move: a tachyon from the skewed clock, spill
+// drops from an outage with a tiny spill budget, and a reconnection once
+// the link heals.
+func TestObservabilityEndToEndUnderFaults(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := newManager(t, Config{
+		Metrics:    reg,
+		SyncPeriod: time.Hour, // only tachyon-triggered rounds
+	})
+	obs, err := metrics.Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	url := "http://" + obs.Addr() + "/metrics"
+
+	proxy, err := faultnet.Listen(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Node A: healthy clock, direct link, its own private registry.
+	_, regionA := newNode(t, m, "a", nil)
+	sa := sensor.New(regionA, "app", sensor.Options{})
+
+	// Node B: clock 200 ms behind, link through the fault proxy, a spill
+	// budget small enough that an outage must evict batches, and series
+	// registered in the shared registry the endpoint serves.
+	behind := vclock.NewCorrected(vclock.NewDrift(vclock.System{}, -200_000, 0))
+	regionB := shm.NewRegion()
+	eB, err := exs.Dial(exs.Config{
+		ManagerAddr:          proxy.Addr(),
+		NodeName:             "b",
+		Region:               regionB,
+		Clock:                behind,
+		FlushInterval:        time.Millisecond,
+		PollInterval:         200 * time.Microsecond,
+		ReconnectBase:        2 * time.Millisecond,
+		ReconnectMax:         10 * time.Millisecond,
+		MaxReconnectAttempts: -1,
+		SpillBytes:           256,
+		Metrics:              reg,
+		Logf:                 quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eB.Close() })
+	sb := sensor.New(regionB, "app", sensor.Options{Clock: behind})
+
+	// A reason from the healthy node, then its consequence from the node
+	// whose clock runs behind: the consequence is stamped before its
+	// reason, which the matcher must count as a tachyon.
+	sa.NoticeReason(1, 42, 0)
+	time.Sleep(20 * time.Millisecond)
+	sb.NoticeConseq(2, 42, 0)
+	waitUntil(t, 10*time.Second, "tachyon on /metrics", func() bool {
+		return metricValue(scrape(t, url), "brisk_cre_tachyons_total") >= 1
+	})
+
+	// Outage: sever the link and refuse reconnection, then write far more
+	// than the spill budget holds. The sensor must evict (and count) the
+	// oldest batches.
+	proxy.SetAccepting(false)
+	proxy.CutNow()
+	for i := 0; i < 400; i++ {
+		for !sb.Notice2i(3, int32(i), 0) {
+			time.Sleep(time.Microsecond)
+		}
+		if i%50 == 0 {
+			eB.Flush()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	eB.Flush()
+	waitUntil(t, 10*time.Second, "spill drops on /metrics", func() bool {
+		return metricValue(scrape(t, url), "brisk_exs_dropped_records_total") >= 1
+	})
+
+	// Heal the link: the sensor reconnects and the counter shows it.
+	proxy.SetAccepting(true)
+	waitUntil(t, 10*time.Second, "reconnect on /metrics", func() bool {
+		return metricValue(scrape(t, url), "brisk_exs_reconnects_total") >= 1
+	})
+
+	// The shared exposition carries both component prefixes.
+	body := scrape(t, url)
+	for _, name := range []string{
+		"brisk_ism_records_received_total",
+		"brisk_ols_window_microseconds",
+		"brisk_exs_records_sent_total",
+		"brisk_pipeline_stage_age_microseconds_bucket",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"brisk/internal/stats"
+)
+
+// escapeLabelValue escapes a label value for the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string for the Prometheus text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeLabels renders {k="v",...}; extra, when non-empty, is appended as a
+// pre-rendered last pair (the histogram le label).
+func writeLabels(w *bufio.Writer, ls Labels, extra string) {
+	if len(ls) == 0 && extra == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(l.Value))
+		w.WriteByte('"')
+	}
+	if extra != "" {
+		if len(ls) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// histograms as cumulative le-labeled buckets plus _sum and _count.
+// Families are sorted by name and series by label set, so output is
+// deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.Series {
+			if f.Kind == KindHistogram && s.Hist != nil {
+				writeHistSeries(bw, f.Name, s)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, s.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistSeries renders one histogram series in Prometheus layout.
+func writeHistSeries(bw *bufio.Writer, name string, s SeriesSnapshot) {
+	var cum uint64
+	for i, c := range s.Hist.Buckets {
+		cum += c
+		le := `le="` + formatValue(stats.LogBucketUpper(i)) + `"`
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.Labels, le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, s.Labels, `le="+Inf"`)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(s.Hist.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.Hist.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// jsonSeries is the JSON rendering of one series.
+type jsonSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets []uint64          `json:"buckets,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+}
+
+// jsonFamily is the JSON rendering of one family.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Help   string       `json:"help,omitempty"`
+	Unit   string       `json:"unit,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders every registered metric as an indented JSON array of
+// families, for tooling that prefers structure over the text format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	out := make([]jsonFamily, 0, len(snap))
+	for _, f := range snap {
+		jf := jsonFamily{Name: f.Name, Kind: f.Kind.String(), Help: f.Help, Unit: f.Unit}
+		for _, s := range f.Series {
+			js := jsonSeries{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			if s.Hist != nil {
+				js.Buckets = s.Hist.Buckets
+				count, sum := s.Hist.Count, s.Hist.Sum
+				js.Count, js.Sum = &count, &sum
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

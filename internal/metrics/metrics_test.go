@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration, increments, observations, unregistration and snapshots all
+// interleaved — and checks the final counts. Run under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	shared := reg.Counter(Desc{Name: "shared_total", Help: "shared counter"})
+	hist := reg.Histogram(Desc{Name: "lat_microseconds", Help: "latencies"})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := reg.Counter(Desc{Name: "per_worker_total", Labels: L("worker", fmt.Sprint(w))})
+			g := reg.Gauge(Desc{Name: "worker_gauge", Labels: L("worker", fmt.Sprint(w))})
+			for i := 0; i < perW; i++ {
+				shared.Inc()
+				mine.Inc()
+				g.Set(int64(i))
+				hist.Observe(int64(i % 4096))
+				if i%500 == 0 {
+					// Idempotent re-registration must return the same cell.
+					if again := reg.Counter(Desc{Name: "per_worker_total",
+						Labels: L("worker", fmt.Sprint(w))}); again != mine {
+						t.Error("re-registration returned a different counter")
+						return
+					}
+				}
+				if i%700 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// A scraper running concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := shared.Value(); got != workers*perW {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perW)
+	}
+	hs := hist.Snapshot()
+	if hs.Count != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*perW)
+	}
+	for w := 0; w < workers; w++ {
+		if !reg.Unregister("per_worker_total", L("worker", fmt.Sprint(w))) {
+			t.Fatalf("worker %d series missing at unregister", w)
+		}
+	}
+	for _, f := range reg.Snapshot() {
+		if f.Name == "per_worker_total" {
+			t.Fatal("family survived unregistering every series")
+		}
+	}
+}
+
+// TestPrometheusExposition is the exposition-format golden test: a fixed
+// registry must render byte-for-byte deterministically.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter(Desc{Name: "brisk_test_records_total",
+		Help: "records through the test pipeline", Unit: "records"})
+	c.Add(42)
+	reg.Counter(Desc{Name: "brisk_test_session_batches_total",
+		Help: "per-session batches", Labels: L("session", "f00d", "node", "1")}).Add(7)
+	reg.Counter(Desc{Name: "brisk_test_session_batches_total",
+		Labels: L("node", "2", "session", "beef")}).Add(3)
+	g := reg.Gauge(Desc{Name: "brisk_test_window_t_microseconds",
+		Help: "sorter window", Unit: "microseconds"})
+	g.Set(1500)
+	reg.GaugeFunc(Desc{Name: "brisk_test_heap_depth", Help: "buffered records"},
+		func() float64 { return 12 })
+	h := reg.Histogram(Desc{Name: "brisk_test_latency_microseconds", Help: "emit latency"})
+	for _, v := range []int64{0, 1, 3, 5, 100} {
+		h.Observe(v)
+	}
+	reg.Counter(Desc{Name: "brisk_test_escaped_total",
+		Labels: L("name", "a\"b\\c\nd")}).Inc()
+
+	const want = `# TYPE brisk_test_escaped_total counter
+brisk_test_escaped_total{name="a\"b\\c\nd"} 1
+# HELP brisk_test_heap_depth buffered records
+# TYPE brisk_test_heap_depth gauge
+brisk_test_heap_depth 12
+# HELP brisk_test_latency_microseconds emit latency
+# TYPE brisk_test_latency_microseconds histogram
+brisk_test_latency_microseconds_bucket{le="2"} 2
+brisk_test_latency_microseconds_bucket{le="4"} 3
+brisk_test_latency_microseconds_bucket{le="8"} 4
+brisk_test_latency_microseconds_bucket{le="16"} 4
+brisk_test_latency_microseconds_bucket{le="32"} 4
+brisk_test_latency_microseconds_bucket{le="64"} 4
+brisk_test_latency_microseconds_bucket{le="128"} 5
+brisk_test_latency_microseconds_bucket{le="+Inf"} 5
+brisk_test_latency_microseconds_sum 109
+brisk_test_latency_microseconds_count 5
+# HELP brisk_test_records_total records through the test pipeline
+# TYPE brisk_test_records_total counter
+brisk_test_records_total 42
+# HELP brisk_test_session_batches_total per-session batches
+# TYPE brisk_test_session_batches_total counter
+brisk_test_session_batches_total{node="1",session="f00d"} 7
+brisk_test_session_batches_total{node="2",session="beef"} 3
+# HELP brisk_test_window_t_microseconds sorter window
+# TYPE brisk_test_window_t_microseconds gauge
+brisk_test_window_t_microseconds 1500
+`
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramEmptyExposition checks the degenerate empty histogram.
+func TestHistogramEmptyExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram(Desc{Name: "empty_hist"})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE empty_hist histogram\n" +
+		"empty_hist_bucket{le=\"+Inf\"} 0\n" +
+		"empty_hist_sum 0\n" +
+		"empty_hist_count 0\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestJSONRendering checks the JSON form round-trips through encoding/json
+// and carries labels, values and histogram buckets.
+func TestJSONRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Desc{Name: "a_total", Help: "h", Unit: "records",
+		Labels: L("k", "v")}).Add(5)
+	h := reg.Histogram(Desc{Name: "b_microseconds"})
+	h.Observe(3)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Unit   string `json:"unit"`
+		Series []struct {
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Buckets []uint64          `json:"buckets"`
+			Count   *uint64           `json:"count"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &fams); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	if fams[0].Name != "a_total" || fams[0].Kind != "counter" || fams[0].Unit != "records" {
+		t.Fatalf("family 0 = %+v", fams[0])
+	}
+	if *fams[0].Series[0].Value != 5 || fams[0].Series[0].Labels["k"] != "v" {
+		t.Fatalf("series 0 = %+v", fams[0].Series[0])
+	}
+	if *fams[1].Series[0].Count != 1 || len(fams[1].Series[0].Buckets) != 2 {
+		t.Fatalf("histogram series = %+v", fams[1].Series[0])
+	}
+}
+
+// TestHistogramQuantile checks the snapshot summary math against the
+// shared stats bucket bounds.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Mean(); got != 499.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// 999 lives in [512,1024); the q=1 upper bound is 1024.
+	if got := s.Quantile(1); got != 1024 {
+		t.Fatalf("q100 = %v, want 1024", got)
+	}
+	if got := s.Quantile(0.5); got > 1024 || got < 256 {
+		t.Fatalf("q50 = %v out of plausible range", got)
+	}
+	h.Observe(-5)                                 // clamps to bucket 0
+	if got := h.Snapshot().Buckets[0]; got != 3 { // 0, 1, -5
+		t.Fatalf("bucket0 = %d, want 3", got)
+	}
+}
+
+// TestStageTracer checks per-stage sampling pacing and histogram routing.
+func TestStageTracer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewStageTracer(reg, "stage_age_microseconds", "pipeline ages", 4,
+		"drain", "sink")
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		if tr.ShouldSample(0) {
+			sampled++
+			tr.Observe(0, int64(i))
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 at every=4", sampled)
+	}
+	tr.Observe(1, 7)
+	snap := reg.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 2 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	if snap[0].Series[0].Hist.Count != 4 || snap[0].Series[1].Hist.Count != 1 {
+		t.Fatalf("per-stage counts: %d, %d",
+			snap[0].Series[0].Hist.Count, snap[0].Series[1].Hist.Count)
+	}
+	every1 := NewStageTracer(reg, "all_age_microseconds", "", 0, "s")
+	n := 0
+	for i := 0; i < 5; i++ {
+		if every1.ShouldSample(0) {
+			n++
+		}
+	}
+	if n != 5 {
+		t.Fatalf("every=1 sampled %d of 5", n)
+	}
+}
+
+// TestServe spins up the introspection endpoint and exercises /metrics
+// (both formats) and /healthz.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Desc{Name: "up_total"}).Inc()
+	var unhealthy atomic.Bool
+	srv, err := Serve("127.0.0.1:0", reg, func() error {
+		if unhealthy.Load() {
+			return fmt.Errorf("merge loop wedged")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get("/metrics?format=json"); code != 200 || !strings.Contains(body, `"up_total"`) {
+		t.Fatalf("/metrics json: %d\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+	unhealthy.Store(true)
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "wedged") {
+		t.Fatalf("unhealthy /healthz: %d %s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+// TestKindConflictPanics pins the misuse diagnostics.
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Desc{Name: "x_total"})
+	mustPanic(t, func() { reg.Gauge(Desc{Name: "x_total"}) })
+	mustPanic(t, func() { reg.CounterFunc(Desc{Name: "x_total"}, func() uint64 { return 0 }) })
+	mustPanic(t, func() { reg.Counter(Desc{Name: "bad name"}) })
+	mustPanic(t, func() { reg.Counter(Desc{Name: "ok_total", Labels: L("bad key", "v")}) })
+	mustPanic(t, func() { L("odd") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import "sync/atomic"
+
+// StageTracer is the lightweight pipeline trace hook: each stage of the
+// instrumentation pipeline (ring → EXS → wire → queue → sorter → sink)
+// observes the age of a sampled record — the record's synchronized
+// timestamp subtracted from the local clock — into a per-stage histogram.
+// The difference between successive stage distributions is the dwell time
+// in the stage between them, so one cheap probe per stage reconstructs
+// where pipeline latency accumulates without changing the record format.
+//
+// Sampling is per stage (every Nth eligible record), so a stage that sees
+// batches and a stage that sees single records stay independently paced.
+type StageTracer struct {
+	every  uint64
+	stages []tracerStage
+}
+
+// tracerStage pairs one stage's sampling counter with its histogram.
+type tracerStage struct {
+	n    atomic.Uint64
+	hist *Histogram
+}
+
+// NewStageTracer registers one histogram series per stage name under the
+// given family name, labeled stage=<name>, and returns the tracer.
+// sampleEvery is the per-stage sampling period; values below 1 mean every
+// record. help documents the family.
+func NewStageTracer(reg *Registry, name, help string, sampleEvery int, stageNames ...string) *StageTracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	t := &StageTracer{every: uint64(sampleEvery), stages: make([]tracerStage, len(stageNames))}
+	for i, sn := range stageNames {
+		t.stages[i].hist = reg.Histogram(Desc{
+			Name:   name,
+			Help:   help,
+			Unit:   "microseconds",
+			Labels: L("stage", sn),
+		})
+	}
+	return t
+}
+
+// ShouldSample advances stage's sampling counter and reports whether the
+// caller should measure this record (true once per sampling period). Using
+// it lets a stage skip the cost of computing the record's age — decoding a
+// timestamp out of an encoded batch, say — for unsampled records.
+func (t *StageTracer) ShouldSample(stage int) bool {
+	return t.stages[stage].n.Add(1)%t.every == 1 || t.every == 1
+}
+
+// Observe records one sampled record's age at the stage, in µs. Negative
+// ages (a record stamped ahead of the observing clock) clamp to 0.
+func (t *StageTracer) Observe(stage int, ageMicros int64) {
+	t.stages[stage].hist.Observe(ageMicros)
+}

@@ -135,10 +135,56 @@ func (r *Reservoir) Quantile(q float64) float64 {
 // Median returns the 50th percentile.
 func (r *Reservoir) Median() float64 { return r.Quantile(0.5) }
 
+// LogBuckets is the number of buckets in a logarithmic histogram.
+const LogBuckets = 64
+
+// LogBucketIndex returns the logarithmic-histogram bucket for a
+// non-negative value: bucket i covers [2^i, 2^(i+1)), with bucket 0
+// covering [0, 2). Negative values clamp to bucket 0.
+func LogBucketIndex(v float64) int {
+	i := 0
+	if v > 0 {
+		for x := uint64(v); x > 1 && i < LogBuckets-1; x >>= 1 {
+			i++
+		}
+	}
+	return i
+}
+
+// LogBucketUpper returns the exclusive upper edge of logarithmic bucket i,
+// i.e. 2^(i+1).
+func LogBucketUpper(i int) float64 {
+	if i >= LogBuckets-1 {
+		return math.Ldexp(1, LogBuckets)
+	}
+	return float64(uint64(1) << uint(i+1))
+}
+
+// LogBucketQuantile returns an upper bound on the q-th quantile of n
+// observations spread over logarithmic buckets, using bucket upper edges.
+// It returns 0 when n is 0.
+func LogBucketQuantile(buckets []uint64, n uint64, q float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum >= target {
+			return LogBucketUpper(i)
+		}
+	}
+	return LogBucketUpper(LogBuckets - 1)
+}
+
 // Hist is a logarithmic histogram for non-negative microsecond latencies:
 // bucket i covers [2^i, 2^(i+1)) µs, with bucket 0 covering [0, 2).
 type Hist struct {
-	buckets [64]uint64
+	buckets [LogBuckets]uint64
 	n       uint64
 	sum     float64
 }
@@ -150,11 +196,7 @@ func (h *Hist) Add(v float64) {
 	}
 	h.n++
 	h.sum += v
-	i := 0
-	for x := uint64(v); x > 1 && i < 63; x >>= 1 {
-		i++
-	}
-	h.buckets[i]++
+	h.buckets[LogBucketIndex(v)]++
 }
 
 // N returns the observation count.
@@ -171,21 +213,7 @@ func (h *Hist) Mean() float64 {
 // Quantile returns an upper bound on the q-th quantile using bucket upper
 // edges.
 func (h *Hist) Quantile(q float64) float64 {
-	if h.n == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(h.n)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
-		if cum >= target {
-			return float64(uint64(1) << uint(i+1))
-		}
-	}
-	return float64(uint64(1) << 63)
+	return LogBucketQuantile(h.buckets[:], h.n, q)
 }
 
 // String renders the non-empty buckets.

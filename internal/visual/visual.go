@@ -291,6 +291,18 @@ func (d *Dispatcher) Len() int {
 	return len(d.remotes)
 }
 
+// Totals sums sent and dropped line counts across every attached remote.
+func (d *Dispatcher) Totals() (sent, dropped uint64) {
+	d.mu.RLock()
+	rs := d.remotes
+	d.mu.RUnlock()
+	for _, r := range rs {
+		sent += r.Sent()
+		dropped += r.Dropped()
+	}
+	return sent, dropped
+}
+
 // Dispatch pushes a line to every attached object.
 func (d *Dispatcher) Dispatch(line string) {
 	d.mu.RLock()

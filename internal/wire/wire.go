@@ -99,10 +99,15 @@ type Message interface {
 // existing per-node state instead of minting a new node id. Session 0
 // means the client does not participate in session resume.
 type Hello struct {
+	// Version is the sender's protocol version (ProtocolVersion).
 	Version uint32
-	Name    string
+	// Name is the human-readable node name.
+	Name string
+	// Session is the node-chosen session identifier; 0 opts out of
+	// session resume.
 	Session uint64
-	Resume  bool
+	// Resume asks the manager to reattach the existing session state.
+	Resume bool
 }
 
 // Type implements Message.
@@ -136,8 +141,12 @@ func (m *Hello) decode(d *xdr.Decoder) error {
 // manager has accepted for the session, so the sensor can discard
 // already-delivered batches from its retransmit buffer.
 type HelloAck struct {
-	Node    int32
+	// Node is the manager-assigned numeric node id.
+	Node int32
+	// Resumed reports that an existing session was reattached.
 	Resumed bool
+	// LastSeq is the highest batch sequence the manager has accepted
+	// for the session.
 	LastSeq uint64
 }
 
@@ -182,8 +191,12 @@ func strictBool(d *xdr.Decoder) (bool, error) {
 // uses it to discard batches replayed after a session resume. Seq 0 marks
 // a batch outside any session (no dedup, no ack expected).
 type DataBatch struct {
-	Seq     uint64
-	Count   uint32
+	// Seq numbers the batch within its session (1-based); 0 marks a
+	// sessionless batch.
+	Seq uint64
+	// Count is the number of records encoded in Payload.
+	Count uint32
+	// Payload is the concatenated record encoding.
 	Payload []byte
 }
 
@@ -217,6 +230,7 @@ func (m *DataBatch) decode(d *xdr.Decoder) error {
 // number ≤ Seq. The external sensor drops acknowledged batches from its
 // retransmit buffer; unacknowledged ones are replayed after a resume.
 type DataAck struct {
+	// Seq acknowledges every batch with sequence number <= Seq.
 	Seq uint64
 }
 
@@ -235,6 +249,7 @@ func (m *DataAck) decode(d *xdr.Decoder) error {
 // echoing Seq. Any received frame counts as liveness, so pings only cost
 // traffic on otherwise idle connections.
 type Ping struct {
+	// Seq identifies the heartbeat; the Pong echoes it.
 	Seq uint32
 }
 
@@ -251,6 +266,7 @@ func (m *Ping) decode(d *xdr.Decoder) error {
 
 // Pong answers a Ping.
 type Pong struct {
+	// Seq echoes the Ping being answered.
 	Seq uint32
 }
 
@@ -269,7 +285,9 @@ func (m *Pong) decode(d *xdr.Decoder) error {
 // at transmission, echoed back so the master can pair replies without
 // per-slave state.
 type Probe struct {
-	Seq        uint32
+	// Seq pairs the reply with this probe.
+	Seq uint32
+	// MasterSend is the master clock (µs) at transmission.
 	MasterSend int64
 }
 
@@ -293,9 +311,13 @@ func (m *Probe) decode(d *xdr.Decoder) error {
 // ProbeReply reports the slave's corrected clock reading at the moment the
 // probe was serviced.
 type ProbeReply struct {
-	Seq        uint32
+	// Seq echoes the probe being answered.
+	Seq uint32
+	// MasterSend echoes the probe's master clock reading.
 	MasterSend int64
-	SlaveTime  int64
+	// SlaveTime is the slave's corrected clock (µs) when the probe was
+	// serviced.
+	SlaveTime int64
 }
 
 // Type implements Message.
@@ -323,6 +345,8 @@ func (m *ProbeReply) decode(d *xdr.Decoder) error {
 // algorithm only ever advances clocks, so DeltaMicros is non-negative in
 // normal operation.
 type Adjust struct {
+	// DeltaMicros is the amount (µs, ≥ 0 under AlgBRISK) to advance the
+	// slave's clock correction by.
 	DeltaMicros int64
 }
 

@@ -113,6 +113,14 @@ type ManagerOptions struct {
 	Filter func(rec *Record) bool
 	// Logf receives diagnostics (default: standard log package).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the registry the manager registers its
+	// series in; nil gives the manager a private registry, readable via
+	// Manager.Metrics.
+	Metrics *Metrics
+	// TraceSampleEvery is the pipeline stage tracer's sampling period
+	// (every Nth record's age is measured per stage). 0 means the
+	// default (64); negative disables tracing.
+	TraceSampleEvery int
 }
 
 // FilterEvents returns a Filter passing only the given event classes —
@@ -164,6 +172,8 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 		SessionRetention:  opts.SessionRetention,
 		Filter:            opts.Filter,
 		Logf:              opts.Logf,
+		Metrics:           opts.Metrics,
+		TraceSampleEvery:  opts.TraceSampleEvery,
 	}
 	if opts.PICL != nil {
 		mode := picl.TimeUTC
@@ -187,6 +197,11 @@ func (m *Manager) Addr() string { return m.inner.Addr() }
 
 // Stats snapshots the manager's counters.
 func (m *Manager) Stats() ManagerStats { return m.inner.Stats() }
+
+// Metrics returns the registry holding the manager's series — the one
+// passed in ManagerOptions.Metrics, or the manager's private registry.
+// Serve it with ServeObservability.
+func (m *Manager) Metrics() *Metrics { return m.inner.Metrics() }
 
 // SyncNow requests an immediate clock-synchronization round.
 func (m *Manager) SyncNow() { m.inner.SyncRound() }

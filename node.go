@@ -45,6 +45,14 @@ type NodeOptions struct {
 	SpillBytes int
 	// Logf receives diagnostics (default: standard log package).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the registry the node's external sensor
+	// registers its series in; nil gives the node a private registry,
+	// readable via Node.Metrics.
+	Metrics *Metrics
+	// TraceSampleEvery is the pipeline stage tracer's sampling period
+	// (every Nth record's age is measured per stage). 0 means the
+	// default (64); negative disables tracing.
+	TraceSampleEvery int
 }
 
 // SensorOptions tunes one internal sensor.
@@ -98,6 +106,8 @@ func ConnectNodeContext(ctx context.Context, opts NodeOptions) (*Node, error) {
 		MaxReconnectAttempts: opts.MaxReconnectAttempts,
 		SpillBytes:           opts.SpillBytes,
 		Logf:                 opts.Logf,
+		Metrics:              opts.Metrics,
+		TraceSampleEvery:     opts.TraceSampleEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +142,11 @@ func (n *Node) Flush() { n.ext.Flush() }
 
 // Stats snapshots the node's counters.
 func (n *Node) Stats() NodeStats { return n.ext.Stats() }
+
+// Metrics returns the registry holding the node's series — the one passed
+// in NodeOptions.Metrics, or the node's private registry. Serve it with
+// ServeObservability.
+func (n *Node) Metrics() *Metrics { return n.ext.Metrics() }
 
 // Close ships buffered records and disconnects from the manager.
 func (n *Node) Close() error { return n.ext.Close() }

@@ -1,0 +1,28 @@
+package brisk
+
+import "brisk/internal/metrics"
+
+// Metrics is a registry of named counters, gauges, and histograms covering
+// every stage of the instrumentation pipeline. Both the manager and nodes
+// register their series into one: pass the same registry in
+// ManagerOptions.Metrics (or NodeOptions.Metrics) to aggregate several
+// components into a single exposition, or leave it nil and read the
+// component's private registry via Manager.Metrics / Node.Metrics.
+//
+// See OBSERVABILITY.md for the catalogue of exported series.
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// ObservabilityServer is a running HTTP introspection endpoint serving
+// /metrics (Prometheus text, JSON via ?format=json), /healthz, and
+// /debug/pprof. Create with ServeObservability, stop with Close.
+type ObservabilityServer = metrics.Server
+
+// ServeObservability binds addr (host:port; port 0 for ephemeral) and
+// serves the introspection endpoint for reg. healthy, when non-nil, backs
+// /healthz: a non-nil error turns the endpoint 503 with the error text.
+func ServeObservability(addr string, reg *Metrics, healthy func() error) (*ObservabilityServer, error) {
+	return metrics.Serve(addr, reg, healthy)
+}
