@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench fuzz eval examples docs-check clean
+.PHONY: all check build vet test test-race race bench bench-check fuzz eval examples docs-check clean
 
 all: build vet test test-race
 
-# The default gate: compile, lint, docs, tests.
-check: build vet docs-check test
+# The default gate: compile, lint, docs, tests, perf regression.
+check: build vet docs-check test bench-check
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Performance-regression gate: the zero-allocation contracts (exact, via
+# testing.AllocsPerRun) plus the short ingest benchmark compared against
+# the committed baseline — fails on >15% throughput loss or on any real
+# allocs-per-record growth. Writes the current numbers to BENCH_pr3.json.
+bench-check:
+	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire
+	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_pr3.json
+
 # Short fuzzing pass over the decoders.
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/record/
 	$(GO) test -fuzz FuzzRecv -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzDataBatch -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/picl/
 	$(GO) test -fuzz FuzzDecoder -fuzztime 30s ./internal/xdr/
 

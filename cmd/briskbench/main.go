@@ -12,6 +12,8 @@
 //	briskbench scale [-nodes 8] [-events 100000]
 //	briskbench clocksync [-seed 1]
 //	briskbench ols [-seed 1]
+//	briskbench ingest [-sessions 1,8] [-records 150000] [-batch 256] [-json FILE]
+//	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_pr3.json]
 //
 // Absolute numbers depend on the host; the paper's qualitative shape —
 // who wins, roughly by what factor, where the knees are — is what the
@@ -22,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"brisk/internal/bench"
@@ -50,6 +54,10 @@ func main() {
 		err = runClockSync(args)
 	case "ols":
 		err = runOLS(args)
+	case "ingest":
+		err = runIngest(args)
+	case "benchgate":
+		err = runBenchGate(args)
 	case "intrusion":
 		err = runIntrusion(args)
 	case "all":
@@ -75,6 +83,8 @@ experiments:
   scale       E5: aggregate throughput vs node count
   clocksync   E6: clock-synchronization quality and convergence
   ols         E7: on-line sorting parameter sweep
+  ingest      manager ingest capacity vs session count (bench-check suite)
+  benchgate   run the ingest suite and fail on regression vs a baseline file
   intrusion   ablation: instrumentation overhead on a computation
   all         every experiment in sequence`)
 }
@@ -186,6 +196,85 @@ func runIntrusion(args []string) error {
 		return err
 	}
 	bench.IntrusionTable(rows).Render(os.Stdout)
+	return nil
+}
+
+// parseSessionCounts turns "1,8" into []int{1, 8}.
+func parseSessionCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad session count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no session counts in %q", s)
+	}
+	return out, nil
+}
+
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	sessions := fs.String("sessions", "1,8", "comma-separated session counts")
+	records := fs.Int("records", 150_000, "records per session")
+	batch := fs.Int("batch", 256, "records per data batch")
+	jsonPath := fs.String("json", "", "also write results as a bench-check reference file")
+	fs.Parse(args)
+	counts, err := parseSessionCounts(*sessions)
+	if err != nil {
+		return err
+	}
+	rows, err := bench.RunIngestSuite(counts, *records, *batch)
+	if err != nil {
+		return err
+	}
+	bench.IngestTable(rows).Render(os.Stdout)
+	if *jsonPath != "" {
+		return bench.WriteBenchFile(*jsonPath, rows)
+	}
+	return nil
+}
+
+func runBenchGate(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed reference file")
+	out := fs.String("out", "BENCH_pr3.json", "where to write this run's results")
+	records := fs.Int("records", 150_000, "records per session")
+	batch := fs.Int("batch", 256, "records per data batch")
+	maxLoss := fs.Float64("maxloss", 0.15, "tolerated fractional throughput regression")
+	allocSlack := fs.Float64("allocslack", 0.25, "tolerated extra allocations per record")
+	fs.Parse(args)
+	base, err := bench.ReadBenchFile(*baseline)
+	if err != nil {
+		return err
+	}
+	counts := make([]int, 0, len(base.Results))
+	for _, r := range base.Results {
+		counts = append(counts, r.Sessions)
+	}
+	rows, err := bench.RunIngestSuite(counts, *records, *batch)
+	if err != nil {
+		return err
+	}
+	bench.IngestTable(rows).Render(os.Stdout)
+	if *out != "" {
+		if err := bench.WriteBenchFile(*out, rows); err != nil {
+			return err
+		}
+	}
+	if bad := bench.CompareBench(base.Results, rows, *maxLoss, *allocSlack); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", b)
+		}
+		return fmt.Errorf("%d regression(s) vs %s", len(bad), *baseline)
+	}
+	fmt.Printf("benchgate: PASS vs %s\n", *baseline)
 	return nil
 }
 

@@ -134,8 +134,12 @@ func (m *Matcher) Process(rec record.Record, now int64, emit func(record.Record)
 			m.repairAndEmit(re.ts, rec, emit)
 			return
 		}
-		// Reason not seen yet: keep the consequence in memory.
-		m.held[id] = append(m.held[id], heldConseq{rec: rec, deadline: now + m.cfg.Timeout})
+		// Reason not seen yet: keep the consequence in memory. The record
+		// borrows sorter-owned Fields storage that a later push reuses, so
+		// holding it across Process calls requires a private copy.
+		h := heldConseq{rec: rec, deadline: now + m.cfg.Timeout}
+		h.rec.Detach()
+		m.held[id] = append(m.held[id], h)
 		m.heldQ = append(m.heldQ, expiry{id: id, deadline: now + m.cfg.Timeout})
 		return
 	}

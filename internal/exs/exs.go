@@ -203,6 +203,10 @@ type EXS struct {
 	queue   []qEntry
 	qBytes  int
 	nextSeq uint64
+	// freeBufs recycles acked batch payloads back into enqueue, so a
+	// steadily-acked stream stops allocating copies. Bounded; see
+	// maxFreeBufs.
+	freeBufs [][]byte
 
 	// Counters live in the metrics registry; the Stats snapshot is a
 	// typed view over them.
@@ -455,11 +459,30 @@ func (e *EXS) liveConn() *wire.Conn {
 	return e.conn
 }
 
+// maxFreeBufs bounds the recycled-payload free list so a burst of large
+// batches cannot pin their storage forever.
+const maxFreeBufs = 8
+
+// recycleBuf returns an acked or evicted payload's storage to the free
+// list. Caller holds qMu.
+func (e *EXS) recycleBuf(b []byte) {
+	if b != nil && len(e.freeBufs) < maxFreeBufs {
+		e.freeBufs = append(e.freeBufs, b[:0])
+	}
+}
+
 // enqueue copies one batch into the retransmit queue, assigning its
-// sequence number and applying the drop-oldest bound.
+// sequence number and applying the drop-oldest bound. The copy reuses
+// storage released by earlier acks, so a flowing, acked stream allocates
+// no queue memory.
 func (e *EXS) enqueue(payload []byte, count int) {
-	cp := append([]byte(nil), payload...)
 	e.qMu.Lock()
+	var cp []byte
+	if n := len(e.freeBufs); n > 0 {
+		cp = e.freeBufs[n-1]
+		e.freeBufs = e.freeBufs[:n-1]
+	}
+	cp = append(cp, payload...)
 	e.nextSeq++
 	e.queue = append(e.queue, qEntry{seq: e.nextSeq, count: count, payload: cp})
 	e.qBytes += len(cp)
@@ -468,6 +491,7 @@ func (e *EXS) enqueue(payload []byte, count int) {
 		old := e.queue[0]
 		e.queue = e.queue[1:]
 		e.qBytes -= len(old.payload)
+		e.recycleBuf(old.payload)
 		evicted += uint64(old.count)
 	}
 	e.qMu.Unlock()
@@ -511,11 +535,13 @@ func (e *EXS) pump(c *wire.Conn) error {
 	return nil
 }
 
-// ackTo releases every queued batch with sequence ≤ seq.
+// ackTo releases every queued batch with sequence ≤ seq; the released
+// payload storage feeds later enqueues.
 func (e *EXS) ackTo(seq uint64) {
 	e.qMu.Lock()
 	for len(e.queue) > 0 && e.queue[0].seq <= seq {
 		e.qBytes -= len(e.queue[0].payload)
+		e.recycleBuf(e.queue[0].payload)
 		e.queue = e.queue[1:]
 	}
 	if len(e.queue) == 0 {

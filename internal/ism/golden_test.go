@@ -1,0 +1,131 @@
+package ism
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"brisk/internal/picl"
+	"brisk/internal/record"
+	"brisk/internal/vclock"
+	"brisk/internal/wire"
+	"brisk/internal/workload"
+)
+
+// goldenTrace runs a fixed-seed workload through a full manager — raw
+// session connections, per-session decode workers, sorter, sinks — and
+// returns the PICL trace it produced. The manager clock is pinned below
+// every record timestamp so nothing is emitted until Close's ordered
+// flush; unique timestamps then make the merged order, and therefore the
+// trace bytes, a pure function of the workload.
+func goldenTrace(t *testing.T) []byte {
+	t.Helper()
+	var trace bytes.Buffer
+	pw := picl.NewWriter(&trace, picl.TimeUTC, 0)
+	clock := vclock.NewManual(1)
+	m, err := New(Config{
+		Addr:              "127.0.0.1:0",
+		Clock:             clock,
+		PICL:              pw,
+		MergeInterval:     time.Millisecond,
+		HeartbeatInterval: -1,
+		Logf:              quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+
+	// The paper's delayed-stream workload, fixed seed. Timestamps are
+	// spread so no two sources ever collide (ts*4+source), keeping the
+	// merged (TS, Seq) order independent of cross-session merge races.
+	const sources = 3
+	specs := make([]workload.StreamSpec, sources)
+	for i := range specs {
+		specs[i] = workload.StreamSpec{
+			Source:  int32(i + 1),
+			MeanGap: 300,
+			Delay:   workload.DelayParams{Base: 50, JitterMean: 200, SpikeProb: 0.05, SpikeMean: 3000},
+		}
+	}
+	events := workload.GenDelayedStreams(specs, 120, 0xB1253)
+	perSource := make(map[int32][]record.Record, sources)
+	for _, ev := range events {
+		rec := record.New(1, record.TSVal(ev.TS*4+int64(ev.Source)), record.I32Val(ev.Source))
+		perSource[ev.Source] = append(perSource[ev.Source], rec)
+	}
+
+	// Sessions attach sequentially so node ids are deterministic. Every
+	// batch is acked before the next is sent, so by the time Close runs
+	// the ordered shutdown (readers → workers → merger flush), each
+	// record is queued and none can be lost.
+	const batchLen = 7
+	for src := int32(1); src <= sources; src++ {
+		wc, ack, closeFn := dialRaw(t, m, 0xD00+uint64(src), false)
+		if ack.Node != src {
+			t.Fatalf("session %d got node id %d; connect order must pin ids", src, ack.Node)
+		}
+		recs := perSource[src]
+		seq := uint64(0)
+		for off := 0; off < len(recs); off += batchLen {
+			end := off + batchLen
+			if end > len(recs) {
+				end = len(recs)
+			}
+			var payload []byte
+			for i := off; i < end; i++ {
+				var err error
+				payload, err = recs[i].Append(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			seq++
+			if err := wc.Send(&wire.DataBatch{Seq: seq, Count: uint32(end - off), Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if a := recvAck(t, wc); a.Seq != seq {
+				t.Fatalf("ack %d, want %d", a.Seq, seq)
+			}
+		}
+		closeFn()
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(m.Stats().Emitted), len(events); got != want {
+		t.Fatalf("emitted %d records, want %d", got, want)
+	}
+	return trace.Bytes()
+}
+
+// TestGoldenTraceDeterminism locks the pipeline's output bytes: the same
+// fixed-seed workload must produce the identical PICL trace on every run
+// — across the pooled decode path, parallel session workers, and batched
+// sink delivery — and that trace must match the committed golden file.
+// Regenerate with GOLDEN_UPDATE=1 after an intentional format change.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	first := goldenTrace(t)
+	second := goldenTrace(t)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two identical runs produced different traces (nondeterminism in the pipeline)")
+	}
+	golden := filepath.Join("testdata", "golden_trace.picl")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("trace differs from %s: got %d bytes, want %d bytes", golden, len(first), len(want))
+	}
+}

@@ -83,6 +83,17 @@ type Config struct {
 	// and dedupe state) is kept for resumption after its connection
 	// drops. Default 2 min; negative drops sessions immediately.
 	SessionRetention time.Duration
+	// DecodeQueueDepth is the per-session decode-worker queue depth in
+	// batches: how many received-but-undecoded data batches may be
+	// buffered per session before its reader blocks, pushing backpressure
+	// into TCP. N sessions decode on N workers in parallel; the merger
+	// stays single-threaded. Default 4.
+	DecodeQueueDepth int
+	// SinkBatchRecords caps how many sorted records accumulate before an
+	// intra-merge sink flush. Larger batches amortize the per-flush costs
+	// (one clock read, one memory-buffer lock) over more records at the
+	// price of peak latency jitter. Default 512.
+	SinkBatchRecords int
 	// Filter, when non-nil, selects which sorted records reach the
 	// sinks; records it rejects are counted but not delivered. It runs
 	// downstream of the causal matcher so causal bookkeeping stays
@@ -175,6 +186,38 @@ type session struct {
 	lastSeq    uint64 // highest batch sequence accepted into the merger
 	cur        *conn  // attached connection, nil while detached
 	detachedAt time.Time
+
+	// work feeds the session's decode worker; free recycles payload
+	// buffers back to the reader so a steady batch stream is copied zero
+	// times and allocated never. Both channels outlive any one connection:
+	// the worker is per session, which is what preserves per-source FIFO
+	// order across a resume.
+	work     chan pending
+	free     chan []byte
+	quit     chan struct{}
+	stopOnce sync.Once
+}
+
+// stop retires the session's decode worker (it drains queued work first).
+func (s *session) stop() { s.stopOnce.Do(func() { close(s.quit) }) }
+
+// severCurrent kills the session's attached connection, if any; the
+// decode worker uses it to surface a malformed batch as a link error.
+func (s *session) severCurrent() {
+	s.mu.Lock()
+	c := s.cur
+	s.mu.Unlock()
+	if c != nil {
+		c.gone.Store(true)
+		c.raw.Close()
+	}
+}
+
+// pending is one received-but-undecoded data batch queued to a session's
+// decode worker.
+type pending struct {
+	count   uint32
+	payload []byte
 }
 
 // Manager is the ISM. Create with New, start with Serve (or let New's
@@ -192,11 +235,14 @@ type Manager struct {
 	sessions map[uint64]*session
 	nextNode int32
 
-	merge   chan srcBatch
-	syncNow chan struct{}
-	done    chan struct{}
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	merge       chan srcBatch
+	syncNow     chan struct{}
+	done        chan struct{}
+	stopWorkers chan struct{} // closed after the readers exit; workers drain and stop
+	wg          sync.WaitGroup
+	wgConns     sync.WaitGroup // connection reader goroutines
+	wgWorkers   sync.WaitGroup // per-session decode workers
+	closed      atomic.Bool
 
 	reg      *metrics.Registry
 	tracer   *metrics.StageTracer
@@ -210,6 +256,18 @@ type Manager struct {
 	matcher  *cre.Matcher
 	emitLat  *metrics.Histogram
 	windowT  *metrics.Histogram
+
+	// Batched sink delivery, owned by the merge goroutine (sorterMu).
+	// out collects fully-processed records between flushes; sinkBufs holds
+	// one recycled encode buffer per record of the largest flush so far.
+	out       []record.Record
+	sinkBufs  [][]byte
+	emitNow   int64 // manager clock for the current merge event
+	sinkBatch int
+
+	workersLive atomic.Int64
+	queueStalls *metrics.Counter
+	sinkBatchH  *metrics.Histogram
 
 	syncRounds   *metrics.Counter
 	tachyonSyncs *metrics.Counter
@@ -231,9 +289,12 @@ const (
 	stageSinkDeliver        // record delivered to the sinks
 )
 
+// srcBatch hands one decoded batch from a session's decode worker to the
+// merge goroutine. The batch pointer comes from record.GetBatch; the
+// merger returns it to the pool after pushing every record.
 type srcBatch struct {
-	node int32
-	recs []record.Record
+	node  int32
+	batch *[]record.Record
 }
 
 // lineBuffer renders one PICL line at a time for the visual dispatcher.
@@ -270,6 +331,12 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.SessionRetention == 0 {
 		cfg.SessionRetention = 2 * time.Minute
 	}
+	if cfg.DecodeQueueDepth <= 0 {
+		cfg.DecodeQueueDepth = 4
+	}
+	if cfg.SinkBatchRecords <= 0 {
+		cfg.SinkBatchRecords = 512
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -279,17 +346,19 @@ func New(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("ism: listen: %w", err)
 	}
 	m := &Manager{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		logf:     logf,
-		ln:       ln,
-		buffer:   shm.NewBuffer(cfg.BufferRecords),
-		conns:    make(map[int32]*conn),
-		sessions: make(map[uint64]*session),
-		merge:    make(chan srcBatch, 256),
-		syncNow:  make(chan struct{}, 1),
-		done:     make(chan struct{}),
-		sorter:   ols.New(cfg.Sorter),
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		logf:        logf,
+		ln:          ln,
+		buffer:      shm.NewBuffer(cfg.BufferRecords),
+		conns:       make(map[int32]*conn),
+		sessions:    make(map[uint64]*session),
+		merge:       make(chan srcBatch, 256),
+		syncNow:     make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		stopWorkers: make(chan struct{}),
+		sorter:      ols.New(cfg.Sorter),
+		sinkBatch:   cfg.SinkBatchRecords,
 	}
 	m.registerMetrics(cfg.Metrics)
 	m.matcher = cre.New(cre.Config{
@@ -351,6 +420,14 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 	m.syncSkew = reg.Histogram(metrics.Desc{Name: "brisk_ism_sync_skew_microseconds",
 		Help: "mean relative clock skew observed per synchronization round",
 		Unit: "microseconds"})
+	m.queueStalls = reg.Counter(metrics.Desc{Name: "brisk_ism_decode_queue_stalls_total",
+		Help: "data batches that found their session's decode queue full (the reader blocked, pushing backpressure into TCP)",
+		Unit: "batches"})
+	m.sinkBatchH = reg.Histogram(metrics.Desc{Name: "brisk_ism_sink_batch_records",
+		Help: "records delivered per batched sink flush", Unit: "records"})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_decode_workers",
+		Help: "per-session decode workers currently running"},
+		func() float64 { return float64(m.workersLive.Load()) })
 	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_connected_sensors",
 		Help: "external sensors currently attached"},
 		func() float64 {
@@ -485,9 +562,9 @@ func (m *Manager) Serve() error {
 		if err != nil {
 			return err
 		}
-		m.wg.Add(1)
+		m.wgConns.Add(1)
 		go func() {
-			defer m.wg.Done()
+			defer m.wgConns.Done()
 			m.handleConn(raw)
 		}()
 	}
@@ -539,7 +616,12 @@ func (m *Manager) handleConn(raw net.Conn) {
 	}
 	if sess == nil {
 		m.nextNode++
-		sess = &session{node: m.nextNode}
+		sess = &session{
+			node: m.nextNode,
+			work: make(chan pending, m.cfg.DecodeQueueDepth),
+			free: make(chan []byte, m.cfg.DecodeQueueDepth+2),
+			quit: make(chan struct{}),
+		}
 		if hello.Session != 0 {
 			sess.id = hello.Session
 			m.sessions[hello.Session] = sess
@@ -555,6 +637,8 @@ func (m *Manager) handleConn(raw net.Conn) {
 				Help: "replayed batches dropped by the sequence filter, per session",
 				Unit: "batches", Labels: labels})
 		}
+		m.wgWorkers.Add(1)
+		go m.decodeLoop(sess)
 	}
 	c.node = sess.node
 	c.sess = sess
@@ -565,7 +649,14 @@ func (m *Manager) handleConn(raw net.Conn) {
 	lastSeq := sess.lastSeq
 	sess.mu.Unlock()
 	m.conns[c.node] = c
+	closing := m.closed.Load()
 	m.mu.Unlock()
+	if closing {
+		// Raced with Close after it snapshotted the connection table: sever
+		// ourselves so shutdown does not wait on this reader forever.
+		c.gone.Store(true)
+		raw.Close()
+	}
 	if evict != nil && evict != c {
 		evict.gone.Store(true)
 		evict.raw.Close()
@@ -587,9 +678,14 @@ func (m *Manager) handleConn(raw net.Conn) {
 			sess.detachedAt = time.Now()
 		}
 		sess.mu.Unlock()
-		if sess.id != 0 && m.cfg.SessionRetention < 0 {
+		if sess.id == 0 {
+			// Sessionless sensors die with their connection; retire the
+			// decode worker once it drains what we queued.
+			sess.stop()
+		} else if m.cfg.SessionRetention < 0 {
 			delete(m.sessions, sess.id)
 			m.unregisterSession(sess)
+			sess.stop()
 		}
 		m.mu.Unlock()
 	}()
@@ -603,7 +699,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 	}
 
 	for {
-		msg, err := wc.Recv()
+		msg, err := wc.RecvReuse()
 		if err != nil {
 			if !m.closed.Load() && !c.gone.Load() {
 				m.logf("ism: node %d: %v", c.node, err)
@@ -633,25 +729,35 @@ func (m *Manager) handleConn(raw net.Conn) {
 					continue
 				}
 			}
-			recs, err := decodeBatch(t)
-			if err != nil {
-				m.logf("ism: node %d: bad batch: %v", c.node, err)
-				return
+			// Hand the payload to the session's decode worker. RecvReuse
+			// lets us take ownership by swapping in a recycled buffer: the
+			// next frame decodes into that instead, so a steady stream
+			// allocates no payload storage at all.
+			pb := pending{count: t.Count, payload: t.Payload}
+			select {
+			case t.Payload = <-sess.free:
+			default:
+				t.Payload = nil
 			}
-			m.received.Add(uint64(len(recs)))
+			select {
+			case sess.work <- pb:
+			default:
+				// Queue full: the decode worker is behind. Block here so
+				// backpressure reaches the sensor through TCP.
+				m.queueStalls.Inc()
+				select {
+				case sess.work <- pb:
+				case <-sess.quit:
+					return
+				case <-m.done:
+					return
+				}
+			}
 			if sess.batchesC != nil {
 				sess.batchesC.Inc()
 			}
-			if m.tracer != nil && len(recs) > 0 && m.tracer.ShouldSample(stageIngest) {
-				if r := &recs[0]; r.HasTS {
-					m.tracer.Observe(stageIngest, m.clock.NowMicros()-r.TS)
-				}
-			}
-			select {
-			case m.merge <- srcBatch{node: c.node, recs: recs}:
-			case <-m.done:
-				return
-			}
+			// Ack once the batch is queued: the worker owns it from here and
+			// shutdown drains the queue, so an acked batch is never lost.
 			if t.Seq != 0 && sess.id != 0 {
 				sess.mu.Lock()
 				if t.Seq > sess.lastSeq {
@@ -663,8 +769,11 @@ func (m *Manager) handleConn(raw net.Conn) {
 				}
 			}
 		case *wire.ProbeReply:
+			// The reused message is recycled on the next RecvReuse; the
+			// sync master holds replies across frames, so copy.
+			pr := *t
 			select {
-			case c.replies <- t:
+			case c.replies <- &pr:
 			default: // stale reply, drop
 			}
 		case *wire.Pong:
@@ -691,21 +800,77 @@ func (m *Manager) unregisterSession(s *session) {
 	m.reg.Unregister("brisk_ism_session_deduped_total", labels)
 }
 
-func decodeBatch(b *wire.DataBatch) ([]record.Record, error) {
-	recs := make([]record.Record, 0, b.Count)
-	payload := b.Payload
-	for len(payload) > 0 {
-		rec, n, err := record.Decode(payload)
-		if err != nil {
-			return nil, err
+// decodeLoop is one session's decode worker: it turns queued wire payloads
+// into pooled record batches and feeds the merger. One worker per session —
+// not per connection — so N sessions decode in parallel while each source's
+// batches stay FIFO, across reconnects included. The worker outlives its
+// connections and stops either with its session or at shutdown (after the
+// readers are gone), draining queued work first so acked batches survive.
+func (m *Manager) decodeLoop(s *session) {
+	defer m.wgWorkers.Done()
+	m.workersLive.Add(1)
+	defer m.workersLive.Add(-1)
+	for {
+		select {
+		case pb := <-s.work:
+			m.decodeOne(s, pb)
+		case <-s.quit:
+			m.drainWork(s)
+			return
+		case <-m.stopWorkers:
+			m.drainWork(s)
+			return
 		}
-		recs = append(recs, rec)
-		payload = payload[n:]
 	}
-	if uint32(len(recs)) != b.Count {
-		return nil, fmt.Errorf("batch declared %d records, contained %d", b.Count, len(recs))
+}
+
+// drainWork decodes everything still queued; the readers have stopped, so
+// the queue can only shrink.
+func (m *Manager) drainWork(s *session) {
+	for {
+		select {
+		case pb := <-s.work:
+			m.decodeOne(s, pb)
+		default:
+			return
+		}
 	}
-	return recs, nil
+}
+
+// decodeOne decodes one batch into a pooled record slice and hands it to
+// the merger. The payload buffer goes back to the session's reader; the
+// batch comes back from the merger via the pool. A malformed batch severs
+// the link — it was already acked, so the sensor must not replay the
+// poison frame forever.
+func (m *Manager) decodeOne(s *session, pb pending) {
+	bp := record.GetBatch()
+	recs, err := record.DecodeAppend((*bp)[:0], pb.payload)
+	if err == nil && uint32(len(recs)) != pb.count {
+		err = fmt.Errorf("batch declared %d records, contained %d", pb.count, len(recs))
+	}
+	select {
+	case s.free <- pb.payload[:0]:
+	default:
+	}
+	if err != nil {
+		*bp = recs
+		record.PutBatch(bp)
+		m.logf("ism: node %d: bad batch: %v", s.node, err)
+		s.severCurrent()
+		return
+	}
+	*bp = recs
+	m.received.Add(uint64(len(recs)))
+	if m.tracer != nil && len(recs) > 0 && m.tracer.ShouldSample(stageIngest) {
+		if r := &recs[0]; r.HasTS {
+			m.tracer.Observe(stageIngest, m.clock.NowMicros()-r.TS)
+		}
+	}
+	select {
+	case m.merge <- srcBatch{node: s.node, batch: bp}:
+	case <-m.done:
+		record.PutBatch(bp)
+	}
 }
 
 // mergeLoop is the single goroutine that owns the sorter, the matcher and
@@ -717,39 +882,41 @@ func (m *Manager) mergeLoop() {
 	for {
 		select {
 		case b := <-m.merge:
-			now := m.clock.NowMicros()
-			m.sorterMu.Lock()
-			for i := range b.recs {
-				m.sorter.Push(b.node, b.recs[i], now)
-			}
-			m.sorter.Extract(now, m.sinkRecord)
-			m.sorterMu.Unlock()
+			m.mergeBatch(b)
 		case <-ticker.C:
 			now := m.clock.NowMicros()
 			m.sorterMu.Lock()
+			m.emitNow = now
 			m.windowT.Observe(m.sorter.TimeFrame())
 			m.sorter.Extract(now, m.sinkRecord)
-			m.matcher.Tick(now, m.deliver)
+			m.matcher.Tick(now, m.collect)
+			m.flushSinks(now)
 			m.sorterMu.Unlock()
 		case <-m.done:
-			// Drain anything still queued, then flush.
+			// The readers and decode workers are gone (Close waits on them
+			// before closing done), so the merge channel can only shrink:
+			// drain it, then flush everything still buffered.
 			for {
 				select {
 				case b := <-m.merge:
 					now := m.clock.NowMicros()
 					m.sorterMu.Lock()
-					for i := range b.recs {
-						m.sorter.Push(b.node, b.recs[i], now)
+					for i := range *b.batch {
+						m.sorter.Push(b.node, (*b.batch)[i], now)
 					}
 					m.sorterMu.Unlock()
+					record.PutBatch(b.batch)
 					continue
 				default:
 				}
 				break
 			}
+			now := m.clock.NowMicros()
 			m.sorterMu.Lock()
+			m.emitNow = now
 			m.sorter.Flush(m.sinkRecord)
-			m.matcher.Flush(m.deliver)
+			m.matcher.Flush(m.collect)
+			m.flushSinks(now)
 			m.sorterMu.Unlock()
 			m.buffer.Close()
 			if m.cfg.PICL != nil {
@@ -762,59 +929,101 @@ func (m *Manager) mergeLoop() {
 	}
 }
 
-// sinkRecord feeds one sorted record through the CRE matcher into the
+// mergeBatch pushes one decoded batch through the sorter and flushes the
+// emitted records to the sinks as a unit — one clock read, one buffer lock
+// per merge event instead of per record.
+func (m *Manager) mergeBatch(b srcBatch) {
+	now := m.clock.NowMicros()
+	m.sorterMu.Lock()
+	for i := range *b.batch {
+		m.sorter.Push(b.node, (*b.batch)[i], now)
+	}
+	// Push deep-copies into sorter-owned storage; the batch can go back to
+	// the pool before extraction.
+	record.PutBatch(b.batch)
+	m.emitNow = now
+	m.sorter.Extract(now, m.sinkRecord)
+	m.flushSinks(now)
+	m.sorterMu.Unlock()
+}
+
+// sinkRecord feeds one sorted record through the CRE matcher toward the
 // sinks. Runs with sorterMu held.
 func (m *Manager) sinkRecord(rec record.Record) {
 	if m.tracer != nil && rec.HasTS && m.tracer.ShouldSample(stageSorterEmit) {
-		m.tracer.Observe(stageSorterEmit, m.clock.NowMicros()-rec.TS)
+		m.tracer.Observe(stageSorterEmit, m.emitNow-rec.TS)
 	}
-	m.matcher.Process(rec, m.clock.NowMicros(), m.deliver)
+	m.matcher.Process(rec, m.emitNow, m.collect)
 }
 
-// deliver writes one fully-processed record to every sink. Runs with
+// collect accumulates one fully-processed record for the next sink flush.
+// The record still borrows sorter-slot Fields storage; that stays valid
+// because nothing is pushed into the sorter before flushSinks runs.
+func (m *Manager) collect(rec record.Record) {
+	m.out = append(m.out, rec)
+	if len(m.out) >= m.sinkBatch {
+		m.flushSinks(m.emitNow)
+	}
+}
+
+// flushSinks delivers every collected record to the sinks in one pass:
+// encodes into recycled per-record buffers, publishes them to the memory
+// buffer under a single lock, and streams PICL/visual lines. Runs with
 // sorterMu held.
-func (m *Manager) deliver(rec record.Record) {
-	if m.cfg.Filter != nil && !m.cfg.Filter(&rec) {
-		m.filtered.Inc()
+func (m *Manager) flushSinks(now int64) {
+	if len(m.out) == 0 {
 		return
 	}
-	m.emitted.Inc()
-	if rec.HasTS {
-		age := m.clock.NowMicros() - rec.TS
-		m.emitLat.Observe(age)
-		if m.tracer != nil && m.tracer.ShouldSample(stageSinkDeliver) {
-			m.tracer.Observe(stageSinkDeliver, age)
+	n := 0
+	for i := range m.out {
+		rec := &m.out[i]
+		if m.cfg.Filter != nil && !m.cfg.Filter(rec) {
+			m.filtered.Inc()
+			continue
 		}
-	}
-	// Memory buffer: node prefix + the NOTICE binary structure.
-	buf := make([]byte, 4, 4+rec.WireSize())
-	buf[0] = byte(uint32(rec.Node) >> 24)
-	buf[1] = byte(uint32(rec.Node) >> 16)
-	buf[2] = byte(uint32(rec.Node) >> 8)
-	buf[3] = byte(uint32(rec.Node))
-	buf, err := rec.Append(buf)
-	if err == nil {
-		m.buffer.Publish(buf)
-	} else {
-		m.logf("ism: encode for buffer: %v", err)
-	}
-	if m.cfg.PICL != nil {
-		if err := m.cfg.PICL.WriteRecord(&rec); err != nil {
-			m.logf("ism: picl write: %v", err)
+		m.emitted.Inc()
+		if rec.HasTS {
+			age := now - rec.TS
+			m.emitLat.Observe(age)
+			if m.tracer != nil && m.tracer.ShouldSample(stageSinkDeliver) {
+				m.tracer.Observe(stageSinkDeliver, age)
+			}
 		}
-	}
-	if m.cfg.Visual != nil && m.cfg.Visual.Len() > 0 {
-		m.visualBuf.buf = m.visualBuf.buf[:0]
-		if err := m.visualPICL.WriteRecord(&rec); err == nil {
-			if err := m.visualPICL.Flush(); err == nil {
-				line := string(m.visualBuf.buf)
-				if n := len(line); n > 0 && line[n-1] == '\n' {
-					line = line[:n-1]
+		// Memory buffer: node prefix + the NOTICE binary structure.
+		for n >= len(m.sinkBufs) {
+			m.sinkBufs = append(m.sinkBufs, nil)
+		}
+		buf := append(m.sinkBufs[n][:0],
+			byte(uint32(rec.Node)>>24), byte(uint32(rec.Node)>>16),
+			byte(uint32(rec.Node)>>8), byte(uint32(rec.Node)))
+		buf, err := rec.Append(buf)
+		if err != nil {
+			m.logf("ism: encode for buffer: %v", err)
+		} else {
+			m.sinkBufs[n] = buf
+			n++
+		}
+		if m.cfg.PICL != nil {
+			if err := m.cfg.PICL.WriteRecord(rec); err != nil {
+				m.logf("ism: picl write: %v", err)
+			}
+		}
+		if m.cfg.Visual != nil && m.cfg.Visual.Len() > 0 {
+			m.visualBuf.buf = m.visualBuf.buf[:0]
+			if err := m.visualPICL.WriteRecord(rec); err == nil {
+				if err := m.visualPICL.Flush(); err == nil {
+					line := string(m.visualBuf.buf)
+					if l := len(line); l > 0 && line[l-1] == '\n' {
+						line = line[:l-1]
+					}
+					m.cfg.Visual.Dispatch(line)
 				}
-				m.cfg.Visual.Dispatch(line)
 			}
 		}
 	}
+	m.buffer.PublishBatch(m.sinkBufs[:n])
+	m.sinkBatchH.Observe(int64(len(m.out)))
+	m.out = m.out[:0]
 }
 
 // heartbeatLoop pings every attached sensor each interval and severs
@@ -846,6 +1055,7 @@ func (m *Manager) heartbeatLoop() {
 				if expired {
 					delete(m.sessions, id)
 					m.unregisterSession(s)
+					s.stop()
 					m.logf("ism: session of node %d expired", s.node)
 				}
 			}
@@ -990,8 +1200,11 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
-// Close shuts the manager down: stops accepting, disconnects sensors,
-// flushes the sorter and sinks, and closes the memory buffer.
+// Close shuts the manager down in pipeline order: stop accepting, sever
+// the sensors and wait for their readers, retire the decode workers (they
+// drain their queues first), then close done so the merger drains the
+// merge channel and flushes the sorter and sinks. Every batch that was
+// acked before Close is delivered.
 func (m *Manager) Close() error {
 	if m.closed.Swap(true) {
 		return nil
@@ -999,9 +1212,13 @@ func (m *Manager) Close() error {
 	err := m.ln.Close()
 	m.mu.Lock()
 	for _, c := range m.conns {
+		c.gone.Store(true)
 		c.raw.Close()
 	}
 	m.mu.Unlock()
+	m.wgConns.Wait()
+	close(m.stopWorkers)
+	m.wgWorkers.Wait()
 	close(m.done)
 	m.wg.Wait()
 	return err

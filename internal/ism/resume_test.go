@@ -197,9 +197,11 @@ func TestSequenceDedupeAndResumeHandshake(t *testing.T) {
 	if a := recvAck(t, wc); a.Seq != 1 {
 		t.Fatalf("replay re-ack seq = %d, want 1", a.Seq)
 	}
-	if st := m.Stats(); st.DedupedBatches != 1 || st.Received != 1 {
-		t.Fatalf("after replay: DedupedBatches=%d Received=%d, want 1/1", st.DedupedBatches, st.Received)
-	}
+	// Decode runs on the session's worker, so Received trails the ack.
+	waitUntil(t, 5*time.Second, "replay dropped", func() bool {
+		st := m.Stats()
+		return st.DedupedBatches == 1 && st.Received == 1
+	})
 	closeFn()
 	waitUntil(t, 5*time.Second, "detach", func() bool { return m.Stats().Connected == 0 })
 
@@ -221,10 +223,10 @@ func TestSequenceDedupeAndResumeHandshake(t *testing.T) {
 	if a := recvAck(t, wc2); a.Seq != 2 {
 		t.Fatalf("new batch ack seq = %d, want 2", a.Seq)
 	}
-	st := m.Stats()
-	if st.DedupedBatches != 2 || st.Received != 2 || st.ResumedSessions != 1 {
-		t.Fatalf("final stats: %+v", st)
-	}
+	waitUntil(t, 5*time.Second, "final stats", func() bool {
+		st := m.Stats()
+		return st.DedupedBatches == 2 && st.Received == 2 && st.ResumedSessions == 1
+	})
 }
 
 // TestSessionRetentionExpiry verifies a detached session past the

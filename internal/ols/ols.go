@@ -140,6 +140,11 @@ func (s *Sorter) Stats() Stats { return s.stats }
 // used to measure the record's lateness when it arrives behind the
 // merged stream. Records without a timestamp are stamped with now so they
 // flow through rather than stall the merge.
+//
+// Push deep-copies rec, including its Fields, into queue-owned storage:
+// the caller may recycle rec.Fields (a pooled decode batch, say) as soon
+// as Push returns. The copy reuses the queue slot's previous Fields array,
+// so steady-state pushes do not allocate.
 func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 	s.stats.Pushed++
 	if s.cfg.MaxBuffered > 0 && s.buffered >= s.cfg.MaxBuffered {
@@ -215,7 +220,10 @@ func (s *Sorter) decay(now int64) {
 
 // Extract emits, in merged timestamp order, every buffered record that has
 // aged at least T (now − TS ≥ T). It returns the number emitted. The
-// record passed to emit is owned by the callee.
+// record passed to emit borrows its Fields from the queue slot that held
+// it, which a later Push into the sorter reuses: it is valid as given only
+// until the next Push or Extract call. A callee retaining records beyond
+// that window must record.Detach them.
 func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
 	s.decay(now)
 	n := 0
@@ -268,22 +276,40 @@ type srcQueue struct {
 func (q *srcQueue) empty() bool          { return q.hd >= len(q.recs) }
 func (q *srcQueue) head() *record.Record { return &q.recs[q.hd] }
 
+// push deep-copies r into the tail slot, reusing the slot's previous
+// Fields array so a queue in steady state never allocates.
 func (q *srcQueue) push(r record.Record) {
-	// Compact once the dead prefix dominates.
+	// Compact once the dead prefix dominates. The live record moving into
+	// slot i still aliases the Fields array sitting in its old slot hd+i,
+	// so that slot must not keep it; park the dead record i's array there
+	// instead (it was emitted, its borrow window is over), which keeps
+	// every slot's storage reusable and compaction allocation-free.
 	if q.hd > 64 && q.hd*2 > len(q.recs) {
-		n := copy(q.recs, q.recs[q.hd:])
-		for i := n; i < len(q.recs); i++ {
-			q.recs[i] = record.Record{}
+		n := len(q.recs) - q.hd
+		for i := 0; i < n; i++ {
+			free := q.recs[i].Fields[:0]
+			q.recs[i] = q.recs[q.hd+i]
+			q.recs[q.hd+i] = record.Record{Fields: free}
 		}
 		q.recs = q.recs[:n]
 		q.hd = 0
 	}
-	q.recs = append(q.recs, r)
+	if len(q.recs) < cap(q.recs) {
+		q.recs = q.recs[:len(q.recs)+1]
+	} else {
+		q.recs = append(q.recs, record.Record{})
+	}
+	slot := &q.recs[len(q.recs)-1]
+	fields := slot.Fields[:0]
+	*slot = r
+	slot.Fields = append(fields, r.Fields...)
 }
 
+// pop removes and returns the head record. The slot — including the
+// Fields array the returned record aliases — is left in place for a later
+// push to reuse, which is what bounds Extract's borrowing window.
 func (q *srcQueue) pop() record.Record {
 	r := q.recs[q.hd]
-	q.recs[q.hd] = record.Record{}
 	q.hd++
 	if q.empty() {
 		q.recs = q.recs[:0]

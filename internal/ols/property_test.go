@@ -145,3 +145,140 @@ func TestPropertyEmittedOnlyWhenAged(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// adversarialStream builds on genStream's random schedules and injects the
+// arrivals that defeat naive sorters: stragglers delayed far beyond the
+// schedule's bounded skew, and tachyon-style records whose timestamps sit
+// in the future of their own arrival (a slave clock running fast). Each
+// record carries a unique identity field so conservation can be checked as
+// a multiset, not just a count.
+func genAdversarial(rng *rand.Rand, sources, perSource int) (streamModel, map[uint64]int) {
+	m := genStream(rng, sources, perSource, 1+rng.Int63n(1500))
+	// Stragglers: a handful of records arrive much later than any skew
+	// bound promised (their source stalls, then floods).
+	for i := range m.arrivals {
+		if rng.Intn(20) == 0 {
+			m.arrivals[i].at += 10_000 + rng.Int63n(50_000)
+			if late := m.arrivals[i].at - m.arrivals[i].r.TS; late > m.maxLate {
+				m.maxLate = late
+			}
+		}
+	}
+	// Tachyons: some records are stamped ahead of the manager clock at
+	// arrival time. Keep per-source TS monotone (the transport invariant)
+	// by pushing the whole suffix of that source forward.
+	for src := int32(1); src <= int32(sources); src++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		bump := int64(0)
+		for i := range m.arrivals {
+			if m.arrivals[i].src != src {
+				continue
+			}
+			if bump == 0 && rng.Intn(perSource/2+1) == 0 {
+				bump = 5_000 + rng.Int63n(20_000)
+			}
+			m.arrivals[i].r.SetTS(m.arrivals[i].r.TS + bump)
+		}
+	}
+	// Re-establish per-source arrival order, then global arrival order,
+	// and recompute the true lateness bound afterwards (the fixup can only
+	// delay arrivals, never hasten them).
+	last := map[int32]int64{}
+	m.maxLate = 0
+	for i := range m.arrivals {
+		if m.arrivals[i].at < last[m.arrivals[i].src] {
+			m.arrivals[i].at = last[m.arrivals[i].src]
+		}
+		last[m.arrivals[i].src] = m.arrivals[i].at
+		if late := m.arrivals[i].at - m.arrivals[i].r.TS; late > m.maxLate {
+			m.maxLate = late
+		}
+	}
+	sortByAt(m.arrivals)
+	// Stamp identities and build the input multiset.
+	in := make(map[uint64]int, len(m.arrivals))
+	for i := range m.arrivals {
+		id := uint64(i + 1)
+		m.arrivals[i].r.Fields = append(m.arrivals[i].r.Fields, record.U64Val(id))
+		in[key(m.arrivals[i].src, m.arrivals[i].r.TS, id)]++
+	}
+	return m, in
+}
+
+func key(src int32, ts int64, id uint64) uint64 {
+	return uint64(src)<<56 ^ uint64(ts)<<16 ^ id
+}
+
+// TestPropertyAdversarialMultisetConserved: under stragglers and tachyons,
+// whatever the policy, the sorter neither loses nor duplicates a record —
+// output is multiset-equal to input (source, timestamp, and identity all
+// included in the key) — and per-source FIFO order survives.
+func TestPropertyAdversarialMultisetConserved(t *testing.T) {
+	f := func(seed int64, policyPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, in := genAdversarial(rng, 1+rng.Intn(6), 40+rng.Intn(80))
+		policy := []GrowPolicy{GrowToLateness, GrowDouble, GrowFixed}[int(policyPick)%3]
+		s := New(Config{InitialT: 1 + rng.Int63n(500), Grow: policy,
+			HalfLife: rng.Int63n(10_000)})
+		out := make(map[uint64]int, len(in))
+		perSourceLast := map[int32]int64{}
+		emit := func(r record.Record) {
+			id := r.Fields[len(r.Fields)-1].Uint()
+			out[key(r.Node, r.TS, id)]++
+			if last, ok := perSourceLast[r.Node]; ok && r.TS < last {
+				t.Errorf("per-source order violated for source %d", r.Node)
+			}
+			perSourceLast[r.Node] = r.TS
+		}
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			s.Extract(a.at, emit)
+		}
+		s.Flush(emit)
+		if len(out) != len(in) {
+			return false
+		}
+		for k, n := range in {
+			if out[k] != n {
+				t.Errorf("key %x: in %d, out %d (lost or duplicated)", k, n, out[k])
+				return false
+			}
+		}
+		return s.Buffered() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAdversarialMonotoneWhenTCovers: when the configured time
+// frame covers even the adversarial lateness, the emission stream is
+// globally non-decreasing in timestamp — stragglers and tachyons included.
+func TestPropertyAdversarialMonotoneWhenTCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, in := genAdversarial(rng, 1+rng.Intn(5), 30+rng.Intn(60))
+		s := New(Config{InitialT: m.maxLate + 1, Grow: GrowFixed})
+		var lastTS int64
+		n := 0
+		ok := true
+		emit := func(r record.Record) {
+			if n > 0 && r.TS < lastTS {
+				ok = false
+			}
+			lastTS = r.TS
+			n++
+		}
+		for _, a := range m.arrivals {
+			s.Push(a.src, a.r, a.at)
+			s.Extract(a.at, emit)
+		}
+		s.Flush(emit)
+		return ok && n == len(in) && s.Stats().Inversions == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package picl
+
+import (
+	"io"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+// TestAllocsWriteRecord pins the trace writer's place on the manager's
+// sink hot path: rendering a line into the recycled scratch buffer with
+// the strconv append functions must not allocate in steady state.
+func TestAllocsWriteRecord(t *testing.T) {
+	for _, mode := range []TimeMode{TimeUTC, TimeRelative} {
+		w := NewWriter(io.Discard, mode, 0)
+		rec := record.New(3, record.TSVal(1234567), record.I32Val(1),
+			record.I32Val(2), record.F64Val(3.25), record.BoolVal(true))
+		if err := w.WriteRecord(&rec); err != nil { // warm the scratch buffer
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			if err := w.WriteRecord(&rec); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: WriteRecord allocates %.1f times, want 0", mode, allocs)
+		}
+	}
+}

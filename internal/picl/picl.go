@@ -52,10 +52,11 @@ var (
 
 // Writer emits PICL trace lines. Not safe for concurrent use.
 type Writer struct {
-	bw    *bufio.Writer
-	mode  TimeMode
-	start int64 // µs, zero point for TimeRelative
-	lines uint64
+	bw      *bufio.Writer
+	mode    TimeMode
+	start   int64 // µs, zero point for TimeRelative
+	lines   uint64
+	scratch []byte // one rendered line, recycled across records
 }
 
 // NewWriter returns a writer in the given time mode; start is the UTC
@@ -67,16 +68,22 @@ func NewWriter(w io.Writer, mode TimeMode, start int64) *Writer {
 // Lines returns the number of records written.
 func (w *Writer) Lines() uint64 { return w.lines }
 
-// WriteRecord renders one record as a trace line.
+// WriteRecord renders one record as a trace line. The line is built in a
+// recycled scratch buffer with the strconv append functions, so writing a
+// record allocates nothing in steady state — the writer sits on the
+// manager's sink hot path.
 func (w *Writer) WriteRecord(r *record.Record) error {
 	w.lines++
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d %d ", UserEventType, r.Event)
+	b := w.scratch[:0]
+	b = strconv.AppendInt(b, UserEventType, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(r.Event), 10)
+	b = append(b, ' ')
 	switch w.mode {
 	case TimeRelative:
-		fmt.Fprintf(&sb, "%.6f", float64(r.TS-w.start)/1e6)
+		b = strconv.AppendFloat(b, float64(r.TS-w.start)/1e6, 'f', 6, 64)
 	default:
-		fmt.Fprintf(&sb, "%d", r.TS)
+		b = strconv.AppendInt(b, r.TS, 10)
 	}
 	// Data fields exclude the timestamp (already the time column).
 	n := 0
@@ -85,35 +92,40 @@ func (w *Writer) WriteRecord(r *record.Record) error {
 			n++
 		}
 	}
-	fmt.Fprintf(&sb, " %d %d", r.Node, n)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(r.Node), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(n), 10)
 	for _, f := range r.Fields {
 		if f.Type == record.TS {
 			continue
 		}
-		sb.WriteByte(' ')
-		writeField(&sb, f)
+		b = append(b, ' ')
+		b = appendField(b, f)
 	}
-	sb.WriteByte('\n')
-	_, err := w.bw.WriteString(sb.String())
+	b = append(b, '\n')
+	w.scratch = b
+	_, err := w.bw.Write(b)
 	return err
 }
 
-func writeField(sb *strings.Builder, f record.Value) {
-	sb.WriteString(f.Type.String())
-	sb.WriteByte(':')
+func appendField(b []byte, f record.Value) []byte {
+	b = append(b, f.Type.String()...)
+	b = append(b, ':')
 	switch f.Type {
 	case record.Int8, record.Int16, record.Int32, record.Int64:
-		sb.WriteString(strconv.FormatInt(f.Int(), 10))
+		b = strconv.AppendInt(b, f.Int(), 10)
 	case record.Uint8, record.Uint16, record.Uint32, record.Uint64,
 		record.Reason, record.Conseq:
-		sb.WriteString(strconv.FormatUint(f.Uint(), 10))
+		b = strconv.AppendUint(b, f.Uint(), 10)
 	case record.Float32, record.Float64:
-		sb.WriteString(strconv.FormatFloat(f.Float(), 'g', -1, 64))
+		b = strconv.AppendFloat(b, f.Float(), 'g', -1, 64)
 	case record.Bool:
-		sb.WriteString(strconv.FormatBool(f.Bool()))
+		b = strconv.AppendBool(b, f.Bool())
 	case record.String:
-		sb.WriteString(strconv.Quote(f.Str))
+		b = strconv.AppendQuote(b, f.Str)
 	}
+	return b
 }
 
 // Flush writes buffered lines to the underlying writer.

@@ -1,0 +1,68 @@
+package record
+
+import "testing"
+
+// The ingest pipeline's per-record budget is zero heap allocations in
+// steady state; these tests pin the two record-layer halves of that
+// contract (encode into a reused buffer, decode into a reused batch) with
+// testing.AllocsPerRun so a regression fails loudly rather than showing up
+// as a throughput drift.
+
+func TestAllocsEncodeAppend(t *testing.T) {
+	rec := New(3, TSVal(1234567), I32Val(1), I32Val(2), I32Val(3),
+		I32Val(4), I32Val(5), I32Val(6))
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = rec.Append(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode Append allocates %.1f times per record, want 0", allocs)
+	}
+}
+
+func TestAllocsDecodeAppend(t *testing.T) {
+	rec := New(3, TSVal(1234567), I32Val(1), I32Val(2), I32Val(3),
+		I32Val(4), I32Val(5), I32Val(6))
+	var payload []byte
+	for i := 0; i < 64; i++ {
+		var err error
+		payload, err = rec.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]Record, 0, 64)
+	// Warm the per-element Fields arrays once; steady state reuses them.
+	batch, err := DecodeAppend(batch[:0], payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		batch, err = DecodeAppend(batch[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != 64 {
+			t.Fatalf("decoded %d records, want 64", len(batch))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeAppend allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestAllocsBatchPool(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		bp := GetBatch()
+		*bp = append((*bp)[:0], Record{})
+		PutBatch(bp)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch pool round-trip allocates %.1f times, want 0", allocs)
+	}
+}

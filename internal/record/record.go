@@ -309,6 +309,19 @@ func (r *Record) SetTS(usec int64) {
 	r.HasTS = true
 }
 
+// Detach gives the record a private copy of its Fields array. Decoded and
+// sorter-emitted records borrow storage that their producer reuses (a
+// pooled batch slice, a source-queue slot); any consumer that retains a
+// record beyond the borrowing window documented by its producer must
+// Detach it first.
+func (r *Record) Detach() {
+	if len(r.Fields) == 0 {
+		r.Fields = nil
+		return
+	}
+	r.Fields = append([]Value(nil), r.Fields...)
+}
+
 // WireSize returns the encoded size of the record in bytes.
 func (r *Record) WireSize() int {
 	n := HeaderSize
@@ -419,7 +432,10 @@ func DecodeInto(r *Record, buf []byte) (int, error) {
 	} else {
 		r.Fields = make([]Value, nf)
 	}
-	d := xdr.NewDecoder(buf[HeaderSize:size])
+	// A stack-allocated decoder: DecodeInto is the per-record hot path of
+	// the manager's ingest workers and must not allocate.
+	var d xdr.Decoder
+	d.Reset(buf[HeaderSize:size])
 	d.MaxOpaque = MaxStringLen
 	for i := 0; i < nf; i++ {
 		code := buf[4+i/2]
@@ -432,7 +448,7 @@ func DecodeInto(r *Record, buf []byte) (int, error) {
 		if !t.Valid() {
 			return 0, fmt.Errorf("%w: field %d code %d", ErrBadType, i, code)
 		}
-		v, err := decodeFieldPayload(d, t)
+		v, err := decodeFieldPayload(&d, t)
 		if err != nil {
 			return 0, fmt.Errorf("record: field %d (%v): %w", i, t, err)
 		}

@@ -39,6 +39,23 @@ func (b *Buffer) Publish(rec []byte) {
 	b.cond.Broadcast()
 }
 
+// PublishBatch appends a run of records under a single lock acquisition
+// and a single reader wakeup — the manager's batched sink delivery. Each
+// record is copied into a recycled slot, as with Publish.
+func (b *Buffer) PublishBatch(recs [][]byte) {
+	if len(recs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	for _, rec := range recs {
+		slot := b.seq % b.cap
+		b.slots[slot] = append(b.slots[slot][:0], rec...)
+		b.seq++
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
 // Close marks the stream finished; blocked readers wake and see EOF after
 // draining.
 func (b *Buffer) Close() {

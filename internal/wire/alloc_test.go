@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"io"
+	"testing"
+)
+
+// repeatReader replays the same frame bytes forever, so RecvReuse can be
+// driven through thousands of identical frames without a socket.
+type repeatReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.off == len(r.frame) {
+		r.off = 0
+	}
+	n := copy(p, r.frame[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestAllocsSendRecvReuse pins the wire layer's halves of the pipeline's
+// zero-allocation contract: Send encodes into the connection's reused
+// encoder and RecvReuse decodes into the per-type cached body, so a steady
+// stream of data batches moves with no per-frame heap allocations.
+func TestAllocsSendRecvReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	msg := &DataBatch{Seq: 7, Count: 12, Payload: payload}
+
+	send := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{nil, io.Discard})
+	if err := send.Send(msg); err != nil { // warm the encoder buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := send.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Send allocates %.1f times per frame, want 0", allocs)
+	}
+
+	var frame []byte
+	fc := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{nil, writerFunc(func(p []byte) (int, error) {
+		frame = append(frame, p...)
+		return len(p), nil
+	})})
+	if err := fc.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	recv := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{&repeatReader{frame: frame}, io.Discard})
+	if _, err := recv.RecvReuse(); err != nil { // warm the cached body
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		m, err := recv.RecvReuse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := m.(*DataBatch); len(b.Payload) != len(payload) {
+			t.Fatalf("payload length %d, want %d", len(b.Payload), len(payload))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RecvReuse allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

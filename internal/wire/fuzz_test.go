@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"brisk/internal/record"
 )
 
 // FuzzRecv checks that arbitrary byte streams never panic the frame
@@ -66,4 +68,86 @@ func FuzzRecv(f *testing.F) {
 			consumed += n
 		}
 	})
+}
+
+// FuzzDataBatch round-trips the pipeline's hot frame: a DataBatch built
+// from fuzzed (seq, count, payload) is encoded, decoded with both Recv and
+// RecvReuse, and re-encoded — all three byte streams must be identical,
+// and the decoded fields must survive unchanged. The corpus is seeded with
+// the frames the e2e tests actually ship: NOTICE-encoded records of the
+// kinds the sensors produce, plus the degenerate empty batch.
+func FuzzDataBatch(f *testing.F) {
+	// Realistic payloads: records encoded exactly as the drain loop ships
+	// them (timestamp plus small integer fields, and a string notice).
+	recs := [][]byte{
+		mustEncode(f, record.New(1, record.TSVal(1_000_001), record.I32Val(7), record.I32Val(0))),
+		mustEncode(f, record.New(3, record.TSVal(2_000_002), record.I32Val(1), record.I32Val(2),
+			record.I32Val(3), record.I32Val(4), record.I32Val(5), record.I32Val(6))),
+		mustEncode(f, record.New(9, record.TSVal(42), record.StrVal("phase done"), record.U64Val(99))),
+	}
+	var batch []byte
+	for _, r := range recs {
+		batch = append(batch, r...)
+	}
+	f.Add(uint64(1), uint32(3), batch)
+	f.Add(uint64(0), uint32(1), recs[0])
+	f.Add(uint64(1<<40), uint32(0), []byte{})
+	f.Add(uint64(2), uint32(2), []byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, seq uint64, count uint32, payload []byte) {
+		if len(payload) > MaxFrameBytes/2 {
+			return
+		}
+		orig := &DataBatch{Seq: seq, Count: count, Payload: payload}
+		first := encodeFrame(t, orig)
+
+		for _, reuse := range []bool{false, true} {
+			c := NewConn(struct {
+				io.Reader
+				io.Writer
+			}{bytes.NewReader(first), io.Discard})
+			var m Message
+			var err error
+			if reuse {
+				m, err = c.RecvReuse()
+			} else {
+				m, err = c.Recv()
+			}
+			if err != nil {
+				t.Fatalf("decode of our own frame failed (reuse=%v): %v", reuse, err)
+			}
+			got, ok := m.(*DataBatch)
+			if !ok {
+				t.Fatalf("decoded %v, want DataBatch", m.Type())
+			}
+			if got.Seq != seq || got.Count != count || !bytes.Equal(got.Payload, payload) {
+				t.Fatalf("round-trip mutated the batch (reuse=%v): %+v", reuse, got)
+			}
+			if second := encodeFrame(t, got); !bytes.Equal(first, second) {
+				t.Fatalf("re-encode differs (reuse=%v):\n first=%x\nsecond=%x", reuse, first, second)
+			}
+		}
+	})
+}
+
+func mustEncode(f *testing.F, r record.Record) []byte {
+	f.Helper()
+	b, err := r.Append(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+func encodeFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{nil, &buf})
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

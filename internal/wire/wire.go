@@ -217,13 +217,11 @@ func (m *DataBatch) decode(d *xdr.Decoder) error {
 	if m.Count, err = d.Uint32(); err != nil {
 		return err
 	}
-	p, err := d.Opaque()
-	if err != nil {
-		return err
-	}
-	// Copy: the frame buffer is reused by the next Recv.
-	m.Payload = append(m.Payload[:0], p...)
-	return nil
+	// Copy, reusing the message's payload capacity: the frame buffer is
+	// reused by the next Recv, and under RecvReuse the message itself is
+	// recycled, making a steady batch stream allocation-free.
+	m.Payload, err = d.OpaqueInto(m.Payload[:0])
+	return err
 }
 
 // DataAck acknowledges every data batch of the session with sequence
@@ -410,7 +408,9 @@ type Conn struct {
 
 	r       *bufio.Reader
 	readBuf []byte
+	recvHdr [5]byte // frame-header scratch; a local would escape via c.r
 	dec     xdr.Decoder
+	cached  [16]Message // per-type bodies recycled by RecvReuse
 
 	bytesOut atomic.Uint64
 	bytesIn  atomic.Uint64
@@ -460,8 +460,20 @@ func (c *Conn) Send(m Message) error {
 // Recv reads the next message. The returned message does not alias the
 // connection's internal buffers beyond the next Recv for fixed-size
 // bodies; DataBatch payloads are copied.
-func (c *Conn) Recv() (Message, error) {
-	var hdr [5]byte
+func (c *Conn) Recv() (Message, error) { return c.recv(false) }
+
+// RecvReuse reads the next message into a per-type body cached on the
+// connection. The returned message — including any payload slice it
+// carries — is only valid until the next RecvReuse of the same type, but a
+// steady stream of data batches decodes with zero allocations once the
+// cached payload has grown to the working batch size. A caller handing
+// the payload to another goroutine can take ownership by swapping a
+// replacement buffer into the message before the next RecvReuse. Recv and
+// RecvReuse may be mixed freely on one connection.
+func (c *Conn) RecvReuse() (Message, error) { return c.recv(true) }
+
+func (c *Conn) recv(reuse bool) (Message, error) {
+	hdr := &c.recvHdr
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -479,9 +491,18 @@ func (c *Conn) Recv() (Message, error) {
 		return nil, err
 	}
 	c.bytesIn.Add(uint64(n + 4))
-	m, err := newMessage(t)
-	if err != nil {
-		return nil, err
+	var m Message
+	if reuse && int(t) < len(c.cached) && c.cached[t] != nil {
+		m = c.cached[t]
+	} else {
+		var err error
+		m, err = newMessage(t)
+		if err != nil {
+			return nil, err
+		}
+		if reuse && int(t) < len(c.cached) {
+			c.cached[t] = m
+		}
 	}
 	c.dec.Reset(buf)
 	c.dec.MaxOpaque = MaxFrameBytes

@@ -351,6 +351,19 @@ func (d *Decoder) Opaque() ([]byte, error) {
 	return p, nil
 }
 
+// OpaqueInto decodes a variable-length opaque by appending its payload
+// onto dst and returning the extended slice. Unlike Opaque the result does
+// not alias the input buffer, and unlike append(dst, Opaque()...) at the
+// call site the copy reuses dst's capacity, so a caller recycling its
+// buffer decodes with zero steady-state allocations.
+func (d *Decoder) OpaqueInto(dst []byte) ([]byte, error) {
+	p, err := d.Opaque()
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, p...), nil
+}
+
 // String decodes a string. The result copies out of the input buffer (Go
 // strings are immutable, so aliasing is impossible anyway).
 func (d *Decoder) String() (string, error) {

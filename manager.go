@@ -98,6 +98,14 @@ type ManagerOptions struct {
 	// BufferRecords is the consumer memory-buffer capacity (default
 	// 65536 records).
 	BufferRecords int
+	// DecodeQueueDepth is the per-session decode-worker queue depth in
+	// batches (default 4). Deeper queues absorb burstier sessions before
+	// TCP backpressure engages; each slot can pin one batch payload.
+	DecodeQueueDepth int
+	// SinkBatchRecords caps how many sorted records accumulate before the
+	// sinks are flushed mid-extraction (default 512). Larger batches
+	// amortize sink locking; smaller ones bound sink-visible latency.
+	SinkBatchRecords int
 	// HeartbeatInterval is the per-sensor PING period for dead-peer
 	// detection (default 1 s; negative disables).
 	HeartbeatInterval time.Duration
@@ -158,9 +166,11 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 			Grow:        opts.Sorter.Policy.grow(),
 			MaxBuffered: opts.Sorter.MaxBuffered,
 		},
-		CRETimeout:    opts.CRETimeout,
-		MergeInterval: opts.MergeInterval,
-		BufferRecords: opts.BufferRecords,
+		CRETimeout:       opts.CRETimeout,
+		MergeInterval:    opts.MergeInterval,
+		BufferRecords:    opts.BufferRecords,
+		DecodeQueueDepth: opts.DecodeQueueDepth,
+		SinkBatchRecords: opts.SinkBatchRecords,
 		Sync: clocksync.Config{
 			ProbesPerSlave: opts.Sync.ProbesPerSlave,
 			Threshold:      opts.Sync.Threshold,
