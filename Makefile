@@ -2,18 +2,28 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench bench-check fuzz eval examples docs-check clean
+.PHONY: all check build vet staticcheck test test-race race bench bench-check fuzz fuzz-smoke eval examples docs-check clean
 
 all: build vet test test-race
 
-# The default gate: compile, lint, docs, tests, perf regression.
-check: build vet docs-check test bench-check
+# The default gate: compile, lint, docs, tests, perf regression, and a
+# short fuzz smoke over the wire decoder.
+check: build vet staticcheck docs-check test bench-check fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when installed and is skipped (with a note) when not,
+# so the gate works in minimal containers without network access.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Documentation gate: every relative Markdown link must resolve, and all
 # source must be gofmt-clean.
@@ -43,8 +53,14 @@ bench:
 # the committed baseline — fails on >15% throughput loss or on any real
 # allocs-per-record growth. Writes the current numbers to BENCH_pr3.json.
 bench-check:
-	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire
+	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire ./internal/clocksync
 	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_pr3.json
+
+# Ten-second fuzz smoke of the data-batch frame decoder — the surface
+# that ingests untrusted bytes from every sensor link — quick enough to
+# sit in the default gate.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDataBatch -fuzztime 10s -run '^$$' ./internal/wire/
 
 # Short fuzzing pass over the decoders.
 fuzz:

@@ -129,6 +129,10 @@ func main() {
 		fmt.Printf("exs: reconnects=%d retransmits=%d spilled=%d dropped=%d lostOffline=%d\n",
 			st.Reconnects, st.Retransmits, st.Spilled, st.Dropped, st.LostOffline)
 	}
+	if st.CreditStalls > 0 || st.LossMarkers > 0 {
+		fmt.Printf("exs: creditStalls=%d lossMarkers=%d markedLost=%d\n",
+			st.CreditStalls, st.LossMarkers, st.MarkedLost)
+	}
 }
 
 func hostnameOr(def string) string {

@@ -44,6 +44,10 @@ func main() {
 		traceEvery = flag.Int("trace-sample", 0, "pipeline trace sampling period (0 = default 64, <0 disables)")
 		heartbeat  = flag.Duration("heartbeat", 0, "per-sensor PING period for dead-peer detection (0 = default 1s, <0 disables)")
 		retention  = flag.Duration("session-retention", 0, "how long a disconnected sensor's session is resumable (0 = default 2m, <0 disables)")
+		maxBuf     = flag.Int("maxbuffered", 0, "sorter record bound, arms credit flow control (0 = unbounded)")
+		srcQuota   = flag.Int("source-quota", 0, "per-source buffered-record cap (0 disables)")
+		ackHigh    = flag.Int("ack-high", 0, "ack-gate close threshold (0 = ¾ of maxbuffered, <0 disables gating)")
+		ackLow     = flag.Int("ack-low", 0, "ack-gate reopen threshold (0 = half of ack-high)")
 	)
 	flag.Parse()
 
@@ -51,13 +55,17 @@ func main() {
 		Addr:          *addr,
 		MergeInterval: *merge,
 		Sorter: brisk.SorterOptions{
-			InitialT: *initialT,
-			HalfLife: *halfLife,
+			InitialT:    *initialT,
+			HalfLife:    *halfLife,
+			MaxBuffered: *maxBuf,
+			SourceQuota: *srcQuota,
 		},
 		Sync:              brisk.SyncOptions{Period: *syncPeriod},
 		HeartbeatInterval: *heartbeat,
 		SessionRetention:  *retention,
 		TraceSampleEvery:  *traceEvery,
+		AckHighWater:      *ackHigh,
+		AckLowWater:       *ackLow,
 	}
 	switch *policy {
 	case "lateness":
@@ -144,10 +152,11 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := mgr.Stats()
-				fmt.Printf("ism: nodes=%d sessions=%d received=%d emitted=%d T=%dµs inversions=%d tachyons=%d syncs=%d resumed=%d deduped=%d deadPeers=%d\n",
-					st.Connected, st.Sessions, st.Received, st.Emitted,
+				fmt.Printf("ism: nodes=%d sessions=%d received=%d emitted=%d buffered=%d T=%dµs inversions=%d tachyons=%d syncs=%d resumed=%d deduped=%d deadPeers=%d deferred=%d gate=%v markedLost=%d\n",
+					st.Connected, st.Sessions, st.Received, st.Emitted, st.SorterBuffered,
 					st.Sorter.GrownTo, st.Sorter.Inversions, st.CRE.Tachyons, st.SyncRounds,
-					st.ResumedSessions, st.DedupedBatches, st.DeadPeers)
+					st.ResumedSessions, st.DedupedBatches, st.DeadPeers,
+					st.AckDeferred, st.CreditGateClosed, st.MarkedLost)
 			}
 		}()
 	}

@@ -1,0 +1,26 @@
+package clocksync
+
+import "testing"
+
+// TestAllocsEstimateOffset pins the probe-reduction path's zero-allocation
+// contract: EstimateOffset runs per slave per sync round and must reduce
+// its samples in place, under both filters and with the RTT cutoff active.
+func TestAllocsEstimateOffset(t *testing.T) {
+	samples := []Sample{
+		{RTT: 120, Offset: 40},
+		{RTT: 90, Offset: 35},
+		{RTT: 5000, Offset: 900}, // discarded by maxRTT
+		{RTT: 250, Offset: 55},
+		{RTT: 70, Offset: 30},
+	}
+	for _, f := range []Filter{FilterMean, FilterMinRTT} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			if _, ok := EstimateOffset(samples, f, 1000); !ok {
+				t.Fatal("no estimate")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("EstimateOffset(%v) allocates %.1f times, want 0", f, allocs)
+		}
+	}
+}

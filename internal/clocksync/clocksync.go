@@ -142,34 +142,34 @@ type Sample struct {
 
 // EstimateOffset reduces probe samples to a single slave-offset estimate.
 // Samples with RTT above maxRTT (if nonzero) are discarded first. The
-// second result is false when no usable sample remains.
+// second result is false when no usable sample remains. EstimateOffset
+// runs in the master's per-round sync loop for every slave, so it reduces
+// in a single pass without building a filtered copy — it never allocates.
 func EstimateOffset(samples []Sample, filter Filter, maxRTT int64) (int64, bool) {
-	var kept []Sample
+	var (
+		kept     int
+		sum      int64
+		best     Sample
+		haveBest bool
+	)
 	for _, s := range samples {
 		if maxRTT > 0 && s.RTT > maxRTT {
 			continue
 		}
-		kept = append(kept, s)
+		kept++
+		sum += s.Offset
+		if !haveBest || s.RTT < best.RTT {
+			best = s
+			haveBest = true
+		}
 	}
-	if len(kept) == 0 {
+	if kept == 0 {
 		return 0, false
 	}
-	switch filter {
-	case FilterMinRTT:
-		best := kept[0]
-		for _, s := range kept[1:] {
-			if s.RTT < best.RTT {
-				best = s
-			}
-		}
+	if filter == FilterMinRTT {
 		return best.Offset, true
-	default: // FilterMean
-		var sum int64
-		for _, s := range kept {
-			sum += s.Offset
-		}
-		return sum / int64(len(kept)), true
 	}
+	return sum / int64(kept), true // FilterMean
 }
 
 // Corrections is the outcome of one round's computation.

@@ -83,6 +83,11 @@ type Config struct {
 	// FlushInterval bounds how long a non-empty partial batch waits.
 	// Default 5 ms.
 	FlushInterval time.Duration
+	// MaxFlushInterval bounds how far the sensor widens its effective
+	// flush interval while the manager withholds credit (each stalled
+	// flush doubles it). Larger batches shipped less often are exactly
+	// what an overloaded manager wants. Default 8 × FlushInterval.
+	MaxFlushInterval time.Duration
 	// PollInterval is the ring-scan period while idle. Default 500 µs.
 	PollInterval time.Duration
 	// ReconnectBase is the first backoff delay after a lost manager
@@ -160,6 +165,16 @@ type Stats struct {
 	// reconnecting (the drain keeps running so the application never
 	// blocks).
 	LostOffline uint64
+	// CreditWindow is the manager's latest credit grant (records in
+	// flight allowed); -1 when the manager has flow control disabled.
+	CreditWindow int64
+	// CreditStalls counts pump passes that paused on exhausted credit.
+	CreditStalls uint64
+	// LossMarkers counts loss-marker records shipped to account for
+	// records this sensor dropped; MarkedLost is the record total those
+	// markers represent.
+	LossMarkers uint64
+	MarkedLost  uint64
 }
 
 // Connection states.
@@ -203,6 +218,20 @@ type EXS struct {
 	queue   []qEntry
 	qBytes  int
 	nextSeq uint64
+	// Credit flow control (qMu): the manager's latest window grant and
+	// the records currently in flight (sent, unacknowledged) against it.
+	// creditOn is false until the manager grants a nonzero window — a
+	// zero window on the wire means flow control is disabled.
+	creditOn bool
+	creditW  int64
+	inflight int64
+	stalled  bool // last pump paused on exhausted credit
+	// Pending loss accumulator (qMu): records this sensor dropped (ring
+	// overruns, spill evictions) not yet represented by a shipped
+	// loss-marker record, with the covered timestamp range.
+	pendingLossN     uint64
+	pendingLossFirst int64
+	pendingLossLast  int64
 	// freeBufs recycles acked batch payloads back into enqueue, so a
 	// steadily-acked stream stops allocating copies. Bounded; see
 	// maxFreeBufs.
@@ -221,6 +250,10 @@ type EXS struct {
 	spilled      *metrics.Counter
 	dropped      *metrics.Counter
 	lostOffline  *metrics.Counter
+	creditStalls *metrics.Counter
+	lossMarkers  *metrics.Counter
+	markedLost   *metrics.Counter
+	drainPauseH  *metrics.Histogram
 	bytesOutBase atomic.Uint64 // BytesOut of finished connections
 
 	rng *mrand.Rand // jitter source; reconnector-goroutine only
@@ -254,6 +287,12 @@ func DialContext(ctx context.Context, cfg Config) (*EXS, error) {
 	}
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	if cfg.MaxFlushInterval <= 0 {
+		cfg.MaxFlushInterval = 8 * cfg.FlushInterval
+	}
+	if cfg.MaxFlushInterval < cfg.FlushInterval {
+		cfg.MaxFlushInterval = cfg.FlushInterval
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 500 * time.Microsecond
@@ -300,6 +339,7 @@ func DialContext(ctx context.Context, cfg Config) (*EXS, error) {
 	}
 	e.raw, e.conn = raw, conn
 	e.node.Store(ack.Node)
+	e.applyWindow(ack.Window)
 	e.wgDrain.Add(1)
 	go e.drainLoop()
 	e.wgCtl.Add(1)
@@ -351,6 +391,26 @@ func (e *EXS) registerMetrics(reg *metrics.Registry) {
 		Help: "records evicted from the bounded spill queue or discarded at shutdown", Unit: "records"})
 	e.lostOffline = reg.Counter(metrics.Desc{Name: "brisk_exs_lost_offline_records_total",
 		Help: "records discarded after reconnection was abandoned", Unit: "records"})
+	e.creditStalls = reg.Counter(metrics.Desc{Name: "brisk_exs_credit_stalls_total",
+		Help: "pump passes that paused because the manager's credit window was exhausted", Unit: "stalls"})
+	e.lossMarkers = reg.Counter(metrics.Desc{Name: "brisk_exs_loss_markers_total",
+		Help: "loss-marker records shipped to account for sensor-side drops", Unit: "markers"})
+	e.markedLost = reg.Counter(metrics.Desc{Name: "brisk_exs_marked_lost_records_total",
+		Help: "records represented by sensor-shipped loss markers", Unit: "records"})
+	e.drainPauseH = reg.Histogram(metrics.Desc{Name: "brisk_exs_drain_pause_microseconds",
+		Help: "how long ring collection stayed paused per credit-exhaustion episode",
+		Unit: "microseconds"})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_exs_credit_window",
+		Help: "the manager's latest credit grant (records in flight allowed); -1 when flow control is disabled",
+		Unit: "records"},
+		func() float64 {
+			e.qMu.Lock()
+			defer e.qMu.Unlock()
+			if !e.creditOn {
+				return -1
+			}
+			return float64(e.creditW)
+		})
 	reg.CounterFunc(metrics.Desc{Name: "brisk_exs_ring_records_written_total",
 		Help: "records accepted by the node's sensor rings", Unit: "records"},
 		func() uint64 { written, _ := e.cfg.Region.Stats(); return written })
@@ -471,10 +531,105 @@ func (e *EXS) recycleBuf(b []byte) {
 	}
 }
 
+// applyWindow installs a credit grant from a HELLO_ACK or DATA_ACK.
+// Window 0 means the manager runs without flow control.
+func (e *EXS) applyWindow(w uint32) {
+	e.qMu.Lock()
+	if w == 0 {
+		e.creditOn, e.creditW = false, 0
+	} else {
+		e.creditOn, e.creditW = true, int64(w)
+	}
+	e.qMu.Unlock()
+}
+
+// addLoss folds dropped records into the pending loss accumulator; the
+// next shipped batch carries a loss-marker record representing them.
+// Caller holds qMu.
+func (e *EXS) addLossLocked(count uint64, firstTS, lastTS int64) {
+	if count == 0 {
+		return
+	}
+	if e.pendingLossN == 0 {
+		e.pendingLossFirst, e.pendingLossLast = firstTS, lastTS
+	} else {
+		if firstTS < e.pendingLossFirst {
+			e.pendingLossFirst = firstTS
+		}
+		if lastTS > e.pendingLossLast {
+			e.pendingLossLast = lastTS
+		}
+	}
+	e.pendingLossN += count
+}
+
+// addLoss is addLossLocked for callers not holding qMu.
+func (e *EXS) addLoss(count uint64, firstTS, lastTS int64) {
+	e.qMu.Lock()
+	e.addLossLocked(count, firstTS, lastTS)
+	e.qMu.Unlock()
+}
+
+// hasPendingLoss reports whether dropped records await a loss marker.
+func (e *EXS) hasPendingLoss() bool {
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	return e.pendingLossN > 0
+}
+
+// takePendingLoss drains the loss accumulator for marker synthesis.
+func (e *EXS) takePendingLoss() (count uint64, firstTS, lastTS int64) {
+	e.qMu.Lock()
+	count, firstTS, lastTS = e.pendingLossN, e.pendingLossFirst, e.pendingLossLast
+	e.pendingLossN, e.pendingLossFirst, e.pendingLossLast = 0, 0, 0
+	e.qMu.Unlock()
+	return count, firstTS, lastTS
+}
+
+// tallyEvicted walks an evicted batch payload and returns the data-record
+// count and timestamp range it covered, folding in the covered counts of
+// any loss markers the batch itself carried (so a dropped marker's losses
+// are never forgotten). Evictions only happen under overload, so the
+// decode walk is off the steady-state path.
+func tallyEvicted(payload []byte) (count uint64, firstTS, lastTS int64) {
+	first := true
+	note := func(ts int64) {
+		if first {
+			firstTS, lastTS, first = ts, ts, false
+			return
+		}
+		if ts < firstTS {
+			firstTS = ts
+		}
+		if ts > lastTS {
+			lastTS = ts
+		}
+	}
+	for len(payload) > 0 {
+		rec, n, err := record.Decode(payload)
+		if err != nil || n == 0 {
+			break
+		}
+		payload = payload[n:]
+		if c, f, l, ok := record.LossInfo(&rec); ok {
+			count += c
+			note(f)
+			note(l)
+			continue
+		}
+		count++
+		if rec.HasTS {
+			note(rec.TS)
+		}
+	}
+	return count, firstTS, lastTS
+}
+
 // enqueue copies one batch into the retransmit queue, assigning its
 // sequence number and applying the drop-oldest bound. The copy reuses
 // storage released by earlier acks, so a flowing, acked stream allocates
-// no queue memory.
+// no queue memory. Evicted batches feed the pending-loss accumulator so a
+// later batch's loss marker testifies to them.
 func (e *EXS) enqueue(payload []byte, count int) {
 	e.qMu.Lock()
 	var cp []byte
@@ -491,6 +646,12 @@ func (e *EXS) enqueue(payload []byte, count int) {
 		old := e.queue[0]
 		e.queue = e.queue[1:]
 		e.qBytes -= len(old.payload)
+		if old.sent {
+			e.inflight -= int64(old.count)
+		}
+		if n, f, l := tallyEvicted(old.payload); n > 0 {
+			e.addLossLocked(n, f, l)
+		}
 		e.recycleBuf(old.payload)
 		evicted += uint64(old.count)
 	}
@@ -506,13 +667,28 @@ func (e *EXS) enqueue(payload []byte, count int) {
 // pump writes every not-yet-sent queued batch to c in sequence order.
 // Holding qMu across the sends keeps replays and fresh batches ordered;
 // the ack path contends on the same mutex but never blocks the socket.
+//
+// Under credit flow control a batch is only sent while the in-flight
+// record count fits the manager's window — except that the first batch is
+// always sendable (the grant is never zero, and a halt must still leave
+// one batch in flight whose ack will carry the next grant). Exhausted
+// credit stops the pass; the next DATA_ACK's grant resumes it.
 func (e *EXS) pump(c *wire.Conn) error {
 	e.qMu.Lock()
 	defer e.qMu.Unlock()
+	blocked := false
 	for i := range e.queue {
 		ent := &e.queue[i]
 		if ent.sent {
 			continue
+		}
+		if e.creditOn && e.inflight > 0 && e.inflight+int64(ent.count) > e.creditW {
+			blocked = true
+			if !e.stalled {
+				e.stalled = true
+				e.creditStalls.Add(1)
+			}
+			break
 		}
 		msg := &wire.DataBatch{Seq: ent.seq, Count: uint32(ent.count), Payload: ent.payload}
 		if err := c.Send(msg); err != nil {
@@ -524,6 +700,7 @@ func (e *EXS) pump(c *wire.Conn) error {
 			}
 		}
 		ent.sent = true
+		e.inflight += int64(ent.count)
 		e.batches.Add(1)
 		if ent.everSent {
 			e.retransmits.Add(1)
@@ -532,20 +709,38 @@ func (e *EXS) pump(c *wire.Conn) error {
 			e.sent.Add(uint64(ent.count))
 		}
 	}
+	if !blocked {
+		e.stalled = false
+	}
 	return nil
 }
 
+// creditStalled reports whether the last pump pass stopped on exhausted
+// credit — the signal for the drain loop to widen its flush interval.
+func (e *EXS) creditStalled() bool {
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	return e.stalled
+}
+
 // ackTo releases every queued batch with sequence ≤ seq; the released
-// payload storage feeds later enqueues.
+// payload storage feeds later enqueues and their records leave the
+// credit-window in-flight count.
 func (e *EXS) ackTo(seq uint64) {
 	e.qMu.Lock()
 	for len(e.queue) > 0 && e.queue[0].seq <= seq {
+		if e.queue[0].sent {
+			e.inflight -= int64(e.queue[0].count)
+		}
 		e.qBytes -= len(e.queue[0].payload)
 		e.recycleBuf(e.queue[0].payload)
 		e.queue = e.queue[1:]
 	}
 	if len(e.queue) == 0 {
 		e.queue = nil // let the backing array go
+	}
+	if e.inflight < 0 {
+		e.inflight = 0
 	}
 	e.qMu.Unlock()
 }
@@ -569,6 +764,8 @@ func (e *EXS) markDisconnected(c *wire.Conn, err error) {
 	for i := range e.queue {
 		e.queue[i].sent = false
 	}
+	e.inflight = 0 // nothing is in flight on a dead link
+	e.stalled = false
 	e.qMu.Unlock()
 	if e.closed.Load() {
 		return
@@ -594,6 +791,8 @@ func (e *EXS) markDead(reason string) {
 		lost += uint64(ent.count)
 	}
 	e.queue, e.qBytes = nil, 0
+	e.inflight = 0
+	e.stalled = false
 	e.qMu.Unlock()
 	if lost > 0 {
 		e.dropped.Add(lost)
@@ -676,6 +875,7 @@ func (e *EXS) reconnectLoop() bool {
 			continue
 		}
 		e.node.Store(ack.Node)
+		e.applyWindow(ack.Window)
 		if ack.Resumed {
 			// Everything the manager already accepted is delivered.
 			e.ackTo(ack.LastSeq)
@@ -704,20 +904,60 @@ func (e *EXS) reconnectLoop() bool {
 
 // drainLoop scans the sensor rings, patches timestamps with the current
 // correction value, and ships batches under the batching/latency policy.
+//
+// Overload reaction: while the manager withholds credit (the pump is
+// stalled) the loop widens its effective flush interval — bigger batches
+// shipped less often are exactly what an overloaded manager wants — and,
+// once the spill queue is half full, stops collecting from the rings
+// entirely so new records are dropped at the ring (counted, cheap,
+// oldest-first) instead of growing the queue. Every drop the sensor
+// observes (ring overruns, spill evictions) is folded into a loss-marker
+// record carried by the next shipped batch, so the merged stream always
+// testifies to what is missing.
 func (e *EXS) drainLoop() {
 	defer e.wgDrain.Done()
 	batch := make([]byte, 0, e.cfg.BatchBytes*2)
 	count := 0
 	var oldestAt time.Time // wall time the current partial batch started
+	effFlush := e.cfg.FlushInterval
+	var pauseStart time.Time // nonzero while ring collection is paused
+	_, lastRingDropped := e.cfg.Region.Stats()
+
+	// noteRingDrops folds newly observed ring drops into the pending-loss
+	// accumulator. The ring does not record dropped timestamps, so the
+	// covered range collapses to "now" on the corrected clock.
+	noteRingDrops := func() {
+		if _, rd := e.cfg.Region.Stats(); rd > lastRingDropped {
+			now := e.clock.NowMicros()
+			e.addLoss(rd-lastRingDropped, now, now)
+			lastRingDropped = rd
+		}
+	}
 
 	ship := func() {
-		if count == 0 {
+		if e.state.Load() == stateDead {
+			// No link will ever carry a marker again; the drops stay
+			// visible through the Dropped/RingDropped counters.
+			e.takePendingLoss()
+			if count > 0 {
+				e.lostOffline.Add(uint64(count))
+				batch = batch[:0]
+				count = 0
+			}
 			return
 		}
-		if e.state.Load() == stateDead {
-			e.lostOffline.Add(uint64(count))
-			batch = batch[:0]
-			count = 0
+		if n, f, l := e.takePendingLoss(); n > 0 {
+			m := record.NewLossMarker(n, f, l)
+			if nb, err := m.Append(batch); err == nil {
+				batch = nb
+				count++
+				e.lossMarkers.Add(1)
+				e.markedLost.Add(n)
+			} else {
+				e.addLoss(n, f, l) // keep it for the next batch
+			}
+		}
+		if count == 0 {
 			return
 		}
 		e.enqueue(batch, count)
@@ -737,7 +977,8 @@ func (e *EXS) drainLoop() {
 	for {
 		select {
 		case <-e.done:
-			for e.collect(&batch, &count) > 0 || count > 0 {
+			noteRingDrops()
+			for e.collect(&batch, &count) > 0 || count > 0 || e.hasPendingLoss() {
 				ship()
 			}
 			return
@@ -746,6 +987,23 @@ func (e *EXS) drainLoop() {
 			ship()
 			oldestAt = time.Time{}
 		case <-ticker.C:
+			noteRingDrops()
+			stalled := e.creditStalled()
+			if !stalled {
+				effFlush = e.cfg.FlushInterval
+			}
+			if stalled && e.queuedBytes() >= e.cfg.SpillBytes/2 {
+				// Further collection would only evict older queued batches;
+				// prefer counted drops at the ring until credit returns.
+				if pauseStart.IsZero() {
+					pauseStart = time.Now()
+				}
+				continue
+			}
+			if !pauseStart.IsZero() {
+				e.drainPauseH.Observe(time.Since(pauseStart).Microseconds())
+				pauseStart = time.Time{}
+			}
 			// Drain in batch-sized chunks until the rings empty; the
 			// bound on passes keeps control-channel latency sane under
 			// sustained overload.
@@ -763,15 +1021,37 @@ func (e *EXS) drainLoop() {
 					break
 				}
 			}
-			if count > 0 && time.Since(oldestAt) >= e.cfg.FlushInterval {
+			if count > 0 && time.Since(oldestAt) >= effFlush {
 				ship()
 				oldestAt = time.Time{}
+				if stalled && effFlush < e.cfg.MaxFlushInterval {
+					effFlush *= 2
+					if effFlush > e.cfg.MaxFlushInterval {
+						effFlush = e.cfg.MaxFlushInterval
+					}
+				}
 			}
 			if count == 0 {
 				oldestAt = time.Time{}
+				// Quiescent with unshipped loss testimony: ship a
+				// marker-only batch rather than letting the record of the
+				// loss linger until shutdown. Gated on an empty queue and
+				// live credit so a stalled sensor cannot flood its own
+				// spill queue with marker batches.
+				if !stalled && e.state.Load() == stateOnline &&
+					e.queuedBytes() == 0 && e.hasPendingLoss() {
+					ship()
+				}
 			}
 		}
 	}
+}
+
+// queuedBytes returns the current spill-queue size.
+func (e *EXS) queuedBytes() int {
+	e.qMu.Lock()
+	defer e.qMu.Unlock()
+	return e.qBytes
 }
 
 // collect drains the rings into the batch up to roughly the batch-size
@@ -863,6 +1143,13 @@ func (e *EXS) controlLoop(c *wire.Conn) {
 			e.clock.Adjust(t.DeltaMicros)
 		case *wire.DataAck:
 			e.ackTo(t.Seq)
+			e.applyWindow(t.Window)
+			// The ack both freed credit and (possibly) carried a fresh
+			// grant, so batches parked on an exhausted window can go now.
+			if err := e.pump(c); err != nil {
+				e.markDisconnected(c, err)
+				return
+			}
 		case *wire.Ping:
 			if err := c.Send(&wire.Pong{Seq: t.Seq}); err != nil {
 				e.markDisconnected(c, err)
@@ -892,24 +1179,32 @@ func (e *EXS) Stats() Stats {
 	e.connMu.Unlock()
 	e.qMu.Lock()
 	queued := e.qBytes
+	creditW := int64(-1)
+	if e.creditOn {
+		creditW = e.creditW
+	}
 	e.qMu.Unlock()
 	return Stats{
-		Node:        e.node.Load(),
-		Session:     e.session,
-		Online:      e.state.Load() == stateOnline,
-		Sent:        e.sent.Value(),
-		Batches:     e.batches.Value(),
-		BytesOut:    e.bytesOutBase.Load() + liveBytes,
-		RingDropped: ringDropped,
-		Probes:      e.probes.Value(),
-		Adjusts:     e.adjusts.Value(),
-		Correction:  e.clock.Correction(),
-		Reconnects:  e.reconnects.Value(),
-		Retransmits: e.retransmits.Value(),
-		Spilled:     e.spilled.Value(),
-		Dropped:     e.dropped.Value(),
-		QueuedBytes: queued,
-		LostOffline: e.lostOffline.Value(),
+		Node:         e.node.Load(),
+		Session:      e.session,
+		Online:       e.state.Load() == stateOnline,
+		Sent:         e.sent.Value(),
+		Batches:      e.batches.Value(),
+		BytesOut:     e.bytesOutBase.Load() + liveBytes,
+		RingDropped:  ringDropped,
+		Probes:       e.probes.Value(),
+		Adjusts:      e.adjusts.Value(),
+		Correction:   e.clock.Correction(),
+		Reconnects:   e.reconnects.Value(),
+		Retransmits:  e.retransmits.Value(),
+		Spilled:      e.spilled.Value(),
+		Dropped:      e.dropped.Value(),
+		QueuedBytes:  queued,
+		LostOffline:  e.lostOffline.Value(),
+		CreditWindow: creditW,
+		CreditStalls: e.creditStalls.Value(),
+		LossMarkers:  e.lossMarkers.Value(),
+		MarkedLost:   e.markedLost.Value(),
 	}
 }
 

@@ -94,6 +94,19 @@ type Config struct {
 	// (one clock read, one memory-buffer lock) over more records at the
 	// price of peak latency jitter. Default 512.
 	SinkBatchRecords int
+	// AckHighWater and AckLowWater are sorter-occupancy watermarks (in
+	// records) for the ack gate. When the sorter's buffered count rises to
+	// AckHighWater the manager stops acknowledging data batches (a
+	// deferred ack is the halt signal — the sensor's credit runs out and
+	// it pauses); when it falls back to AckLowWater the deferred acks are
+	// released. Defaults derive from Sorter.MaxBuffered (¾ and ½ of it);
+	// flow control is disabled when both resolve to 0, and a negative
+	// AckHighWater disables it explicitly even with MaxBuffered set.
+	AckHighWater int
+	AckLowWater  int
+	// MaxCreditWindow caps any single credit grant (records in flight per
+	// sensor). Default 4096.
+	MaxCreditWindow int
 	// Filter, when non-nil, selects which sorted records reach the
 	// sinks; records it rejects are counted but not delivered. It runs
 	// downstream of the causal matcher so causal bookkeeping stays
@@ -142,6 +155,20 @@ type Stats struct {
 	// DedupedBatches counts replayed data batches dropped by the
 	// sequence-number filter (already merged before the link broke).
 	DedupedBatches uint64
+	// AckDeferred counts data-batch acks withheld by the overload gate.
+	AckDeferred uint64
+	// LossMarkers counts loss-marker records the manager synthesized for
+	// records it dropped at the sorter bound; MarkedLost is the total
+	// record count those markers represent.
+	LossMarkers uint64
+	MarkedLost  uint64
+	// CreditGateClosed reports whether the ack gate is currently closed
+	// (sorter occupancy between the watermarks after crossing the high
+	// one).
+	CreditGateClosed bool
+	// SorterBuffered is the sorter's current occupancy in records — the
+	// quantity the ack gate watches.
+	SorterBuffered int
 	// DeadPeers counts connections severed by heartbeat timeout.
 	DeadPeers uint64
 	// Sessions is the number of live sessions (attached or within the
@@ -196,6 +223,16 @@ type session struct {
 	free     chan []byte
 	quit     chan struct{}
 	stopOnce sync.Once
+
+	// inflight counts records accepted from this session's link but not
+	// yet through the sorter (queued for decode or in the merge channel);
+	// the credit grant subtracts it so a sensor's window shrinks as its
+	// backlog inside the manager grows.
+	inflight atomic.Int64
+	// deferred holds the highest batch sequence whose ack the overload
+	// gate withheld (0 = none). The merger releases it when the sorter
+	// drains below the low watermark.
+	deferred atomic.Uint64
 }
 
 // stop retires the session's decode worker (it drains queued work first).
@@ -269,6 +306,29 @@ type Manager struct {
 	queueStalls *metrics.Counter
 	sinkBatchH  *metrics.Histogram
 
+	// Credit-based flow control. The merger owns the gate transitions;
+	// the per-connection readers read the atomics to size (or defer)
+	// each ack's window grant.
+	flowEnabled bool
+	ackHigh     int
+	ackLow      int
+	maxWindow   int
+
+	headroom        atomic.Int64 // ackHigh − sorter.Buffered(), merger-updated
+	gateClosed      atomic.Bool
+	gateClosedAt    int64 // manager µs when the gate closed; merger-owned
+	attachedN       atomic.Int64
+	deferredPending atomic.Int64
+
+	connScratch []*conn // merger-owned snapshot scratch for releaseDeferred
+
+	creditWindowH *metrics.Histogram
+	ackDeferredC  *metrics.Counter
+	overloadPause *metrics.Histogram
+	lossMarkersC  *metrics.Counter
+	markedLostC   *metrics.Counter
+	srcDropC      map[int32]*metrics.Counter // merger-owned label cache
+
 	syncRounds   *metrics.Counter
 	tachyonSyncs *metrics.Counter
 	filtered     *metrics.Counter
@@ -291,10 +351,12 @@ const (
 
 // srcBatch hands one decoded batch from a session's decode worker to the
 // merge goroutine. The batch pointer comes from record.GetBatch; the
-// merger returns it to the pool after pushing every record.
+// merger returns it to the pool after pushing every record, and credits
+// the records back against the session's inflight count.
 type srcBatch struct {
 	node  int32
 	batch *[]record.Record
+	sess  *session
 }
 
 // lineBuffer renders one PICL line at a time for the visual dispatcher.
@@ -337,6 +399,20 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.SinkBatchRecords <= 0 {
 		cfg.SinkBatchRecords = 512
 	}
+	if cfg.AckHighWater < 0 {
+		cfg.AckHighWater = 0 // explicit disable
+	} else if cfg.AckHighWater == 0 && cfg.Sorter.MaxBuffered > 0 {
+		cfg.AckHighWater = cfg.Sorter.MaxBuffered * 3 / 4
+	}
+	if cfg.AckLowWater <= 0 {
+		cfg.AckLowWater = cfg.AckHighWater / 2
+	}
+	if cfg.AckLowWater >= cfg.AckHighWater {
+		cfg.AckLowWater = cfg.AckHighWater - 1
+	}
+	if cfg.MaxCreditWindow <= 0 {
+		cfg.MaxCreditWindow = 4096
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -359,7 +435,13 @@ func New(cfg Config) (*Manager, error) {
 		stopWorkers: make(chan struct{}),
 		sorter:      ols.New(cfg.Sorter),
 		sinkBatch:   cfg.SinkBatchRecords,
+		flowEnabled: cfg.AckHighWater > 0,
+		ackHigh:     cfg.AckHighWater,
+		ackLow:      cfg.AckLowWater,
+		maxWindow:   cfg.MaxCreditWindow,
+		srcDropC:    make(map[int32]*metrics.Counter),
 	}
+	m.headroom.Store(int64(m.ackHigh))
 	m.registerMetrics(cfg.Metrics)
 	m.matcher = cre.New(cre.Config{
 		Timeout: cfg.CRETimeout,
@@ -425,6 +507,29 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 		Unit: "batches"})
 	m.sinkBatchH = reg.Histogram(metrics.Desc{Name: "brisk_ism_sink_batch_records",
 		Help: "records delivered per batched sink flush", Unit: "records"})
+	m.creditWindowH = reg.Histogram(metrics.Desc{Name: "brisk_ism_credit_window",
+		Help: "credit window granted per data-batch ack (records in flight the sensor may hold)",
+		Unit: "records"})
+	m.ackDeferredC = reg.Counter(metrics.Desc{Name: "brisk_ism_ack_deferred_total",
+		Help: "data-batch acks withheld by the overload gate (released once the sorter drains)",
+		Unit: "acks"})
+	m.overloadPause = reg.Histogram(metrics.Desc{Name: "brisk_ism_overload_pause_microseconds",
+		Help: "how long the ack gate stayed closed per overload episode (high watermark to low watermark)",
+		Unit: "microseconds"})
+	m.lossMarkersC = reg.Counter(metrics.Desc{Name: "brisk_ism_loss_markers_total",
+		Help: "loss-marker records synthesized for records dropped at the sorter bound",
+		Unit: "markers"})
+	m.markedLostC = reg.Counter(metrics.Desc{Name: "brisk_ism_marked_lost_records_total",
+		Help: "records represented by manager-synthesized loss markers",
+		Unit: "records"})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_ack_gate_closed",
+		Help: "1 while the overload gate is withholding acks, else 0"},
+		func() float64 {
+			if m.gateClosed.Load() {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc(metrics.Desc{Name: "brisk_ism_decode_workers",
 		Help: "per-session decode workers currently running"},
 		func() float64 { return float64(m.workersLive.Load()) })
@@ -469,8 +574,6 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 		func(s ols.Stats) uint64 { return s.Emitted })
 	olsCounter("brisk_ols_inversions_total", "records that arrived after a later-stamped record was emitted",
 		func(s ols.Stats) uint64 { return s.Inversions })
-	olsCounter("brisk_ols_dropped_full_total", "records dropped because the sorter buffer bound was hit",
-		func(s ols.Stats) uint64 { return s.DroppedFull })
 	creCounter := func(name, help string, get func(cre.Stats) uint64) {
 		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
 			m.sorterMu.Lock()
@@ -649,6 +752,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 	lastSeq := sess.lastSeq
 	sess.mu.Unlock()
 	m.conns[c.node] = c
+	m.attachedN.Store(int64(len(m.conns)))
 	closing := m.closed.Load()
 	m.mu.Unlock()
 	if closing {
@@ -671,6 +775,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 		// what is still ours.
 		if m.conns[c.node] == c {
 			delete(m.conns, c.node)
+			m.attachedN.Store(int64(len(m.conns)))
 		}
 		sess.mu.Lock()
 		if sess.cur == c {
@@ -689,7 +794,14 @@ func (m *Manager) handleConn(raw net.Conn) {
 		}
 		m.mu.Unlock()
 	}()
-	if err := wc.Send(&wire.HelloAck{Node: c.node, Resumed: resumed, LastSeq: lastSeq}); err != nil {
+	// The hello ack cannot be deferred — the sensor needs it to finish its
+	// handshake — so a closed gate grants a trickle window of 1: enough to
+	// keep the resume protocol moving without feeding the overload.
+	helloWindow, open := m.grantWindow(sess)
+	if !open {
+		helloWindow = 1
+	}
+	if err := wc.Send(&wire.HelloAck{Node: c.node, Resumed: resumed, LastSeq: lastSeq, Window: helloWindow}); err != nil {
 		return
 	}
 	if resumed {
@@ -718,12 +830,13 @@ func (m *Manager) handleConn(raw net.Conn) {
 				sess.mu.Unlock()
 				if dup {
 					// Replay of a batch merged before the link broke.
-					// Re-ack so the sensor can release it.
+					// Re-ack so the sensor can release it (or defer the
+					// re-ack like any other when the gate is closed).
 					m.deduped.Inc()
 					if sess.dedupedC != nil {
 						sess.dedupedC.Inc()
 					}
-					if err := wc.Send(&wire.DataAck{Seq: high}); err != nil {
+					if err := m.ackOrDefer(wc, sess, high); err != nil {
 						return
 					}
 					continue
@@ -739,6 +852,7 @@ func (m *Manager) handleConn(raw net.Conn) {
 			default:
 				t.Payload = nil
 			}
+			sess.inflight.Add(int64(pb.count))
 			select {
 			case sess.work <- pb:
 			default:
@@ -757,14 +871,19 @@ func (m *Manager) handleConn(raw net.Conn) {
 				sess.batchesC.Inc()
 			}
 			// Ack once the batch is queued: the worker owns it from here and
-			// shutdown drains the queue, so an acked batch is never lost.
+			// shutdown drains the queue, so an acked batch is never lost —
+			// under overload it is either merged or represented by a
+			// loss-marker record, never silently discarded. When the sorter
+			// is past its high watermark the ack is deferred instead: the
+			// sensor's credit runs dry and it pauses until the merger
+			// releases the ack.
 			if t.Seq != 0 && sess.id != 0 {
 				sess.mu.Lock()
 				if t.Seq > sess.lastSeq {
 					sess.lastSeq = t.Seq
 				}
 				sess.mu.Unlock()
-				if err := wc.Send(&wire.DataAck{Seq: t.Seq}); err != nil {
+				if err := m.ackOrDefer(wc, sess, t.Seq); err != nil {
 					return
 				}
 			}
@@ -798,6 +917,147 @@ func (m *Manager) unregisterSession(s *session) {
 		"session", strconv.FormatUint(s.id, 16))
 	m.reg.Unregister("brisk_ism_session_batches_total", labels)
 	m.reg.Unregister("brisk_ism_session_deduped_total", labels)
+}
+
+// grantWindow sizes a credit grant for one session: its fair share of the
+// sorter headroom below the high watermark, minus what it already has in
+// flight inside the manager. ok is false when the ack must be deferred
+// (gate closed or the share is exhausted). With flow control disabled it
+// returns (0, true): window 0 on the wire means unlimited credit.
+func (m *Manager) grantWindow(s *session) (uint32, bool) {
+	if !m.flowEnabled {
+		return 0, true
+	}
+	if m.gateClosed.Load() {
+		return 0, false
+	}
+	att := m.attachedN.Load()
+	if att < 1 {
+		att = 1
+	}
+	w := m.headroom.Load()/att - s.inflight.Load()
+	if w <= 0 {
+		return 0, false
+	}
+	if w > int64(m.maxWindow) {
+		w = int64(m.maxWindow)
+	}
+	return uint32(w), true
+}
+
+// ackOrDefer sends a cumulative data ack carrying a credit window, or —
+// when the overload gate withholds it — records the sequence for the
+// merger to acknowledge once the sorter drains. A deferred ack is the
+// protocol's halt signal: the manager never sends an explicit zero
+// window, so a sensor out of credit is always woken by a later ack.
+func (m *Manager) ackOrDefer(wc *wire.Conn, s *session, seq uint64) error {
+	w, ok := m.grantWindow(s)
+	if ok {
+		if m.flowEnabled {
+			m.creditWindowH.Observe(int64(w))
+		}
+		return wc.Send(&wire.DataAck{Seq: seq, Window: w})
+	}
+	if s.deferred.Swap(seq) == 0 {
+		m.deferredPending.Add(1)
+	}
+	m.ackDeferredC.Inc()
+	return nil
+}
+
+// updateGate runs the watermark hysteresis after a merge event. buffered
+// is the sorter occupancy sampled under sorterMu; the call itself runs
+// without it so releasing deferred acks (which takes m.mu and writes to
+// peer connections) never extends the merge critical section.
+func (m *Manager) updateGate(buffered int, now int64) {
+	if !m.flowEnabled {
+		return
+	}
+	m.headroom.Store(int64(m.ackHigh - buffered))
+	if m.gateClosed.Load() {
+		if buffered <= m.ackLow {
+			m.gateClosed.Store(false)
+			m.overloadPause.Observe(now - m.gateClosedAt)
+		}
+	} else if buffered >= m.ackHigh {
+		m.gateClosed.Store(true)
+		m.gateClosedAt = now
+	}
+	if !m.gateClosed.Load() {
+		m.releaseDeferred()
+	}
+}
+
+// releaseDeferred acknowledges every deferred batch whose session can be
+// granted credit again. Runs on the merge goroutine; the scratch slice is
+// reused so an idle manager's ticks stay allocation-free.
+func (m *Manager) releaseDeferred() {
+	if m.deferredPending.Load() == 0 {
+		return
+	}
+	m.mu.Lock()
+	conns := m.connScratch[:0]
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.connScratch = conns
+	m.mu.Unlock()
+	for _, c := range conns {
+		s := c.sess
+		if s == nil || c.gone.Load() {
+			continue
+		}
+		seq := s.deferred.Load()
+		if seq == 0 {
+			continue
+		}
+		w, ok := m.grantWindow(s)
+		if !ok {
+			continue
+		}
+		// The reader may have deferred a newer sequence meanwhile; the
+		// failed swap keeps it pending for the next tick.
+		if !s.deferred.CompareAndSwap(seq, 0) {
+			continue
+		}
+		m.deferredPending.Add(-1)
+		m.creditWindowH.Observe(int64(w))
+		if err := c.wc.Send(&wire.DataAck{Seq: seq, Window: w}); err != nil {
+			c.raw.Close() // the reader notices and cleans up
+		}
+	}
+}
+
+// harvestLosses converts the sorter's per-source drop accumulators into
+// loss-marker records injected into the output stream, and reconciles the
+// per-source drop counters. Runs with sorterMu held, after a merge event's
+// pushes; the markers bypass the causal matcher (they carry no causal
+// fields) and are exempt from the sink filter.
+func (m *Manager) harvestLosses() {
+	m.sorter.TakeLosses(func(src int32, count uint64, firstTS, lastTS int64) {
+		rec := record.NewLossMarker(count, firstTS, lastTS)
+		rec.Node = src
+		m.lossMarkersC.Inc()
+		m.markedLostC.Add(count)
+		m.srcDropCounter(src).Add(count)
+		m.collect(rec)
+	})
+}
+
+// srcDropCounter returns the per-source labeled drop counter, creating it
+// on the source's first drop. Merger-owned.
+func (m *Manager) srcDropCounter(src int32) *metrics.Counter {
+	if c, ok := m.srcDropC[src]; ok {
+		return c
+	}
+	c := m.reg.Counter(metrics.Desc{
+		Name:   "brisk_ols_dropped_full_total",
+		Help:   "records dropped at the sorter's MaxBuffered or per-source quota bound",
+		Unit:   "records",
+		Labels: metrics.L("source", strconv.FormatInt(int64(src), 10)),
+	})
+	m.srcDropC[src] = c
+	return c
 }
 
 // decodeLoop is one session's decode worker: it turns queued wire payloads
@@ -855,6 +1115,7 @@ func (m *Manager) decodeOne(s *session, pb pending) {
 	if err != nil {
 		*bp = recs
 		record.PutBatch(bp)
+		s.inflight.Add(-int64(pb.count))
 		m.logf("ism: node %d: bad batch: %v", s.node, err)
 		s.severCurrent()
 		return
@@ -867,9 +1128,10 @@ func (m *Manager) decodeOne(s *session, pb pending) {
 		}
 	}
 	select {
-	case m.merge <- srcBatch{node: s.node, batch: bp}:
+	case m.merge <- srcBatch{node: s.node, batch: bp, sess: s}:
 	case <-m.done:
 		record.PutBatch(bp)
+		s.inflight.Add(-int64(pb.count))
 	}
 }
 
@@ -890,8 +1152,11 @@ func (m *Manager) mergeLoop() {
 			m.windowT.Observe(m.sorter.TimeFrame())
 			m.sorter.Extract(now, m.sinkRecord)
 			m.matcher.Tick(now, m.collect)
+			m.harvestLosses()
 			m.flushSinks(now)
+			buffered := m.sorter.Buffered()
 			m.sorterMu.Unlock()
+			m.updateGate(buffered, now)
 		case <-m.done:
 			// The readers and decode workers are gone (Close waits on them
 			// before closing done), so the merge channel can only shrink:
@@ -905,6 +1170,9 @@ func (m *Manager) mergeLoop() {
 						m.sorter.Push(b.node, (*b.batch)[i], now)
 					}
 					m.sorterMu.Unlock()
+					if b.sess != nil {
+						b.sess.inflight.Add(-int64(len(*b.batch)))
+					}
 					record.PutBatch(b.batch)
 					continue
 				default:
@@ -916,6 +1184,7 @@ func (m *Manager) mergeLoop() {
 			m.emitNow = now
 			m.sorter.Flush(m.sinkRecord)
 			m.matcher.Flush(m.collect)
+			m.harvestLosses()
 			m.flushSinks(now)
 			m.sorterMu.Unlock()
 			m.buffer.Close()
@@ -938,13 +1207,20 @@ func (m *Manager) mergeBatch(b srcBatch) {
 	for i := range *b.batch {
 		m.sorter.Push(b.node, (*b.batch)[i], now)
 	}
+	n := len(*b.batch)
 	// Push deep-copies into sorter-owned storage; the batch can go back to
 	// the pool before extraction.
 	record.PutBatch(b.batch)
 	m.emitNow = now
 	m.sorter.Extract(now, m.sinkRecord)
+	m.harvestLosses()
 	m.flushSinks(now)
+	buffered := m.sorter.Buffered()
 	m.sorterMu.Unlock()
+	if b.sess != nil {
+		b.sess.inflight.Add(-int64(n))
+	}
+	m.updateGate(buffered, now)
 }
 
 // sinkRecord feeds one sorted record through the CRE matcher toward the
@@ -977,7 +1253,9 @@ func (m *Manager) flushSinks(now int64) {
 	n := 0
 	for i := range m.out {
 		rec := &m.out[i]
-		if m.cfg.Filter != nil && !m.cfg.Filter(rec) {
+		// Loss markers are exempt from the filter: the whole point of the
+		// marker is that no consumer can miss the gap.
+		if m.cfg.Filter != nil && rec.Event != record.LossEvent && !m.cfg.Filter(rec) {
 			m.filtered.Inc()
 			continue
 		}
@@ -1178,6 +1456,7 @@ func (m *Manager) Stats() Stats {
 	m.sorterMu.Lock()
 	ss := m.sorter.Stats()
 	cs := m.matcher.Stats()
+	buffered := m.sorter.Buffered()
 	m.sorterMu.Unlock()
 	lat := m.emitLat.Snapshot()
 	return Stats{
@@ -1194,6 +1473,11 @@ func (m *Manager) Stats() Stats {
 		ResumedSessions:       m.resumed.Value(),
 		DedupedBatches:        m.deduped.Value(),
 		DeadPeers:             m.deadPeers.Value(),
+		AckDeferred:           m.ackDeferredC.Value(),
+		LossMarkers:           m.lossMarkersC.Value(),
+		MarkedLost:            m.markedLostC.Value(),
+		CreditGateClosed:      m.gateClosed.Load(),
+		SorterBuffered:        buffered,
 		Sessions:              sessions,
 		EmitLatencyMeanMicros: lat.Mean(),
 		EmitLatencyP99Micros:  lat.Quantile(0.99),

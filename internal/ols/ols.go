@@ -70,6 +70,11 @@ type Config struct {
 	// are dropped and counted (the ISM's event dropping under overload).
 	// 0 means unbounded.
 	MaxBuffered int
+	// SourceQuota bounds the records any single source may have delayed
+	// in memory, so one hot sensor cannot consume the whole MaxBuffered
+	// budget and force drops onto quiet sensors. 0 means no per-source
+	// bound.
+	SourceQuota int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,8 +101,13 @@ type Stats struct {
 	// record from another source had already been emitted — exactly the
 	// out-of-order condition the adaptive rule reacts to.
 	Inversions uint64
-	// DroppedFull counts records dropped because MaxBuffered was hit.
+	// DroppedFull counts records dropped because MaxBuffered or the
+	// per-source quota was hit.
 	DroppedFull uint64
+	// SourceDrops attributes every DroppedFull record to the source that
+	// lost it. nil until the first drop; the map is freshly built per
+	// Stats call, so callers may retain it.
+	SourceDrops map[int32]uint64
 	// GrownTo is the largest T ever reached.
 	GrownTo int64
 }
@@ -118,6 +128,8 @@ type Sorter struct {
 	h      srcHeap
 	seq    uint64
 
+	lossPending int // sources with unharvested drop accumulators
+
 	stats Stats
 }
 
@@ -134,7 +146,59 @@ func (s *Sorter) TimeFrame() int64 { return int64(s.t) }
 func (s *Sorter) Buffered() int { return s.buffered }
 
 // Stats returns a copy of the counters.
-func (s *Sorter) Stats() Stats { return s.stats }
+func (s *Sorter) Stats() Stats {
+	st := s.stats
+	if st.DroppedFull > 0 {
+		st.SourceDrops = make(map[int32]uint64)
+		for src, q := range s.queues {
+			if q.dropped > 0 {
+				st.SourceDrops[src] = q.dropped
+			}
+		}
+	}
+	return st
+}
+
+// BufferedBySource returns the number of records the given source has
+// delayed in memory.
+func (s *Sorter) BufferedBySource(src int32) int {
+	if q, ok := s.queues[src]; ok {
+		return q.buffered
+	}
+	return 0
+}
+
+// DropsBySource calls fn for every source that has dropped records, with
+// its cumulative drop count. Allocation-free, for metric reconciliation.
+func (s *Sorter) DropsBySource(fn func(src int32, dropped uint64)) {
+	if s.stats.DroppedFull == 0 {
+		return
+	}
+	for src, q := range s.queues {
+		if q.dropped > 0 {
+			fn(src, q.dropped)
+		}
+	}
+}
+
+// TakeLosses drains the per-source drop accumulators: for every source
+// that has dropped records since the previous call, fn receives the
+// dropped count and the covered timestamp range, and the accumulator
+// resets. The ISM merger uses this to synthesize loss-marker records.
+// Allocation-free, and O(1) when nothing has been dropped.
+func (s *Sorter) TakeLosses(fn func(src int32, count uint64, firstTS, lastTS int64)) {
+	if s.lossPending == 0 {
+		return
+	}
+	for src, q := range s.queues {
+		if q.lossCount == 0 {
+			continue
+		}
+		fn(src, q.lossCount, q.lossFirst, q.lossLast)
+		q.lossCount, q.lossFirst, q.lossLast = 0, 0, 0
+	}
+	s.lossPending = 0
+}
 
 // Push enqueues one record from a source. now is the manager clock (µs),
 // used to measure the record's lateness when it arrives behind the
@@ -145,11 +209,44 @@ func (s *Sorter) Stats() Stats { return s.stats }
 // the caller may recycle rec.Fields (a pooled decode batch, say) as soon
 // as Push returns. The copy reuses the queue slot's previous Fields array,
 // so steady-state pushes do not allocate.
+//
+// A push beyond MaxBuffered or the source's quota is dropped (drop-newest)
+// and accounted to the source in Stats.SourceDrops and in the loss
+// accumulator drained by TakeLosses. Loss-marker records are exempt from
+// both bounds: a marker documents drops that already happened, so dropping
+// it would reopen the silent-loss hole the marker exists to close.
 func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 	s.stats.Pushed++
-	if s.cfg.MaxBuffered > 0 && s.buffered >= s.cfg.MaxBuffered {
-		s.stats.DroppedFull++
-		return
+	q, ok := s.queues[src]
+	if !ok {
+		q = &srcQueue{src: src}
+		s.queues[src] = q
+	}
+	marker := rec.Event == record.LossEvent && record.IsLossMarker(&rec)
+	if !marker {
+		full := s.cfg.MaxBuffered > 0 && s.buffered >= s.cfg.MaxBuffered
+		overQuota := s.cfg.SourceQuota > 0 && q.buffered >= s.cfg.SourceQuota
+		if full || overQuota {
+			s.stats.DroppedFull++
+			q.dropped++
+			ts := now
+			if rec.HasTS {
+				ts = rec.TS
+			}
+			if q.lossCount == 0 {
+				q.lossFirst, q.lossLast = ts, ts
+				s.lossPending++
+			} else {
+				if ts < q.lossFirst {
+					q.lossFirst = ts
+				}
+				if ts > q.lossLast {
+					q.lossLast = ts
+				}
+			}
+			q.lossCount++
+			return
+		}
 	}
 	if !rec.HasTS {
 		rec.SetTS(now)
@@ -159,18 +256,16 @@ func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 	rec.Seq = s.seq
 
 	// Inversion check: the record is already behind the emitted stream.
-	if s.emitted && rec.TS < s.lastTS && src != s.lastSrc {
+	// Loss markers are exempt — they are synthetic and deliberately stamped
+	// inside the gap they describe, so their lateness must not inflate T.
+	if !marker && s.emitted && rec.TS < s.lastTS && src != s.lastSrc {
 		s.stats.Inversions++
 		s.grow(now - rec.TS)
 	}
 
-	q, ok := s.queues[src]
-	if !ok {
-		q = &srcQueue{src: src}
-		s.queues[src] = q
-	}
 	wasEmpty := q.empty()
 	q.push(rec)
+	q.buffered++
 	s.buffered++
 	if wasEmpty {
 		heap.Push(&s.h, q)
@@ -226,6 +321,10 @@ func (s *Sorter) decay(now int64) {
 // that window must record.Detach them.
 func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
 	s.decay(now)
+	return s.extract(now, emit)
+}
+
+func (s *Sorter) extract(now int64, emit func(record.Record)) int {
 	n := 0
 	for len(s.h) > 0 {
 		q := s.h[0]
@@ -233,6 +332,7 @@ func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
 			break
 		}
 		rec := q.pop()
+		q.buffered--
 		s.buffered--
 		if q.empty() {
 			heap.Pop(&s.h)
@@ -250,9 +350,14 @@ func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
 }
 
 // Flush emits everything still buffered, in merged order, ignoring T. Used
-// at shutdown.
+// at shutdown and when a caller needs the pipeline drained mid-stream.
+// Flush bypasses decay: it does not touch lastSeen or shrink T, so the
+// learned time frame survives a mid-stream flush intact. (Routing Flush
+// through Extract(math.MaxInt64, …) would make decay see a near-infinite
+// elapsed time, collapse T to MinT and poison lastSeen for every
+// subsequent Extract.)
 func (s *Sorter) Flush(emit func(record.Record)) int {
-	return s.Extract(math.MaxInt64, emit)
+	return s.extract(math.MaxInt64, emit)
 }
 
 // NextDeadline returns the manager time at which the oldest buffered
@@ -271,6 +376,15 @@ type srcQueue struct {
 	recs []record.Record
 	hd   int
 	pos  int // index in the heap, -1 when absent
+
+	buffered int    // live records in this queue
+	dropped  uint64 // cumulative records dropped at a buffer bound
+
+	// Unharvested loss accumulator (drained by TakeLosses): how many
+	// records dropped since the last harvest and the timestamp range they
+	// covered.
+	lossCount           uint64
+	lossFirst, lossLast int64
 }
 
 func (q *srcQueue) empty() bool          { return q.hd >= len(q.recs) }

@@ -1,0 +1,49 @@
+package record
+
+import "testing"
+
+func TestLossMarkerRoundTrip(t *testing.T) {
+	m := NewLossMarker(42, 100, 900)
+	if !IsLossMarker(&m) {
+		t.Fatal("NewLossMarker not recognized by IsLossMarker")
+	}
+	count, first, last, ok := LossInfo(&m)
+	if !ok || count != 42 || first != 100 || last != 900 {
+		t.Fatalf("LossInfo = (%d, %d, %d, %v), want (42, 100, 900, true)", count, first, last, ok)
+	}
+	if !m.HasTS || m.TS != 900 {
+		t.Fatalf("marker TS = %d (HasTS=%v), want 900: markers must sort at the end of the range they cover", m.TS, m.HasTS)
+	}
+
+	// Wire round trip preserves marker-ness.
+	buf, err := m.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, _, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !IsLossMarker(&got) {
+		t.Fatal("decoded marker not recognized")
+	}
+	if c, f, l, _ := LossInfo(&got); c != 42 || f != 100 || l != 900 {
+		t.Fatalf("decoded LossInfo = (%d, %d, %d)", c, f, l)
+	}
+}
+
+func TestIsLossMarkerRejectsLookalikes(t *testing.T) {
+	cases := []Record{
+		New(LossEvent),                                            // no fields
+		New(LossEvent, TSVal(1), U64Val(2)),                       // too few
+		New(LossEvent, TSVal(1), I64Val(2), U64Val(3)),            // wrong order
+		New(1, TSVal(1), U64Val(2), I64Val(3)),                    // wrong event
+		New(LossEvent, TSVal(1), U64Val(2), I64Val(3), U64Val(4)), // too many
+		New(LossEvent, U64Val(1), U64Val(2), I64Val(3)),           // no TS field
+	}
+	for i, r := range cases {
+		if IsLossMarker(&r) {
+			t.Fatalf("case %d accepted as loss marker: %+v", i, r)
+		}
+	}
+}

@@ -28,8 +28,10 @@ import (
 
 // ProtocolVersion is negotiated in the HELLO exchange. Version 2 added
 // session resume (session ids in HELLO, per-batch sequence numbers,
-// cumulative DATA_ACKs) and the PING/PONG heartbeat.
-const ProtocolVersion = 2
+// cumulative DATA_ACKs) and the PING/PONG heartbeat. Version 3 adds
+// credit-based flow control: HELLO_ACK and DATA_ACK carry a window grant
+// (Window field) sized from the manager's sorter headroom.
+const ProtocolVersion = 3
 
 // MaxFrameBytes bounds one frame; larger declared frames abort the
 // connection rather than allocate unboundedly.
@@ -148,6 +150,10 @@ type HelloAck struct {
 	// LastSeq is the highest batch sequence the manager has accepted
 	// for the session.
 	LastSeq uint64
+	// Window is the initial credit grant: how many records the sensor may
+	// have in flight (sent but unacknowledged) before it must pause.
+	// 0 disables flow control (unlimited credit).
+	Window uint32
 }
 
 // Type implements Message.
@@ -157,6 +163,7 @@ func (m *HelloAck) encode(e *xdr.Encoder) {
 	e.Int32(m.Node)
 	e.Bool(m.Resumed)
 	e.Uint64(m.LastSeq)
+	e.Uint32(m.Window)
 }
 
 func (m *HelloAck) decode(d *xdr.Decoder) error {
@@ -167,7 +174,10 @@ func (m *HelloAck) decode(d *xdr.Decoder) error {
 	if m.Resumed, err = strictBool(d); err != nil {
 		return err
 	}
-	m.LastSeq, err = d.Uint64()
+	if m.LastSeq, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Window, err = d.Uint32()
 	return err
 }
 
@@ -227,19 +237,33 @@ func (m *DataBatch) decode(d *xdr.Decoder) error {
 // DataAck acknowledges every data batch of the session with sequence
 // number ≤ Seq. The external sensor drops acknowledged batches from its
 // retransmit buffer; unacknowledged ones are replayed after a resume.
+// Window is a piggybacked credit grant sized from the manager's sorter
+// headroom: the sensor may have at most Window records in flight (sent
+// but unacknowledged) before it must pause sending. 0 disables flow
+// control (unlimited credit); a flow-controlled manager never grants 0 —
+// it defers the ack itself instead, so a missing ack is the halt signal.
 type DataAck struct {
 	// Seq acknowledges every batch with sequence number <= Seq.
 	Seq uint64
+	// Window grants credit for up to Window in-flight records;
+	// 0 disables flow control.
+	Window uint32
 }
 
 // Type implements Message.
 func (*DataAck) Type() MsgType { return MsgDataAck }
 
-func (m *DataAck) encode(e *xdr.Encoder) { e.Uint64(m.Seq) }
+func (m *DataAck) encode(e *xdr.Encoder) {
+	e.Uint64(m.Seq)
+	e.Uint32(m.Window)
+}
 
 func (m *DataAck) decode(d *xdr.Decoder) error {
 	var err error
-	m.Seq, err = d.Uint64()
+	if m.Seq, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Window, err = d.Uint32()
 	return err
 }
 

@@ -42,6 +42,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Hello{Version: ProtocolVersion, Name: "node-07", Session: 0xDEADBEEF, Resume: true},
 		&HelloAck{Node: 3},
 		&HelloAck{Node: 3, Resumed: true, LastSeq: 42},
+		&HelloAck{Node: 3, Resumed: true, LastSeq: 42, Window: 4096},
 		&DataBatch{Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
 		&DataBatch{Seq: 17, Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
 		&Probe{Seq: 9, MasterSend: 123456789},
@@ -49,6 +50,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Adjust{DeltaMicros: 250},
 		&Bye{},
 		&DataAck{Seq: 99},
+		&DataAck{Seq: 99, Window: 128},
 		&Ping{Seq: 7},
 		&Pong{Seq: 7},
 	}

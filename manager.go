@@ -50,6 +50,12 @@ type SorterOptions struct {
 	Policy TimeFramePolicy
 	// MaxBuffered bounds records delayed in memory (0 = unbounded).
 	MaxBuffered int
+	// SourceQuota bounds how many records one source may hold buffered at
+	// once (0 = no per-source bound). With MaxBuffered set, a quota keeps
+	// one misbehaving node from monopolizing the sorter: its excess is
+	// dropped (and represented by a loss marker) while other nodes'
+	// records still flow.
+	SourceQuota int
 }
 
 // SyncOptions tunes the clock-synchronization master.
@@ -129,6 +135,19 @@ type ManagerOptions struct {
 	// (every Nth record's age is measured per stage). 0 means the
 	// default (64); negative disables tracing.
 	TraceSampleEvery int
+	// AckHighWater gates data acknowledgements on sorter admission: when
+	// the sorter holds at least this many records, the manager stops
+	// acknowledging (and granting credit to) its sensors until the
+	// backlog drains to AckLowWater. 0 derives ¾ of Sorter.MaxBuffered
+	// (flow control stays off when that is also 0); negative disables
+	// ack gating explicitly.
+	AckHighWater int
+	// AckLowWater is the reopen threshold of the ack gate (default half
+	// of AckHighWater).
+	AckLowWater int
+	// MaxCreditWindow caps the per-sensor credit grant carried on each
+	// acknowledgement (default 4096 records).
+	MaxCreditWindow int
 }
 
 // FilterEvents returns a Filter passing only the given event classes —
@@ -165,7 +184,11 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 			HalfLife:    opts.Sorter.HalfLife,
 			Grow:        opts.Sorter.Policy.grow(),
 			MaxBuffered: opts.Sorter.MaxBuffered,
+			SourceQuota: opts.Sorter.SourceQuota,
 		},
+		AckHighWater:     opts.AckHighWater,
+		AckLowWater:      opts.AckLowWater,
+		MaxCreditWindow:  opts.MaxCreditWindow,
 		CRETimeout:       opts.CRETimeout,
 		MergeInterval:    opts.MergeInterval,
 		BufferRecords:    opts.BufferRecords,

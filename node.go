@@ -24,6 +24,10 @@ type NodeOptions struct {
 	// FlushInterval bounds how long a partial batch waits (default 5 ms)
 	// — the node-side latency knob.
 	FlushInterval time.Duration
+	// MaxFlushInterval bounds how far the sensor widens its effective
+	// flush interval while the manager withholds credit under overload
+	// (default 8 × FlushInterval).
+	MaxFlushInterval time.Duration
 	// PollInterval is the external sensor's ring-scan period while idle
 	// (default 500 µs).
 	PollInterval time.Duration
@@ -99,6 +103,7 @@ func ConnectNodeContext(ctx context.Context, opts NodeOptions) (*Node, error) {
 		Clock:                clock,
 		BatchBytes:           opts.BatchBytes,
 		FlushInterval:        opts.FlushInterval,
+		MaxFlushInterval:     opts.MaxFlushInterval,
 		PollInterval:         opts.PollInterval,
 		ReconnectBase:        opts.ReconnectBase,
 		ReconnectMax:         opts.ReconnectMax,
