@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet staticcheck test test-race race bench bench-check fuzz fuzz-smoke eval examples docs-check clean
+# Tolerated fractional ingest-throughput loss vs BENCH_baseline.json.
+# The baseline numbers are machine-dependent, so CI loosens this knob
+# (absolute throughput on shared runners is noisy) while the allocation
+# and shard-scaling gates stay strict everywhere.
+BENCH_MAXLOSS ?= 0.15
+
+.PHONY: all check build vet staticcheck staticcheck-strict test test-race race bench bench-check fuzz fuzz-smoke eval examples docs-check clean
 
 all: build vet test test-race
 
@@ -25,6 +31,11 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
+# CI variant: staticcheck is mandatory — the workflow installs a pinned
+# version, so "not installed" is a broken pipeline, not a soft skip.
+staticcheck-strict:
+	staticcheck ./...
+
 # Documentation gate: every relative Markdown link must resolve, and all
 # source must be gofmt-clean.
 docs-check:
@@ -35,10 +46,11 @@ docs-check:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent transport core: the packages
-# where reconnect, resume, and fault injection hammer shared state.
+# Race-detector pass over the concurrent core: the packages where
+# reconnect, resume, fault injection, sharded sorting, and the pooled
+# record paths hammer shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm
 
 # Full suite under the race detector (slower).
 race:
@@ -49,12 +61,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Performance-regression gate: the zero-allocation contracts (exact, via
-# testing.AllocsPerRun) plus the short ingest benchmark compared against
-# the committed baseline — fails on >15% throughput loss or on any real
-# allocs-per-record growth. Writes the current numbers to BENCH_pr3.json.
+# testing.AllocsPerRun), the short ingest benchmark compared against the
+# committed baseline — fails on >BENCH_MAXLOSS fractional throughput loss
+# or on any real allocs-per-record growth — and the sorter-stage shard
+# scaling check (≥1.5× at 4 shards, skipped below 4 CPUs). Writes the
+# current numbers to BENCH_current.json (gitignored; CI uploads it as an
+# artifact).
 bench-check:
 	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire ./internal/clocksync
-	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_pr3.json
+	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_current.json -maxloss $(BENCH_MAXLOSS)
 
 # Ten-second fuzz smoke of the data-batch frame decoder — the surface
 # that ingests untrusted bytes from every sensor link — quick enough to

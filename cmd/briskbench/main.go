@@ -13,7 +13,8 @@
 //	briskbench clocksync [-seed 1]
 //	briskbench ols [-seed 1]
 //	briskbench ingest [-sessions 1,8] [-records 150000] [-batch 256] [-json FILE]
-//	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_pr3.json]
+//	briskbench sorter [-shards 1,2,4,8] [-sources 8] [-records 100000]
+//	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_current.json]
 //
 // Absolute numbers depend on the host; the paper's qualitative shape —
 // who wins, roughly by what factor, where the knees are — is what the
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -56,6 +58,8 @@ func main() {
 		err = runOLS(args)
 	case "ingest":
 		err = runIngest(args)
+	case "sorter":
+		err = runSorter(args)
 	case "benchgate":
 		err = runBenchGate(args)
 	case "intrusion":
@@ -84,6 +88,7 @@ experiments:
   clocksync   E6: clock-synchronization quality and convergence
   ols         E7: on-line sorting parameter sweep
   ingest      manager ingest capacity vs session count (bench-check suite)
+  sorter      sorter-stage throughput vs shard count (tentpole scaling)
   benchgate   run the ingest suite and fail on regression vs a baseline file
   intrusion   ablation: instrumentation overhead on a computation
   all         every experiment in sequence`)
@@ -241,12 +246,32 @@ func runIngest(args []string) error {
 	return nil
 }
 
+func runSorter(args []string) error {
+	fs := flag.NewFlagSet("sorter", flag.ExitOnError)
+	shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts")
+	sources := fs.Int("sources", 8, "parallel pushing sources")
+	records := fs.Int("records", 100_000, "records per source")
+	fs.Parse(args)
+	counts, err := parseSessionCounts(*shards)
+	if err != nil {
+		return err
+	}
+	rows, err := bench.RunSorterSuite(counts, *sources, *records)
+	if err != nil {
+		return err
+	}
+	bench.SorterTable(rows).Render(os.Stdout)
+	return nil
+}
+
 func runBenchGate(args []string) error {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
 	baseline := fs.String("baseline", "BENCH_baseline.json", "committed reference file")
-	out := fs.String("out", "BENCH_pr3.json", "where to write this run's results")
+	out := fs.String("out", "BENCH_current.json", "where to write this run's results")
 	records := fs.Int("records", 150_000, "records per session")
 	batch := fs.Int("batch", 256, "records per data batch")
+	sorterRecords := fs.Int("sorter-records", 100_000, "records per source in the sorter-stage sweep")
+	shardRatio := fs.Float64("shardratio", 1.5, "required sorter-stage speedup of 4 shards over 1 (skipped below 4 CPUs)")
 	maxLoss := fs.Float64("maxloss", 0.15, "tolerated fractional throughput regression")
 	allocSlack := fs.Float64("allocslack", 0.25, "tolerated extra allocations per record")
 	fs.Parse(args)
@@ -263,12 +288,33 @@ func runBenchGate(args []string) error {
 		return err
 	}
 	bench.IngestTable(rows).Render(os.Stdout)
+	fmt.Println()
+	srows, err := bench.RunSorterSuite([]int{1, 4}, 8, *sorterRecords)
+	if err != nil {
+		return err
+	}
+	bench.SorterTable(srows).Render(os.Stdout)
 	if *out != "" {
-		if err := bench.WriteBenchFile(*out, rows); err != nil {
+		all := append(append([]bench.IngestResult{}, rows...), srows...)
+		if err := bench.WriteBenchFile(*out, all); err != nil {
 			return err
 		}
 	}
-	if bad := bench.CompareBench(base.Results, rows, *maxLoss, *allocSlack); len(bad) > 0 {
+	bad := bench.CompareBench(base.Results, rows, *maxLoss, *allocSlack)
+	// The shard-scaling gate needs real parallelism to mean anything: a
+	// 4-shard sorter cannot beat one shard on fewer than 4 CPUs, so the
+	// ratio is only enforced where the hardware can express it.
+	if procs := runtime.GOMAXPROCS(0); procs >= 4 {
+		ratio := srows[1].RecordsPerSec / srows[0].RecordsPerSec
+		if ratio < *shardRatio {
+			bad = append(bad, fmt.Sprintf("sorter/shards=4: ×%.2f over one shard, need ×%.2f", ratio, *shardRatio))
+		} else {
+			fmt.Printf("benchgate: sorter-stage scaling ×%.2f at 4 shards (need ×%.2f)\n", ratio, *shardRatio)
+		}
+	} else {
+		fmt.Printf("benchgate: SKIP sorter shard-scaling gate (GOMAXPROCS=%d < 4)\n", procs)
+	}
+	if len(bad) > 0 {
 		for _, b := range bad {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", b)
 		}

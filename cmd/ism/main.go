@@ -48,6 +48,7 @@ func main() {
 		srcQuota   = flag.Int("source-quota", 0, "per-source buffered-record cap (0 disables)")
 		ackHigh    = flag.Int("ack-high", 0, "ack-gate close threshold (0 = ¾ of maxbuffered, <0 disables gating)")
 		ackLow     = flag.Int("ack-low", 0, "ack-gate reopen threshold (0 = half of ack-high)")
+		olsShards  = flag.Int("ols-shards", 0, "parallel sorter shards (0 or 1 = single sorter, -1 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		TraceSampleEvery:  *traceEvery,
 		AckHighWater:      *ackHigh,
 		AckLowWater:       *ackLow,
+		OLSShards:         *olsShards,
 	}
 	switch *policy {
 	case "lateness":

@@ -24,6 +24,7 @@ import (
 type IngestResult struct {
 	Name            string  `json:"name"`
 	Sessions        int     `json:"sessions"`
+	Shards          int     `json:"shards,omitempty"`
 	Records         int     `json:"records"`
 	ElapsedMicros   int64   `json:"elapsed_micros"`
 	RecordsPerSec   float64 `json:"records_per_sec"`
@@ -31,8 +32,9 @@ type IngestResult struct {
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
-// BenchFile is the JSON layout of BENCH_baseline.json and BENCH_pr3.json:
-// the committed reference numbers the bench-check gate compares against.
+// BenchFile is the JSON layout of BENCH_baseline.json (the committed
+// reference numbers) and BENCH_current.json (the bench-check gate's
+// per-run output, compared against the baseline and never committed).
 type BenchFile struct {
 	Schema  int            `json:"schema"`
 	Results []IngestResult `json:"results"`

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"brisk/internal/ols"
+	"brisk/internal/record"
+)
+
+// RunSorterStage measures the on-line sorter stage in isolation: `sources`
+// parallel pushers feed pre-built records into a sharded sorter while a
+// single merger loop extracts the k-way-merged output, mirroring the
+// manager's decode-workers/merger split without the wire and decode cost.
+// This is the number that should scale with shard count on multi-core
+// machines; the end-to-end ingest benchmark dilutes it with TCP and
+// decode work.
+func RunSorterStage(shards, sources, perSource int) (IngestResult, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	if sources <= 0 {
+		sources = 8
+	}
+	if perSource <= 0 {
+		perSource = 100_000
+	}
+	total := sources * perSource
+
+	// Fixed tiny T: every record is past its deadline the moment it
+	// arrives, so the merger is always busy and the measurement is pure
+	// sorter+merge throughput, not window latency.
+	sh := ols.NewSharded(ols.Config{InitialT: 1, Grow: ols.GrowFixed}, shards)
+	protos := make([]record.Record, sources)
+	for i := range protos {
+		protos[i] = record.New(1,
+			record.TSVal(0),
+			record.I32Val(int32(i)), record.I32Val(2), record.I32Val(3),
+			record.I32Val(4), record.I32Val(5), record.I32Val(6))
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for src := int32(1); src <= int32(sources); src++ {
+		wg.Add(1)
+		go func(src int32) {
+			defer wg.Done()
+			r := protos[src-1]
+			for i := 0; i < perSource; i++ {
+				// Interleaved globally-unique timestamps, already aged
+				// far past T at push time.
+				ts := int64(i)*int64(sources) + int64(src)
+				r.SetTS(ts)
+				sh.Push(src, r, ts+1_000_000)
+			}
+		}(src)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	emitted := 0
+	emit := func(record.Record) { emitted++ }
+	horizon := int64(perSource)*int64(sources) + 2_000_000
+loop:
+	for {
+		select {
+		case <-done:
+			sh.Flush(emit)
+			break loop
+		default:
+			sh.Extract(horizon, emit)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if emitted != total {
+		return IngestResult{}, fmt.Errorf("bench: sorter emitted %d of %d", emitted, total)
+	}
+	return IngestResult{
+		Name:            fmt.Sprintf("sorter/shards=%d", shards),
+		Sessions:        sources,
+		Shards:          shards,
+		Records:         total,
+		ElapsedMicros:   elapsed.Microseconds(),
+		RecordsPerSec:   float64(total) / elapsed.Seconds(),
+		AllocsPerRecord: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+	}, nil
+}
+
+// RunSorterSuite runs the sorter-stage benchmark at each shard count.
+func RunSorterSuite(shardCounts []int, sources, perSource int) ([]IngestResult, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	var out []IngestResult
+	for _, n := range shardCounts {
+		r, err := RunSorterStage(n, sources, perSource)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SorterTable renders the sorter-stage suite.
+func SorterTable(rows []IngestResult) *Table {
+	t := &Table{
+		Title:  "sorter: shard→merge stage throughput vs shard count",
+		Header: []string{"shards", "sources", "records", "elapsed", "records/s", "allocs/record"},
+	}
+	for _, r := range rows {
+		t.Add(r.Shards, r.Sessions, r.Records,
+			(time.Duration(r.ElapsedMicros) * time.Microsecond).Round(time.Millisecond),
+			r.RecordsPerSec, r.AllocsPerRecord)
+	}
+	return t
+}

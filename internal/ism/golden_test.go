@@ -19,8 +19,8 @@ import (
 // returns the PICL trace it produced. The manager clock is pinned below
 // every record timestamp so nothing is emitted until Close's ordered
 // flush; unique timestamps then make the merged order, and therefore the
-// trace bytes, a pure function of the workload.
-func goldenTrace(t *testing.T) []byte {
+// trace bytes, a pure function of the workload — for any shard count.
+func goldenTrace(t *testing.T, shards int) []byte {
 	t.Helper()
 	var trace bytes.Buffer
 	pw := picl.NewWriter(&trace, picl.TimeUTC, 0)
@@ -31,6 +31,7 @@ func goldenTrace(t *testing.T) []byte {
 		PICL:              pw,
 		MergeInterval:     time.Millisecond,
 		HeartbeatInterval: -1,
+		OLSShards:         shards,
 		Logf:              quietLog,
 	})
 	if err != nil {
@@ -107,8 +108,8 @@ func goldenTrace(t *testing.T) []byte {
 // sink delivery — and that trace must match the committed golden file.
 // Regenerate with GOLDEN_UPDATE=1 after an intentional format change.
 func TestGoldenTraceDeterminism(t *testing.T) {
-	first := goldenTrace(t)
-	second := goldenTrace(t)
+	first := goldenTrace(t, 1)
+	second := goldenTrace(t, 1)
 	if !bytes.Equal(first, second) {
 		t.Fatal("two identical runs produced different traces (nondeterminism in the pipeline)")
 	}
@@ -127,5 +128,24 @@ func TestGoldenTraceDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(first, want) {
 		t.Fatalf("trace differs from %s: got %d bytes, want %d bytes", golden, len(first), len(want))
+	}
+}
+
+// TestGoldenTraceShardTransparent locks the tentpole's shard-transparency
+// contract at the byte level: because the workload's timestamps are
+// unique, the k-way merged emission order is pure timestamp order, so a
+// sharded sorter must produce the exact trace bytes the single sorter
+// does — same golden file, any shard count.
+func TestGoldenTraceShardTransparent(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.picl"))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := goldenTrace(t, shards)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d: trace diverges from the single-sorter golden trace (%d bytes vs %d)",
+				shards, len(got), len(want))
+		}
 	}
 }

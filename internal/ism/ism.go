@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,15 @@ type Config struct {
 	Clock vclock.Clock
 	// Sorter tunes the on-line sorting algorithm.
 	Sorter ols.Config
+	// OLSShards is the number of independent on-line sorter shards.
+	// Sources are partitioned across shards (each with its own heap and
+	// adaptive time frame) and the shard outputs are recombined through
+	// a timestamp-keyed k-way merge, so decode workers push in parallel
+	// instead of funnelling through one merge channel. 0 or 1 means a
+	// single sorter — the exact unsharded code path; negative means one
+	// shard per CPU (GOMAXPROCS). Values above GOMAXPROCS are honoured
+	// but add no parallelism.
+	OLSShards int
 	// CRETimeout bounds retention of unmatched causal records (µs);
 	// 0 means cre.DefaultTimeout.
 	CRETimeout int64
@@ -166,9 +176,11 @@ type Stats struct {
 	// (sorter occupancy between the watermarks after crossing the high
 	// one).
 	CreditGateClosed bool
-	// SorterBuffered is the sorter's current occupancy in records — the
-	// quantity the ack gate watches.
+	// SorterBuffered is the sorter's current occupancy in records,
+	// aggregated across shards — the quantity the ack gate watches.
 	SorterBuffered int
+	// SorterShards is the configured number of on-line sorter shards.
+	SorterShards int
 	// DeadPeers counts connections severed by heartbeat timeout.
 	DeadPeers uint64
 	// Sessions is the number of live sessions (attached or within the
@@ -273,6 +285,7 @@ type Manager struct {
 	nextNode int32
 
 	merge       chan srcBatch
+	extractNow  chan struct{} // sharded mode: wakes the merger when a backlog builds
 	syncNow     chan struct{}
 	done        chan struct{}
 	stopWorkers chan struct{} // closed after the readers exit; workers drain and stop
@@ -288,8 +301,14 @@ type Manager struct {
 	bytesIn  *metrics.Counter
 	emitted  *metrics.Counter
 
+	// sorterMu guards the merger-owned pipeline state downstream of the
+	// sorter (matcher, out, sinkBufs, emitNow). The sorter itself locks
+	// internally per shard: with one shard pushes still funnel through
+	// the merge channel, with several the decode workers push into their
+	// shards directly and contend only inside ols.Sharded.
 	sorterMu sync.Mutex
-	sorter   *ols.Sorter
+	sorter   *ols.Sharded
+	shardN   int
 	matcher  *cre.Matcher
 	emitLat  *metrics.Histogram
 	windowT  *metrics.Histogram
@@ -306,21 +325,24 @@ type Manager struct {
 	queueStalls *metrics.Counter
 	sinkBatchH  *metrics.Histogram
 
-	// Credit-based flow control. The merger owns the gate transitions;
-	// the per-connection readers read the atomics to size (or defer)
-	// each ack's window grant.
+	// Credit-based flow control. Gate transitions run under gateMu —
+	// with one shard only the merger takes it, with several every decode
+	// worker updates the gate after its pushes; the per-connection
+	// readers read the atomics to size (or defer) each ack's window
+	// grant.
 	flowEnabled bool
 	ackHigh     int
 	ackLow      int
 	maxWindow   int
 
-	headroom        atomic.Int64 // ackHigh − sorter.Buffered(), merger-updated
+	gateMu          sync.Mutex
+	headroom        atomic.Int64 // ackHigh − sorter.Buffered(), gate-updated
 	gateClosed      atomic.Bool
-	gateClosedAt    int64 // manager µs when the gate closed; merger-owned
+	gateClosedAt    int64 // manager µs when the gate closed; gateMu-owned
 	attachedN       atomic.Int64
 	deferredPending atomic.Int64
 
-	connScratch []*conn // merger-owned snapshot scratch for releaseDeferred
+	connScratch []*conn // gateMu-owned snapshot scratch for releaseDeferred
 
 	creditWindowH *metrics.Histogram
 	ackDeferredC  *metrics.Counter
@@ -413,6 +435,12 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxCreditWindow <= 0 {
 		cfg.MaxCreditWindow = 4096
 	}
+	if cfg.OLSShards < 0 {
+		cfg.OLSShards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.OLSShards < 1 {
+		cfg.OLSShards = 1
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -430,10 +458,12 @@ func New(cfg Config) (*Manager, error) {
 		conns:       make(map[int32]*conn),
 		sessions:    make(map[uint64]*session),
 		merge:       make(chan srcBatch, 256),
+		extractNow:  make(chan struct{}, 1),
 		syncNow:     make(chan struct{}, 1),
 		done:        make(chan struct{}),
 		stopWorkers: make(chan struct{}),
-		sorter:      ols.New(cfg.Sorter),
+		sorter:      ols.NewSharded(cfg.Sorter, cfg.OLSShards),
+		shardN:      cfg.OLSShards,
 		sinkBatch:   cfg.SinkBatchRecords,
 		flowEnabled: cfg.AckHighWater > 0,
 		ackHigh:     cfg.AckHighWater,
@@ -547,24 +577,16 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 			defer m.mu.Unlock()
 			return float64(len(m.sessions))
 		})
+	// The sharded sorter locks internally (per shard), so its views need
+	// no sorterMu; the matcher views below still do.
 	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_window_microseconds",
-		Help: "current on-line sorter window T (the adaptive time frame)", Unit: "microseconds"},
-		func() float64 {
-			m.sorterMu.Lock()
-			defer m.sorterMu.Unlock()
-			return float64(m.sorter.TimeFrame())
-		})
+		Help: "current on-line sorter window T (the adaptive time frame; max across shards)", Unit: "microseconds"},
+		func() float64 { return float64(m.sorter.TimeFrame()) })
 	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_heap_depth",
-		Help: "records currently buffered in the sorter's heaps", Unit: "records"},
-		func() float64 {
-			m.sorterMu.Lock()
-			defer m.sorterMu.Unlock()
-			return float64(m.sorter.Buffered())
-		})
+		Help: "records currently buffered in the sorter's heaps (aggregate across shards)", Unit: "records"},
+		func() float64 { return float64(m.sorter.Buffered()) })
 	olsCounter := func(name, help string, get func(ols.Stats) uint64) {
 		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
-			m.sorterMu.Lock()
-			defer m.sorterMu.Unlock()
 			return get(m.sorter.Stats())
 		})
 	}
@@ -574,6 +596,34 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 		func(s ols.Stats) uint64 { return s.Emitted })
 	olsCounter("brisk_ols_inversions_total", "records that arrived after a later-stamped record was emitted",
 		func(s ols.Stats) uint64 { return s.Inversions })
+	if m.shardN > 1 {
+		reg.CounterFunc(metrics.Desc{Name: "brisk_ols_merge_stalls_total",
+			Help: "extraction passes that emitted nothing while records were buffered (every shard head still inside its delay window)",
+			Unit: "passes"},
+			func() uint64 { return m.sorter.MergeStalls() })
+		for i := 0; i < m.shardN; i++ {
+			i := i
+			labels := metrics.L("shard", strconv.Itoa(i))
+			reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_shard_window_microseconds",
+				Help: "shard's current adaptive time frame T", Unit: "microseconds", Labels: labels},
+				func() float64 { return float64(m.sorter.ShardTimeFrame(i)) })
+			reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_shard_buffered",
+				Help: "records currently buffered in this shard's heaps", Unit: "records", Labels: labels},
+				func() float64 { return float64(m.sorter.ShardBuffered(i)) })
+			shardCounter := func(name, help string, get func(ols.Stats) uint64) {
+				reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records", Labels: labels},
+					func() uint64 { return get(m.sorter.ShardStats(i)) })
+			}
+			shardCounter("brisk_ols_shard_pushed_total", "records pushed into this sorter shard",
+				func(s ols.Stats) uint64 { return s.Pushed })
+			shardCounter("brisk_ols_shard_emitted_total", "records this sorter shard handed to the k-way merge",
+				func(s ols.Stats) uint64 { return s.Emitted })
+			shardCounter("brisk_ols_shard_inversions_total", "records that arrived behind the merged emission frontier at this shard",
+				func(s ols.Stats) uint64 { return s.Inversions })
+			shardCounter("brisk_ols_shard_dropped_full_total", "records this shard dropped at the aggregate MaxBuffered or per-source quota bound",
+				func(s ols.Stats) uint64 { return s.DroppedFull })
+		}
+	}
 	creCounter := func(name, help string, get func(cre.Stats) uint64) {
 		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
 			m.sorterMu.Lock()
@@ -966,13 +1016,17 @@ func (m *Manager) ackOrDefer(wc *wire.Conn, s *session, seq uint64) error {
 }
 
 // updateGate runs the watermark hysteresis after a merge event. buffered
-// is the sorter occupancy sampled under sorterMu; the call itself runs
-// without it so releasing deferred acks (which takes m.mu and writes to
-// peer connections) never extends the merge critical section.
+// is the aggregate sorter occupancy just sampled; the call itself runs
+// outside the sorter locks so releasing deferred acks (which takes m.mu
+// and writes to peer connections) never extends a merge critical
+// section. gateMu serializes concurrent callers — in sharded mode every
+// decode worker updates the gate after its pushes, not just the merger.
 func (m *Manager) updateGate(buffered int, now int64) {
 	if !m.flowEnabled {
 		return
 	}
+	m.gateMu.Lock()
+	defer m.gateMu.Unlock()
 	m.headroom.Store(int64(m.ackHigh - buffered))
 	if m.gateClosed.Load() {
 		if buffered <= m.ackLow {
@@ -989,8 +1043,8 @@ func (m *Manager) updateGate(buffered int, now int64) {
 }
 
 // releaseDeferred acknowledges every deferred batch whose session can be
-// granted credit again. Runs on the merge goroutine; the scratch slice is
-// reused so an idle manager's ticks stay allocation-free.
+// granted credit again. Runs under gateMu; the scratch slice is reused
+// so an idle manager's ticks stay allocation-free.
 func (m *Manager) releaseDeferred() {
 	if m.deferredPending.Load() == 0 {
 		return
@@ -1127,6 +1181,26 @@ func (m *Manager) decodeOne(s *session, pb pending) {
 			m.tracer.Observe(stageIngest, m.clock.NowMicros()-r.TS)
 		}
 	}
+	if m.shardN > 1 {
+		// Sharded mode: push straight into this source's sorter shard
+		// instead of funnelling through the merge channel — decode workers
+		// for sources on different shards no longer serialize. Extraction
+		// (and everything downstream of it) stays with the merger; wake it
+		// when a sink batch's worth has built up so backlog drains at
+		// ingest rate, not merge-tick rate.
+		now := m.clock.NowMicros()
+		m.sorter.PushBatch(s.node, recs, now)
+		record.PutBatch(bp)
+		s.inflight.Add(-int64(pb.count))
+		m.updateGate(m.sorter.Buffered(), now)
+		if m.sorter.Buffered() >= m.sinkBatch {
+			select {
+			case m.extractNow <- struct{}{}:
+			default:
+			}
+		}
+		return
+	}
 	select {
 	case m.merge <- srcBatch{node: s.node, batch: bp, sess: s}:
 	case <-m.done:
@@ -1145,18 +1219,10 @@ func (m *Manager) mergeLoop() {
 		select {
 		case b := <-m.merge:
 			m.mergeBatch(b)
+		case <-m.extractNow:
+			m.extractTick()
 		case <-ticker.C:
-			now := m.clock.NowMicros()
-			m.sorterMu.Lock()
-			m.emitNow = now
-			m.windowT.Observe(m.sorter.TimeFrame())
-			m.sorter.Extract(now, m.sinkRecord)
-			m.matcher.Tick(now, m.collect)
-			m.harvestLosses()
-			m.flushSinks(now)
-			buffered := m.sorter.Buffered()
-			m.sorterMu.Unlock()
-			m.updateGate(buffered, now)
+			m.extractTick()
 		case <-m.done:
 			// The readers and decode workers are gone (Close waits on them
 			// before closing done), so the merge channel can only shrink:
@@ -1166,9 +1232,7 @@ func (m *Manager) mergeLoop() {
 				case b := <-m.merge:
 					now := m.clock.NowMicros()
 					m.sorterMu.Lock()
-					for i := range *b.batch {
-						m.sorter.Push(b.node, (*b.batch)[i], now)
-					}
+					m.sorter.PushBatch(b.node, *b.batch, now)
 					m.sorterMu.Unlock()
 					if b.sess != nil {
 						b.sess.inflight.Add(-int64(len(*b.batch)))
@@ -1198,15 +1262,32 @@ func (m *Manager) mergeLoop() {
 	}
 }
 
+// extractTick is one merger extraction pass: drain every aged record
+// out of the sorter (merged across shards), tick the matcher, harvest
+// losses, and flush the sinks. With one shard it runs on the merge
+// interval; with several it also runs whenever a decode worker signals
+// a built-up backlog.
+func (m *Manager) extractTick() {
+	now := m.clock.NowMicros()
+	m.sorterMu.Lock()
+	m.emitNow = now
+	m.windowT.Observe(m.sorter.TimeFrame())
+	m.sorter.Extract(now, m.sinkRecord)
+	m.matcher.Tick(now, m.collect)
+	m.harvestLosses()
+	m.flushSinks(now)
+	buffered := m.sorter.Buffered()
+	m.sorterMu.Unlock()
+	m.updateGate(buffered, now)
+}
+
 // mergeBatch pushes one decoded batch through the sorter and flushes the
 // emitted records to the sinks as a unit — one clock read, one buffer lock
 // per merge event instead of per record.
 func (m *Manager) mergeBatch(b srcBatch) {
 	now := m.clock.NowMicros()
 	m.sorterMu.Lock()
-	for i := range *b.batch {
-		m.sorter.Push(b.node, (*b.batch)[i], now)
-	}
+	m.sorter.PushBatch(b.node, *b.batch, now)
 	n := len(*b.batch)
 	// Push deep-copies into sorter-owned storage; the batch can go back to
 	// the pool before extraction.
@@ -1454,10 +1535,10 @@ func (m *Manager) Stats() Stats {
 	sessions := len(m.sessions)
 	m.mu.Unlock()
 	m.sorterMu.Lock()
-	ss := m.sorter.Stats()
 	cs := m.matcher.Stats()
-	buffered := m.sorter.Buffered()
 	m.sorterMu.Unlock()
+	ss := m.sorter.Stats()
+	buffered := m.sorter.Buffered()
 	lat := m.emitLat.Snapshot()
 	return Stats{
 		Connected:             connected,
@@ -1478,6 +1559,7 @@ func (m *Manager) Stats() Stats {
 		MarkedLost:            m.markedLostC.Value(),
 		CreditGateClosed:      m.gateClosed.Load(),
 		SorterBuffered:        buffered,
+		SorterShards:          m.shardN,
 		Sessions:              sessions,
 		EmitLatencyMeanMicros: lat.Mean(),
 		EmitLatencyP99Micros:  lat.Quantile(0.99),

@@ -130,6 +130,18 @@ type Sorter struct {
 
 	lossPending int // sources with unharvested drop accumulators
 
+	// orderRef, when set, supplies the emission frontier Push checks for
+	// inversions instead of the sorter's own lastTS/lastSrc. A Sharded
+	// wrapper points every shard here at the merged stream's frontier, so
+	// a record late with respect to the *global* output still grows its
+	// shard's T even when its own shard has emitted nothing newer.
+	orderRef func() (lastTS int64, lastSrc int32, emitted bool)
+	// occRef, when set, supplies the occupancy the MaxBuffered bound is
+	// enforced against instead of this sorter's own buffered count. A
+	// Sharded wrapper points every shard at the aggregate, keeping
+	// MaxBuffered a global budget rather than a per-shard one.
+	occRef func() int
+
 	stats Stats
 }
 
@@ -224,7 +236,11 @@ func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 	}
 	marker := rec.Event == record.LossEvent && record.IsLossMarker(&rec)
 	if !marker {
-		full := s.cfg.MaxBuffered > 0 && s.buffered >= s.cfg.MaxBuffered
+		occ := s.buffered
+		if s.occRef != nil {
+			occ = s.occRef()
+		}
+		full := s.cfg.MaxBuffered > 0 && occ >= s.cfg.MaxBuffered
 		overQuota := s.cfg.SourceQuota > 0 && q.buffered >= s.cfg.SourceQuota
 		if full || overQuota {
 			s.stats.DroppedFull++
@@ -258,7 +274,11 @@ func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 	// Inversion check: the record is already behind the emitted stream.
 	// Loss markers are exempt — they are synthetic and deliberately stamped
 	// inside the gap they describe, so their lateness must not inflate T.
-	if !marker && s.emitted && rec.TS < s.lastTS && src != s.lastSrc {
+	lastTS, lastSrc, emitted := s.lastTS, s.lastSrc, s.emitted
+	if s.orderRef != nil {
+		lastTS, lastSrc, emitted = s.orderRef()
+	}
+	if !marker && emitted && rec.TS < lastTS && src != lastSrc {
 		s.stats.Inversions++
 		s.grow(now - rec.TS)
 	}

@@ -94,6 +94,13 @@ type ManagerOptions struct {
 	Clock Clock
 	// Sorter tunes the on-line sorter.
 	Sorter SorterOptions
+	// OLSShards is the number of independent on-line sorter shards.
+	// Sources are partitioned across shards and the shard outputs are
+	// recombined through a timestamp-keyed k-way merge before causal
+	// matching and sink fan-out, so record ingestion scales with cores.
+	// 0 or 1 keeps the single sorter (the exact unsharded behaviour);
+	// negative means one shard per CPU.
+	OLSShards int
 	// Sync tunes the clock-synchronization master.
 	Sync SyncOptions
 	// CRETimeout bounds retention of unmatched causal records (µs).
@@ -186,6 +193,7 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 			MaxBuffered: opts.Sorter.MaxBuffered,
 			SourceQuota: opts.Sorter.SourceQuota,
 		},
+		OLSShards:        opts.OLSShards,
 		AckHighWater:     opts.AckHighWater,
 		AckLowWater:      opts.AckLowWater,
 		MaxCreditWindow:  opts.MaxCreditWindow,
