@@ -8,13 +8,14 @@ GO ?= go
 # and shard-scaling gates stay strict everywhere.
 BENCH_MAXLOSS ?= 0.15
 
-.PHONY: all check build vet staticcheck staticcheck-strict test test-race race bench bench-check fuzz fuzz-smoke eval examples docs-check clean
+.PHONY: all check build vet staticcheck staticcheck-strict test test-race race bench bench-check scenario-smoke scenario-full fuzz fuzz-smoke eval examples docs-check clean
 
 all: build vet test test-race
 
-# The default gate: compile, lint, docs, tests, perf regression, and a
-# short fuzz smoke over the wire decoder.
-check: build vet staticcheck docs-check test bench-check fuzz-smoke
+# The default gate: compile, lint, docs, tests, perf regression, the
+# smoke slice of the scenario matrix, and a short fuzz smoke over the
+# wire decoder and the scenario-spec parser.
+check: build vet staticcheck docs-check test bench-check scenario-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -50,7 +51,7 @@ test:
 # reconnect, resume, fault injection, sharded sorting, and the pooled
 # record paths hammer shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/workload
 
 # Full suite under the race detector (slower).
 race:
@@ -71,11 +72,25 @@ bench-check:
 	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire ./internal/clocksync
 	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_current.json -maxloss $(BENCH_MAXLOSS)
 
-# Ten-second fuzz smoke of the data-batch frame decoder — the surface
-# that ingests untrusted bytes from every sensor link — quick enough to
+# The smoke slice of the declarative scenario matrix (scenarios/*.json):
+# every smoke-tagged workload × topology × clock × fault cell runs against
+# a real EXS↔ISM pipeline under the race detector, asserting the pipeline
+# contracts (conservation, monotone emission, acked⇒emitted-or-marker)
+# and writing the per-cell numbers to BENCH_scenarios.json (gitignored).
+scenario-smoke:
+	$(GO) run -race ./cmd/briskbench matrix -scenarios scenarios -filter smoke -out BENCH_scenarios.json
+
+# The full matrix (nightly in CI; slow): every full-tagged cell.
+scenario-full:
+	$(GO) run ./cmd/briskbench matrix -scenarios scenarios -filter full -out BENCH_scenarios_full.json
+
+# Ten-second fuzz smokes of the decoders that ingest untrusted or
+# hand-edited bytes: the data-batch frame decoder (every sensor link) and
+# the scenario-spec parser (every scenarios/*.json file). Quick enough to
 # sit in the default gate.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDataBatch -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz FuzzScenarioSpec -fuzztime 10s -run '^$$' ./internal/scenario/
 
 # Short fuzzing pass over the decoders.
 fuzz:
@@ -84,6 +99,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDataBatch -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/picl/
 	$(GO) test -fuzz FuzzDecoder -fuzztime 30s ./internal/xdr/
+	$(GO) test -fuzz FuzzScenarioSpec -fuzztime 30s ./internal/scenario/
 
 # Regenerate every table of the paper's evaluation.
 eval:

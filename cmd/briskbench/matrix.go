@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"brisk/internal/scenario"
+)
+
+// runMatrix is the scenario-matrix subcommand: load a directory of
+// scenario files, expand the workload × topology × clock × fault
+// cross-products, run every cell that passes the filters against a real
+// EXS↔ISM pipeline, assert the pipeline contracts per cell, and write the
+// per-cell statistics to a bench artifact.
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	dir := fs.String("scenarios", "scenarios", "directory of scenario matrix files (*.json)")
+	tag := fs.String("filter", "", "run only matrices carrying this tag (empty = all)")
+	out := fs.String("out", "BENCH_scenarios.json", "where to write the per-cell report (empty = don't)")
+	list := fs.Bool("list", false, "list the cells that would run, without running them")
+	timeout := fs.Duration("timeout", 0, "per-cell timeout override (0 = per-spec)")
+	workloads := fs.String("workloads", "", "comma-separated workload names to include")
+	topologies := fs.String("topologies", "", "comma-separated topology names to include")
+	clocks := fs.String("clocks", "", "comma-separated clock-regime names to include")
+	faults := fs.String("faults", "", "comma-separated fault-script names to include")
+	skipWorkloads := fs.String("skip-workloads", "", "comma-separated workload names to exclude")
+	skipTopologies := fs.String("skip-topologies", "", "comma-separated topology names to exclude")
+	skipClocks := fs.String("skip-clocks", "", "comma-separated clock-regime names to exclude")
+	skipFaults := fs.String("skip-faults", "", "comma-separated fault-script names to exclude")
+	fs.Parse(args)
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
+	}
+	filter := scenario.Filter{
+		Tag:            *tag,
+		Workloads:      split(*workloads),
+		Topologies:     split(*topologies),
+		Clocks:         split(*clocks),
+		Faults:         split(*faults),
+		SkipWorkloads:  split(*skipWorkloads),
+		SkipTopologies: split(*skipTopologies),
+		SkipClocks:     split(*skipClocks),
+		SkipFaults:     split(*skipFaults),
+	}
+
+	matrices, err := scenario.LoadDir(*dir)
+	if err != nil {
+		return err
+	}
+
+	if *list {
+		count := 0
+		for _, m := range matrices {
+			if !filter.MatchMatrix(m) {
+				continue
+			}
+			for _, cell := range m.Expand() {
+				cell := cell
+				if !filter.MatchCell(&cell) {
+					continue
+				}
+				fmt.Printf("%s (seed %#x)\n", cell.Name(), cell.Seed())
+				count++
+			}
+		}
+		fmt.Printf("matrix: %d cells selected\n", count)
+		return nil
+	}
+
+	start := time.Now()
+	rep := scenario.RunMatrices(matrices, scenario.RunOptions{
+		Filter:  filter,
+		Timeout: *timeout,
+		Logf: func(format string, a ...any) {
+			fmt.Printf("matrix: "+format+"\n", a...)
+		},
+	})
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+	}
+	if len(rep.Cells) == 0 {
+		return fmt.Errorf("no cells matched the filters")
+	}
+	if rep.Failed > 0 {
+		for _, c := range rep.Cells {
+			for _, f := range c.Failures {
+				fmt.Fprintf(os.Stderr, "matrix: FAIL %s: %s\n", c.Cell, f)
+			}
+		}
+		return fmt.Errorf("%d of %d cells failed", rep.Failed, len(rep.Cells))
+	}
+	fmt.Printf("matrix: PASS %d cells in %s (gomaxprocs=%d)\n",
+		len(rep.Cells), time.Since(start).Round(time.Millisecond), rep.Env.GOMAXPROCS)
+	return nil
+}

@@ -30,13 +30,28 @@ type IngestResult struct {
 	RecordsPerSec   float64 `json:"records_per_sec"`
 	MBPerSec        float64 `json:"mb_per_sec"`
 	AllocsPerRecord float64 `json:"allocs_per_record"`
+	// Skipped, when non-empty, says why this configuration was not run
+	// on this box (e.g. a shard-scaling number that would be misleading
+	// without enough CPUs). Skipped rows carry no numbers and are
+	// excluded from baseline comparison.
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// BenchEnv records the machine a bench file was produced on, so numbers
+// from incomparable boxes are never compared silently.
+type BenchEnv struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 }
 
 // BenchFile is the JSON layout of BENCH_baseline.json (the committed
 // reference numbers) and BENCH_current.json (the bench-check gate's
 // per-run output, compared against the baseline and never committed).
 type BenchFile struct {
-	Schema  int            `json:"schema"`
+	Schema int `json:"schema"`
+	// Env is the producing machine; absent in files written before it
+	// was recorded.
+	Env     *BenchEnv      `json:"env,omitempty"`
 	Results []IngestResult `json:"results"`
 }
 
@@ -185,9 +200,15 @@ func IngestTable(rows []IngestResult) *Table {
 	return t
 }
 
-// WriteBenchFile writes the suite results as a bench-check reference file.
+// WriteBenchFile writes the suite results as a bench-check reference
+// file, stamped with the producing machine's CPU budget.
 func WriteBenchFile(path string, results []IngestResult) error {
-	b, err := json.MarshalIndent(BenchFile{Schema: BenchSchema, Results: results}, "", "  ")
+	f := BenchFile{
+		Schema:  BenchSchema,
+		Env:     &BenchEnv{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
+		Results: results,
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -224,9 +245,17 @@ func CompareBench(baseline, current []IngestResult, maxLoss, allocSlack float64)
 	}
 	var bad []string
 	for _, b := range baseline {
+		if b.Skipped != "" {
+			continue
+		}
 		c, ok := cur[b.Name]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		// A configuration this box cannot run honestly is announced, not
+		// compared: a SKIP row beats a misleading number.
+		if c.Skipped != "" {
 			continue
 		}
 		if c.RecordsPerSec < b.RecordsPerSec*(1-maxLoss) {

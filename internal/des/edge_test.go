@@ -1,0 +1,68 @@
+package des
+
+import "testing"
+
+// Zero-duration scheduling: After(0) and At(now) must fire at the current
+// instant, in FIFO order with everything else scheduled for that instant.
+func TestZeroDurationEventsFIFO(t *testing.T) {
+	s := New()
+	s.RunUntil(100)
+	var order []int
+	s.After(0, func() { order = append(order, 1) })
+	s.At(100, func() { order = append(order, 2) })
+	s.After(0, func() { order = append(order, 3) })
+	s.RunUntil(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("same-instant events fired out of FIFO order: %v", order)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock moved to %d firing zero-duration events at 100", s.Now())
+	}
+}
+
+// A handler that schedules another zero-delay event must see it fire
+// within the same RunUntil, still at the same instant.
+func TestZeroDurationCascade(t *testing.T) {
+	s := New()
+	fired := 0
+	s.After(0, func() {
+		fired++
+		s.After(0, func() { fired++ })
+	})
+	s.RunUntil(0)
+	if fired != 2 {
+		t.Fatalf("cascaded zero-delay event did not fire in the same instant: fired=%d", fired)
+	}
+}
+
+// RunUntil's boundary is inclusive: events exactly at t fire, events one
+// microsecond later do not, and the clock lands exactly on t.
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New()
+	var atT, afterT bool
+	s.At(100, func() { atT = true })
+	s.At(101, func() { afterT = true })
+	s.RunUntil(100)
+	if !atT {
+		t.Fatal("event at exactly t did not fire in RunUntil(t)")
+	}
+	if afterT {
+		t.Fatal("event after t fired in RunUntil(t)")
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock at %d after RunUntil(100)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending=%d, want the t+1 event still queued", s.Pending())
+	}
+}
+
+// RunUntil with t in the past must not move the clock backwards.
+func TestRunUntilNeverRewinds(t *testing.T) {
+	s := New()
+	s.RunUntil(100)
+	s.RunUntil(50)
+	if s.Now() != 100 {
+		t.Fatalf("RunUntil rewound the clock to %d", s.Now())
+	}
+}

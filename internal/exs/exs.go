@@ -258,6 +258,8 @@ type EXS struct {
 
 	rng *mrand.Rand // jitter source; reconnector-goroutine only
 
+	mergeTS []int64 // per-ring head-TS scratch; drain-goroutine only
+
 	done     chan struct{}
 	wgDrain  sync.WaitGroup
 	wgCtl    sync.WaitGroup // control loops + reconnector
@@ -1057,10 +1059,21 @@ func (e *EXS) queuedBytes() int {
 // collect drains the rings into the batch up to roughly the batch-size
 // budget, correcting timestamps as it goes. It returns the number of
 // records collected this pass.
+//
+// A node with several sensor rings must ship a single timestamp-ordered
+// stream: the manager's sorter preserves per-node arrival order by design
+// (a "source" is a node, and only stream heads enter its heap), so an
+// interleaving scrambled here could never be repaired downstream. With
+// one ring the ring's own FIFO order is the timestamp order and the bulk
+// path applies; with more, collect k-way-merges the ring heads.
 func (e *EXS) collect(batch *[]byte, count *int) int {
 	correction := e.clock.Correction()
+	rings := e.cfg.Region.Rings()
+	if len(rings) > 1 {
+		return e.collectMerge(rings, batch, count, correction)
+	}
 	total := 0
-	for _, ring := range e.cfg.Region.Rings() {
+	for _, ring := range rings {
 		budget := e.cfg.BatchBytes - len(*batch)
 		if budget <= 0 {
 			break
@@ -1082,6 +1095,65 @@ func (e *EXS) collect(batch *[]byte, count *int) int {
 			if ts, ok := peekFirstTS((*batch)[start:]); ok {
 				e.tracer.Observe(stageRingDrain, e.clock.NowMicros()-ts)
 			}
+		}
+	}
+	return total
+}
+
+// collectMerge drains several rings into the batch in timestamp order,
+// popping whichever ring's head record is oldest until the batch budget
+// is spent or every ring is empty. Raw (uncorrected) timestamps compare
+// correctly because all rings on a node share one clock; the correction
+// is patched in after each pop, like the bulk path.
+func (e *EXS) collectMerge(rings []*shm.Ring, batch *[]byte, count *int, correction int64) int {
+	// tsEmpty marks a drained ring; a real timestamp never reaches it.
+	const tsEmpty = int64(^uint64(0) >> 1)
+	if cap(e.mergeTS) < len(rings) {
+		e.mergeTS = make([]int64, len(rings))
+	}
+	heads := e.mergeTS[:len(rings)]
+	for i, r := range rings {
+		if ts, ok := r.HeadTS(); ok {
+			heads[i] = ts
+		} else {
+			heads[i] = tsEmpty
+		}
+	}
+	total := 0
+	for len(*batch) < e.cfg.BatchBytes {
+		best := -1
+		for i := range heads {
+			if heads[i] == tsEmpty {
+				continue
+			}
+			if best == -1 || heads[i] < heads[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		start := len(*batch)
+		var ok bool
+		*batch, ok = rings[best].DrainOne(*batch)
+		if !ok {
+			heads[best] = tsEmpty
+			continue
+		}
+		total++
+		*count++
+		if correction != 0 {
+			patchRegion((*batch)[start:], correction)
+		}
+		if e.tracer != nil && e.tracer.ShouldSample(stageRingDrain) {
+			if ts, ok := peekFirstTS((*batch)[start:]); ok {
+				e.tracer.Observe(stageRingDrain, e.clock.NowMicros()-ts)
+			}
+		}
+		if ts, ok := rings[best].HeadTS(); ok {
+			heads[best] = ts
+		} else {
+			heads[best] = tsEmpty
 		}
 	}
 	return total

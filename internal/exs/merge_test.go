@@ -1,0 +1,132 @@
+package exs
+
+import (
+	"testing"
+
+	"brisk/internal/record"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// decodeTimestamps walks an encoded region and returns every record's TS.
+func decodeTimestamps(t *testing.T, region []byte) []int64 {
+	t.Helper()
+	var out []int64
+	for len(region) > 0 {
+		rec, n, err := record.Decode(region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range rec.Fields {
+			if f.Type == record.TS {
+				out = append(out, int64(f.Bits))
+				break
+			}
+		}
+		region = region[n:]
+	}
+	return out
+}
+
+func writeTS(t *testing.T, r *shm.Ring, ts int64) {
+	t.Helper()
+	if !r.Write(encodeRecord(t, record.New(1, record.TSVal(ts), record.I32Val(0)))) {
+		t.Fatalf("ring refused record ts=%d", ts)
+	}
+}
+
+// TestCollectMergesRingsByTimestamp loads two rings with disjoint,
+// alternating timestamp runs — the pattern a sequential per-ring drain
+// scrambles — and checks collect ships one nondecreasing stream. The
+// manager's sorter preserves per-node order, so this is the only place
+// intra-node order can be established.
+func TestCollectMergesRingsByTimestamp(t *testing.T) {
+	region := shm.NewRegion()
+	r0 := region.Attach("a", 1<<14)
+	r1 := region.Attach("b", 1<<14)
+	// Ring 0 holds runs {0..9, 20..29, ...}, ring 1 {10..19, 30..39, ...}.
+	for run := int64(0); run < 10; run++ {
+		r := r0
+		if run%2 == 1 {
+			r = r1
+		}
+		for i := int64(0); i < 10; i++ {
+			writeTS(t, r, run*10+i)
+		}
+	}
+	e := &EXS{
+		cfg:   Config{Region: region, BatchBytes: 1 << 16},
+		clock: vclock.NewCorrected(vclock.ClockFunc(func() int64 { return 0 })),
+	}
+	var batch []byte
+	count := 0
+	if got := e.collect(&batch, &count); got != 100 {
+		t.Fatalf("collect returned %d records, want 100", got)
+	}
+	ts := decodeTimestamps(t, batch)
+	if len(ts) != 100 {
+		t.Fatalf("decoded %d records, want 100", len(ts))
+	}
+	for i, v := range ts {
+		if int64(i) != v {
+			t.Fatalf("position %d holds ts %d: stream not timestamp-sorted", i, v)
+		}
+	}
+}
+
+// TestCollectMergeOrderAcrossBatchBoundaries shrinks the batch budget so
+// the merge spans several collect passes and checks order still holds
+// end to end.
+func TestCollectMergeOrderAcrossBatchBoundaries(t *testing.T) {
+	region := shm.NewRegion()
+	r0 := region.Attach("a", 1<<14)
+	r1 := region.Attach("b", 1<<14)
+	for i := int64(0); i < 60; i++ {
+		if i%3 == 0 {
+			writeTS(t, r1, i)
+		} else {
+			writeTS(t, r0, i)
+		}
+	}
+	e := &EXS{
+		cfg:   Config{Region: region, BatchBytes: 64},
+		clock: vclock.NewCorrected(vclock.ClockFunc(func() int64 { return 0 })),
+	}
+	var all []int64
+	for {
+		var batch []byte
+		count := 0
+		if e.collect(&batch, &count) == 0 {
+			break
+		}
+		all = append(all, decodeTimestamps(t, batch)...)
+	}
+	if len(all) != 60 {
+		t.Fatalf("collected %d records across passes, want 60", len(all))
+	}
+	for i, v := range all {
+		if int64(i) != v {
+			t.Fatalf("position %d holds ts %d: order broken across batch boundary", i, v)
+		}
+	}
+}
+
+// TestCollectMergeAppliesCorrection checks the merge path patches the
+// clock correction exactly like the single-ring bulk path.
+func TestCollectMergeAppliesCorrection(t *testing.T) {
+	region := shm.NewRegion()
+	r0 := region.Attach("a", 1<<12)
+	r1 := region.Attach("b", 1<<12)
+	writeTS(t, r0, 100)
+	writeTS(t, r1, 50)
+	clock := vclock.NewCorrected(vclock.ClockFunc(func() int64 { return 0 }))
+	clock.Adjust(1000)
+	e := &EXS{cfg: Config{Region: region, BatchBytes: 1 << 12}, clock: clock}
+	var batch []byte
+	count := 0
+	e.collect(&batch, &count)
+	ts := decodeTimestamps(t, batch)
+	if len(ts) != 2 || ts[0] != 1050 || ts[1] != 1100 {
+		t.Fatalf("corrected timestamps = %v, want [1050 1100]", ts)
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioSpec hardens the spec parser: arbitrary bytes must never
+// panic, and any spec that parses must survive a marshal→reparse round
+// trip (the validator is deterministic and marshalling loses nothing the
+// validator checks).
+func FuzzScenarioSpec(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"name":"m"}`),
+		[]byte(`not json at all`),
+		[]byte(`{"name":"m","workloads":[{"name":"w","shape":"steady"}],` +
+			`"topologies":[{"name":"t","nodes":1}],` +
+			`"clocks":[{"name":"c"}],"faults":[{"name":"f"}]}`),
+		[]byte(`{"name":"m","seed":18446744073709551615,` +
+			`"defaults":{"sorter_initial_t_micros":500000},` +
+			`"workloads":[{"name":"w","shape":"causal","events":600,"think_micros":50}],` +
+			`"topologies":[{"name":"t","nodes":3,"sensors_per_node":2}],` +
+			`"clocks":[{"name":"c","offset_spread_micros":5000,"drift_spread_ppm":100,` +
+			`"noise_mean_micros":20,"sync_period_ms":50}],` +
+			`"faults":[{"name":"f","script":[{"at_ms":10,"op":"cut","nodes":[0,1]}]}]}`),
+		[]byte(`{"name":"m","workloads":[{"name":"w","shape":"hotskew","hot_share":2}],` +
+			`"topologies":[{"name":"t","nodes":1}],"clocks":[{"name":"c"}],"faults":[{"name":"f"}]}`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMatrix(data)
+		if err != nil {
+			return
+		}
+		// A parsed matrix is valid by construction; exercising the
+		// derived accessors must not panic either.
+		for _, cell := range m.Expand() {
+			cell := cell
+			_ = cell.Name()
+			_ = cell.Seed()
+			_ = cell.Params()
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("valid matrix failed to marshal: %v", err)
+		}
+		if _, err := ParseMatrix(out); err != nil {
+			t.Fatalf("marshal→reparse of a valid matrix failed: %v\ninput: %q\nremarshalled: %s", err, data, out)
+		}
+	})
+}

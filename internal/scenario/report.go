@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// ReportSchema versions BENCH_scenarios.json.
+const ReportSchema = 1
+
+// Env records the machine the cells ran on, so numbers are never
+// compared across incomparable boxes without noticing.
+type Env struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CellResult is one cell's RunStatistics: the bench numbers plus the
+// contract verdicts.
+type CellResult struct {
+	Cell     string `json:"cell"`
+	Matrix   string `json:"matrix"`
+	Workload string `json:"workload"`
+	Topology string `json:"topology"`
+	Clock    string `json:"clock"`
+	Fault    string `json:"fault"`
+	Seed     uint64 `json:"seed"`
+
+	// ElapsedMicros covers the whole cell (load + drain); LoadMicros
+	// covers only the driver phase.
+	ElapsedMicros int64 `json:"elapsed_micros"`
+	LoadMicros    int64 `json:"load_micros"`
+
+	// Produced counts notices accepted into sensor rings; Refused counts
+	// ring-full rejections (covered by loss markers downstream).
+	Produced uint64 `json:"produced"`
+	Refused  uint64 `json:"refused"`
+	// Emitted counts data records that reached the merged output;
+	// MarkerCovered is the record total the Markers loss markers attest.
+	Emitted       uint64  `json:"emitted"`
+	MarkerCovered uint64  `json:"marker_covered"`
+	Markers       uint64  `json:"markers"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+
+	EmitLatencyMeanMicros float64 `json:"emit_latency_mean_micros"`
+	EmitLatencyP99Micros  float64 `json:"emit_latency_p99_micros"`
+
+	// Overload and fault observables.
+	AckDeferred    uint64 `json:"ack_deferred"`
+	CreditStalls   uint64 `json:"credit_stalls"`
+	Resumes        uint64 `json:"resumes"`
+	DedupedBatches uint64 `json:"deduped_batches"`
+	Inversions     uint64 `json:"inversions"`
+	// OrderViolations counts strict timestamp decreases in the merged
+	// output. Zero is asserted as the monotone contract except in
+	// bounded-sorter overload cells, where it is reported but advisory.
+	OrderViolations uint64 `json:"order_violations"`
+	// MaxAbsSkewMicros is the largest |node skew + correction| at cell
+	// end — the residual clock error after any synchronization.
+	MaxAbsSkewMicros int64 `json:"max_abs_skew_micros"`
+
+	// Contracts holds the per-contract verdicts (see Contract* consts).
+	Contracts map[string]bool `json:"contracts"`
+	// Failures holds human-readable diagnostics; empty means the cell
+	// passed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Passed reports whether every contract held and nothing else failed.
+func (r *CellResult) Passed() bool {
+	if len(r.Failures) > 0 {
+		return false
+	}
+	for _, ok := range r.Contracts {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Report is the whole matrix run: BENCH_scenarios.json.
+type Report struct {
+	Schema int          `json:"schema"`
+	Env    Env          `json:"env"`
+	Cells  []CellResult `json:"cells"`
+	Failed int          `json:"failed"`
+}
+
+// NewReport returns an empty report stamped with the current environment.
+func NewReport() *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Env: Env{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+		},
+	}
+}
+
+// Add appends one cell result, tracking the failure count.
+func (rep *Report) Add(res CellResult) {
+	rep.Cells = append(rep.Cells, res)
+	if !res.Passed() {
+		rep.Failed++
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReportFile loads a previously written report.
+func ReadReportFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

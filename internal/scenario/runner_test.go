@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// liveMatrix builds a tiny in-code matrix for live-pipeline tests. Cells
+// stay small so the suite remains fast under -race.
+func liveMatrix(w Workload, tp Topology, ck ClockRegime, f FaultScript) *Cell {
+	m := &Matrix{
+		Name:       "live",
+		Seed:       7,
+		Workloads:  []Workload{w},
+		Topologies: []Topology{tp},
+		Clocks:     []ClockRegime{ck},
+		Faults:     []FaultScript{f},
+	}
+	cells := m.Expand()
+	return &cells[0]
+}
+
+func requirePass(t *testing.T, res CellResult) {
+	t.Helper()
+	if !res.Passed() {
+		t.Fatalf("cell %s failed: %v", res.Cell, res.Failures)
+	}
+	for _, name := range []string{ContractConservation, ContractMonotone, ContractLoss, ContractFIFO} {
+		ok, present := res.Contracts[name]
+		if !present {
+			t.Errorf("contract %q missing from result", name)
+		} else if !ok {
+			t.Errorf("contract %q failed: %v", name, res.Failures)
+		}
+	}
+}
+
+func TestRunCellSteady(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 400},
+		Topology{Name: "t", Nodes: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+	if res.Produced != 400 || res.Emitted != 400 {
+		t.Fatalf("produced=%d emitted=%d, want 400/400", res.Produced, res.Emitted)
+	}
+	if res.RecordsPerSec <= 0 {
+		t.Error("records_per_sec not populated")
+	}
+}
+
+// TestRunCellMultiSensorNode drives two sensor rings on one node — the
+// configuration that requires the EXS's timestamp-ordered ring merge for
+// the monotone contract to hold exactly.
+func TestRunCellMultiSensorNode(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 300},
+		Topology{Name: "t", Nodes: 1, SensorsPerNode: 2},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+	if res.Produced != 600 {
+		t.Fatalf("produced=%d, want 600 (300 events × 2 sensors)", res.Produced)
+	}
+}
+
+func TestRunCellCutRecovers(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 600, Rate: 20000,
+			Params: Params{SorterInitialTMicros: 500_000}},
+		Topology{Name: "t", Nodes: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "cut", Script: []FaultStep{{AtMS: 8, Op: OpCut}}},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+}
+
+func TestRunCellDeterministicAcrossRuns(t *testing.T) {
+	mk := func() CellResult {
+		return RunCell(liveMatrix(
+			Workload{Name: "w", Shape: ShapeBursty, Events: 512, BurstLen: 32},
+			Topology{Name: "t", Nodes: 2},
+			ClockRegime{Name: "c", OffsetSpreadMicros: 1000},
+			FaultScript{Name: "f"},
+		), 30*time.Second)
+	}
+	a, b := mk(), mk()
+	requirePass(t, a)
+	requirePass(t, b)
+	if a.Seed != b.Seed || a.Produced != b.Produced || a.Emitted != b.Emitted {
+		t.Fatalf("same cell diverged across runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunCellOverloadProfile exercises a bounded-sorter cell: the
+// monotone contract is advisory there (the ack gate makes lateness
+// unbounded), so the cell must be judged only on conservation, loss
+// accounting and FIFO.
+func TestRunCellOverloadProfile(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 1500,
+			Params: Params{SorterMaxBuffered: 100, SpillBytes: 8192,
+				BatchBytes: 1024, SorterInitialTMicros: 50_000}},
+		Topology{Name: "t", Nodes: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	if !res.Passed() {
+		t.Fatalf("overload cell failed: %v (contracts %v)", res.Failures, res.Contracts)
+	}
+	if _, present := res.Contracts[ContractMonotone]; present {
+		t.Error("monotone contract asserted on a bounded-sorter cell")
+	}
+	for _, name := range []string{ContractConservation, ContractLoss, ContractFIFO} {
+		if ok, present := res.Contracts[name]; !present || !ok {
+			t.Errorf("contract %q = (%v, present=%v), want held", name, ok, present)
+		}
+	}
+}
+
+func TestRunMatricesFiltersAndReports(t *testing.T) {
+	m := &Matrix{
+		Name: "mini",
+		Seed: 9,
+		Workloads: []Workload{
+			{Name: "a", Shape: ShapeSteady, Events: 150},
+			{Name: "b", Shape: ShapeSteady, Events: 150},
+		},
+		Topologies: []Topology{{Name: "t", Nodes: 1}},
+		Clocks:     []ClockRegime{{Name: "c"}},
+		Faults:     []FaultScript{{Name: "f"}},
+	}
+	rep := RunMatrices([]*Matrix{m}, RunOptions{
+		Filter:  Filter{Workloads: []string{"a"}},
+		Timeout: 30 * time.Second,
+	})
+	if len(rep.Cells) != 1 || rep.Cells[0].Workload != "a" {
+		t.Fatalf("filter selected wrong cells: %+v", rep.Cells)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("mini matrix failed: %+v", rep.Cells[0].Failures)
+	}
+	if rep.Schema != ReportSchema || rep.Env.GOMAXPROCS == 0 {
+		t.Error("report env/schema not stamped")
+	}
+
+	path := filepath.Join(t.TempDir(), "rep.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Cells[0].Cell != rep.Cells[0].Cell {
+		t.Fatal("report did not round-trip through disk")
+	}
+}

@@ -1,0 +1,469 @@
+// Package scenario is BRISK's declarative scenario matrix: one JSON spec
+// names a workload shape, a topology, a clock regime and a fault script,
+// and the harness runs the full cross-product of those axes against a
+// real EXS↔ISM pipeline. Every cell produces a RunStatistics-style report
+// (throughput, emit-latency quantiles, credit stalls, loss markers, max
+// skew) and is simultaneously a property test: the three standing
+// contracts of the pipeline — multiset conservation per source, monotone
+// emission, and "an acked record is either emitted or represented by a
+// loss marker" — are asserted inside the harness for every cell.
+//
+// The paper's evaluation (E1–E8) is a hand-picked set of such
+// combinations; the matrix turns them into data. A scenario file is a
+// Matrix; `briskbench matrix` loads a directory of them, expands the
+// cross-products, applies include/exclude filters, runs the cells with
+// deterministic per-cell seeds, and writes BENCH_scenarios.json.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Shapes a workload may take. Each reuses a generator from
+// internal/workload.
+const (
+	ShapeSteady  = "steady"  // fixed-rate looper (E1–E3)
+	ShapeBursty  = "bursty"  // bursts with idle gaps, seeded lengths
+	ShapeDiurnal = "diurnal" // raised-cosine rate ramp, a compressed day
+	ShapeHotSkew = "hotskew" // one hot source among several per node
+	ShapeDelayed = "delayed" // artificially delayed streams (E7)
+	ShapeCausal  = "causal"  // reason/consequence pairs
+)
+
+var validShapes = map[string]bool{
+	ShapeSteady: true, ShapeBursty: true, ShapeDiurnal: true,
+	ShapeHotSkew: true, ShapeDelayed: true, ShapeCausal: true,
+}
+
+// Fault-script operations, applied to a node's faultnet proxy.
+const (
+	OpCut     = "cut"     // sever live connections now
+	OpStall   = "stall"   // stop relaying bytes (connection stays up)
+	OpResume  = "resume"  // undo stall
+	OpRefuse  = "refuse"  // refuse new connections
+	OpAccept  = "accept"  // undo refuse
+	OpLatency = "latency" // add per-write relay latency of MS milliseconds
+)
+
+var validOps = map[string]bool{
+	OpCut: true, OpStall: true, OpResume: true,
+	OpRefuse: true, OpAccept: true, OpLatency: true,
+}
+
+// Params are the pipeline knobs a matrix (or one workload) may tune.
+// Zero values mean "use the harness default" noted per field.
+type Params struct {
+	// SorterInitialTMicros is the OLS initial time frame. Default 20 ms —
+	// wide enough to cover the clock spreads and retransmit lateness the
+	// shipped regimes induce, so monotone emission is exact.
+	SorterInitialTMicros int64 `json:"sorter_initial_t_micros,omitempty"`
+	// SorterMaxBuffered bounds the sorter (0 = unbounded); crossing it
+	// engages the ack gate and synthesizes loss markers.
+	SorterMaxBuffered int `json:"sorter_max_buffered,omitempty"`
+	// SorterSourceQuota bounds any single source's buffered records.
+	SorterSourceQuota int `json:"sorter_source_quota,omitempty"`
+	// MergeIntervalMS is the manager merge period. Default 1 ms.
+	MergeIntervalMS int `json:"merge_interval_ms,omitempty"`
+	// FlushIntervalMS is the EXS partial-batch flush bound. Default 1 ms.
+	FlushIntervalMS int `json:"flush_interval_ms,omitempty"`
+	// BatchBytes is the EXS batch-send threshold. Default 4096.
+	BatchBytes int `json:"batch_bytes,omitempty"`
+	// SpillBytes bounds the EXS retransmit/spill queue (0 = EXS default).
+	// Small values make outages evict batches into loss markers.
+	SpillBytes int `json:"spill_bytes,omitempty"`
+	// RingBytes is the per-sensor ring capacity. Default 256 KiB.
+	RingBytes int `json:"ring_bytes,omitempty"`
+	// TimeoutS bounds one cell end to end. Default 30 s.
+	TimeoutS int `json:"timeout_s,omitempty"`
+}
+
+// merged returns p with any zero field replaced from o.
+func (p Params) merged(o Params) Params {
+	if p.SorterInitialTMicros == 0 {
+		p.SorterInitialTMicros = o.SorterInitialTMicros
+	}
+	if p.SorterMaxBuffered == 0 {
+		p.SorterMaxBuffered = o.SorterMaxBuffered
+	}
+	if p.SorterSourceQuota == 0 {
+		p.SorterSourceQuota = o.SorterSourceQuota
+	}
+	if p.MergeIntervalMS == 0 {
+		p.MergeIntervalMS = o.MergeIntervalMS
+	}
+	if p.FlushIntervalMS == 0 {
+		p.FlushIntervalMS = o.FlushIntervalMS
+	}
+	if p.BatchBytes == 0 {
+		p.BatchBytes = o.BatchBytes
+	}
+	if p.SpillBytes == 0 {
+		p.SpillBytes = o.SpillBytes
+	}
+	if p.RingBytes == 0 {
+		p.RingBytes = o.RingBytes
+	}
+	if p.TimeoutS == 0 {
+		p.TimeoutS = o.TimeoutS
+	}
+	return p
+}
+
+// withDefaults fills the harness defaults documented on Params.
+func (p Params) withDefaults() Params {
+	return p.merged(Params{
+		SorterInitialTMicros: 20_000,
+		MergeIntervalMS:      1,
+		FlushIntervalMS:      1,
+		BatchBytes:           4096,
+		RingBytes:            1 << 18,
+		TimeoutS:             30,
+	})
+}
+
+// Workload names one workload shape and its knobs. Only the fields the
+// shape reads need be set; Validate rejects shapes missing required ones.
+type Workload struct {
+	Name  string `json:"name"`
+	Shape string `json:"shape"`
+	// Events is the event count per sensor (per node for hotskew and
+	// delayed, pairs per node for causal). Default 1000.
+	Events int `json:"events,omitempty"`
+	// Rate is the steady rate, or the diurnal floor rate (events/s);
+	// 0 means unpaced for steady.
+	Rate int `json:"rate,omitempty"`
+	// PeakRate is the diurnal peak rate (events/s).
+	PeakRate int `json:"peak_rate,omitempty"`
+	// PeriodMS is the diurnal period. Default 200 ms.
+	PeriodMS int `json:"period_ms,omitempty"`
+	// BurstLen is the bursty mean burst length. Default 64.
+	BurstLen int `json:"burst_len,omitempty"`
+	// GapMS is the bursty inter-burst gap. Default 1 ms.
+	GapMS int `json:"gap_ms,omitempty"`
+	// HotShare is the hotskew hot source's share of events. Default 0.7.
+	HotShare float64 `json:"hot_share,omitempty"`
+	// ThinkMicros is the causal reason→consequence think time.
+	ThinkMicros int `json:"think_micros,omitempty"`
+	// MeanGapMicros is the delayed-stream mean creation gap. Default 200.
+	MeanGapMicros float64 `json:"mean_gap_micros,omitempty"`
+	// DelayBaseMicros/DelayJitterMicros/SpikeProb/SpikeMeanMicros shape
+	// the delayed-stream delivery delay (see workload.DelayParams).
+	DelayBaseMicros   int64   `json:"delay_base_micros,omitempty"`
+	DelayJitterMicros float64 `json:"delay_jitter_micros,omitempty"`
+	SpikeProb         float64 `json:"spike_prob,omitempty"`
+	SpikeMeanMicros   float64 `json:"spike_mean_micros,omitempty"`
+	// Params override the matrix defaults for cells of this workload.
+	Params Params `json:"params,omitempty"`
+}
+
+// Topology is the process layout of a cell: how many EXS nodes attach to
+// the manager and how many sensor rings each node's region holds.
+type Topology struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	// SensorsPerNode is the ring fan-in per node. Default 1. Causal cells
+	// always use two sensors per node (reason and consequence); hotskew
+	// spreads its sources across this many.
+	SensorsPerNode int `json:"sensors_per_node,omitempty"`
+	// Relays is reserved for a future relay/federation tier between the
+	// EXS nodes and the manager; only 0 is accepted today.
+	Relays int `json:"relays,omitempty"`
+}
+
+// ClockRegime describes per-node clock behaviour. Each node draws its
+// offset and drift uniformly from the spreads using the cell's seed, so a
+// cell's clock assignment is reproducible.
+type ClockRegime struct {
+	Name string `json:"name"`
+	// OffsetSpreadMicros draws each node's initial offset in ±spread.
+	OffsetSpreadMicros int64 `json:"offset_spread_micros,omitempty"`
+	// DriftSpreadPPM draws each node's frequency error in ±spread ppm.
+	DriftSpreadPPM float64 `json:"drift_spread_ppm,omitempty"`
+	// NoiseMeanMicros adds exponential read noise of this mean to each
+	// node clock (monotone-clamped).
+	NoiseMeanMicros float64 `json:"noise_mean_micros,omitempty"`
+	// SyncPeriodMS enables the manager's clock-synchronization master at
+	// this round period; 0 leaves synchronization off.
+	SyncPeriodMS int `json:"sync_period_ms,omitempty"`
+}
+
+// FaultStep is one scripted fault action, applied AtMS milliseconds after
+// the cell's drivers start.
+type FaultStep struct {
+	AtMS int    `json:"at_ms"`
+	Op   string `json:"op"`
+	// MS is the latency value for the "latency" op.
+	MS int `json:"ms,omitempty"`
+	// Nodes selects which node links the step hits (indices into the
+	// topology); empty means all. Indices beyond the cell's node count
+	// are ignored, so one script crosses topologies of different sizes.
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// FaultScript is a named sequence of fault steps. An empty script is the
+// fault-free baseline.
+type FaultScript struct {
+	Name   string      `json:"name"`
+	Script []FaultStep `json:"script,omitempty"`
+}
+
+// Matrix is one scenario file: the axes whose cross-product the harness
+// runs, plus shared defaults.
+type Matrix struct {
+	Name        string        `json:"name"`
+	Description string        `json:"description,omitempty"`
+	Tags        []string      `json:"tags,omitempty"`
+	Seed        uint64        `json:"seed,omitempty"`
+	Defaults    Params        `json:"defaults,omitempty"`
+	Workloads   []Workload    `json:"workloads"`
+	Topologies  []Topology    `json:"topologies"`
+	Clocks      []ClockRegime `json:"clocks"`
+	Faults      []FaultScript `json:"faults"`
+}
+
+// ParseMatrix decodes and validates one scenario file. Unknown fields are
+// rejected so typos in spec files fail loudly instead of silently running
+// a different experiment.
+func ParseMatrix(data []byte) (*Matrix, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var m Matrix
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Trailing garbage after the object is a malformed file.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario %q: trailing data after matrix object", m.Name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the matrix for the mistakes that would otherwise
+// surface as confusing runtime behaviour.
+func (m *Matrix) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("scenario: matrix has no name")
+	}
+	if strings.ContainsAny(m.Name, "/ \t\n") {
+		return fmt.Errorf("scenario %q: name must not contain '/' or whitespace", m.Name)
+	}
+	if len(m.Workloads) == 0 || len(m.Topologies) == 0 || len(m.Clocks) == 0 || len(m.Faults) == 0 {
+		return fmt.Errorf("scenario %q: every axis needs at least one entry (workloads=%d topologies=%d clocks=%d faults=%d)",
+			m.Name, len(m.Workloads), len(m.Topologies), len(m.Clocks), len(m.Faults))
+	}
+	seen := map[string]bool{}
+	axisName := func(axis, name string) error {
+		if name == "" {
+			return fmt.Errorf("scenario %q: unnamed %s entry", m.Name, axis)
+		}
+		if strings.ContainsAny(name, "/× \t\n") {
+			return fmt.Errorf("scenario %q: %s name %q must not contain '/', '×' or whitespace", m.Name, axis, name)
+		}
+		key := axis + ":" + name
+		if seen[key] {
+			return fmt.Errorf("scenario %q: duplicate %s name %q", m.Name, axis, name)
+		}
+		seen[key] = true
+		return nil
+	}
+	for i := range m.Workloads {
+		w := &m.Workloads[i]
+		if err := axisName("workload", w.Name); err != nil {
+			return err
+		}
+		if !validShapes[w.Shape] {
+			return fmt.Errorf("scenario %q: workload %q has unknown shape %q", m.Name, w.Name, w.Shape)
+		}
+		if w.Events < 0 {
+			return fmt.Errorf("scenario %q: workload %q: negative events", m.Name, w.Name)
+		}
+		if w.Shape == ShapeDiurnal && w.PeakRate > 0 && w.PeakRate < w.Rate {
+			return fmt.Errorf("scenario %q: workload %q: peak_rate below rate", m.Name, w.Name)
+		}
+		if w.HotShare < 0 || w.HotShare > 1 {
+			return fmt.Errorf("scenario %q: workload %q: hot_share outside [0,1]", m.Name, w.Name)
+		}
+		if w.SpikeProb < 0 || w.SpikeProb > 1 {
+			return fmt.Errorf("scenario %q: workload %q: spike_prob outside [0,1]", m.Name, w.Name)
+		}
+	}
+	for i := range m.Topologies {
+		tp := &m.Topologies[i]
+		if err := axisName("topology", tp.Name); err != nil {
+			return err
+		}
+		if tp.Nodes < 1 || tp.Nodes > 16 {
+			return fmt.Errorf("scenario %q: topology %q: nodes must be 1..16, got %d", m.Name, tp.Name, tp.Nodes)
+		}
+		if tp.SensorsPerNode < 0 || tp.SensorsPerNode > 8 {
+			return fmt.Errorf("scenario %q: topology %q: sensors_per_node must be 0..8", m.Name, tp.Name)
+		}
+		if tp.Relays != 0 {
+			return fmt.Errorf("scenario %q: topology %q: relay tier not implemented yet; relays must be 0", m.Name, tp.Name)
+		}
+	}
+	for i := range m.Clocks {
+		c := &m.Clocks[i]
+		if err := axisName("clock", c.Name); err != nil {
+			return err
+		}
+		if c.OffsetSpreadMicros < 0 || c.DriftSpreadPPM < 0 || c.NoiseMeanMicros < 0 || c.SyncPeriodMS < 0 {
+			return fmt.Errorf("scenario %q: clock %q: spreads must be non-negative", m.Name, c.Name)
+		}
+	}
+	for i := range m.Faults {
+		f := &m.Faults[i]
+		if err := axisName("fault", f.Name); err != nil {
+			return err
+		}
+		for j, st := range f.Script {
+			if st.AtMS < 0 {
+				return fmt.Errorf("scenario %q: fault %q step %d: negative at_ms", m.Name, f.Name, j)
+			}
+			if !validOps[st.Op] {
+				return fmt.Errorf("scenario %q: fault %q step %d: unknown op %q", m.Name, f.Name, j, st.Op)
+			}
+			if st.Op == OpLatency && st.MS < 0 {
+				return fmt.Errorf("scenario %q: fault %q step %d: negative latency", m.Name, f.Name, j)
+			}
+			for _, n := range st.Nodes {
+				if n < 0 {
+					return fmt.Errorf("scenario %q: fault %q step %d: negative node index", m.Name, f.Name, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Cell is one point of a matrix's cross-product.
+type Cell struct {
+	Matrix   *Matrix
+	Workload Workload
+	Topology Topology
+	Clock    ClockRegime
+	Fault    FaultScript
+}
+
+// Name is the cell's stable identifier: matrix/workload×topology×clock×fault.
+func (c *Cell) Name() string {
+	return fmt.Sprintf("%s/%s×%s×%s×%s",
+		c.Matrix.Name, c.Workload.Name, c.Topology.Name, c.Clock.Name, c.Fault.Name)
+}
+
+// Seed derives the cell's deterministic seed from its name and the
+// matrix seed, so renaming an axis entry (intentionally) re-rolls the
+// cell while unrelated cells keep their draws.
+func (c *Cell) Seed() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Name()))
+	return h.Sum64() ^ (c.Matrix.Seed * 0x9E3779B97F4A7C15)
+}
+
+// Params resolves the cell's effective knobs: workload overrides, then
+// matrix defaults, then harness defaults.
+func (c *Cell) Params() Params {
+	return c.Workload.Params.merged(c.Matrix.Defaults).withDefaults()
+}
+
+// Expand returns every cell of the matrix cross-product, in spec order
+// (workloads outermost, faults innermost).
+func (m *Matrix) Expand() []Cell {
+	cells := make([]Cell, 0, len(m.Workloads)*len(m.Topologies)*len(m.Clocks)*len(m.Faults))
+	for _, w := range m.Workloads {
+		for _, tp := range m.Topologies {
+			for _, ck := range m.Clocks {
+				for _, f := range m.Faults {
+					cells = append(cells, Cell{Matrix: m, Workload: w, Topology: tp, Clock: ck, Fault: f})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Filter selects matrices (by tag) and cells (by per-axis include and
+// exclude name lists). Empty include lists admit everything.
+type Filter struct {
+	// Tag admits only matrices carrying it; empty admits all.
+	Tag string
+	// Include lists per axis; an empty list admits all names.
+	Workloads, Topologies, Clocks, Faults []string
+	// Exclude lists per axis; names here are dropped even if included.
+	SkipWorkloads, SkipTopologies, SkipClocks, SkipFaults []string
+}
+
+func containsName(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchMatrix reports whether the matrix passes the tag filter.
+func (f *Filter) MatchMatrix(m *Matrix) bool {
+	return f.Tag == "" || containsName(m.Tags, f.Tag)
+}
+
+// MatchCell reports whether the cell passes the axis filters.
+func (f *Filter) MatchCell(c *Cell) bool {
+	admit := func(include, skip []string, name string) bool {
+		if len(include) > 0 && !containsName(include, name) {
+			return false
+		}
+		return !containsName(skip, name)
+	}
+	return admit(f.Workloads, f.SkipWorkloads, c.Workload.Name) &&
+		admit(f.Topologies, f.SkipTopologies, c.Topology.Name) &&
+		admit(f.Clocks, f.SkipClocks, c.Clock.Name) &&
+		admit(f.Faults, f.SkipFaults, c.Fault.Name)
+}
+
+// LoadDir parses every *.json file in dir as a Matrix, sorted by file
+// name for a stable run order.
+func LoadDir(dir string) ([]*Matrix, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	seen := map[string]string{}
+	var out []*Matrix
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		m, err := ParseMatrix(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if prev, dup := seen[m.Name]; dup {
+			return nil, fmt.Errorf("scenario: matrix name %q used by both %s and %s", m.Name, prev, name)
+		}
+		seen[m.Name] = name
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json matrices in %s", dir)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minimal returns a valid one-cell matrix that tests mutate.
+func minimal() *Matrix {
+	return &Matrix{
+		Name:       "m",
+		Workloads:  []Workload{{Name: "w", Shape: ShapeSteady}},
+		Topologies: []Topology{{Name: "t", Nodes: 1}},
+		Clocks:     []ClockRegime{{Name: "c"}},
+		Faults:     []FaultScript{{Name: "f"}},
+	}
+}
+
+func mustJSON(t *testing.T, m *Matrix) []byte {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseMatrixRoundTrip(t *testing.T) {
+	m, err := ParseMatrix(mustJSON(t, minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "m" || len(m.Workloads) != 1 {
+		t.Fatalf("parsed matrix mangled: %+v", m)
+	}
+}
+
+func TestParseMatrixRejectsUnknownFields(t *testing.T) {
+	_, err := ParseMatrix([]byte(`{"name": "m", "wrokloads": []}`))
+	if err == nil || !strings.Contains(err.Error(), "wrokloads") {
+		t.Fatalf("typo'd field not rejected: %v", err)
+	}
+}
+
+func TestParseMatrixRejectsTrailingData(t *testing.T) {
+	data := append(mustJSON(t, minimal()), []byte(`{"name":"again"}`)...)
+	if _, err := ParseMatrix(data); err == nil {
+		t.Fatal("trailing object after matrix accepted")
+	}
+}
+
+func TestValidateCatchesSpecMistakes(t *testing.T) {
+	cases := []struct {
+		desc   string
+		mutate func(*Matrix)
+	}{
+		{"empty name", func(m *Matrix) { m.Name = "" }},
+		{"slash in name", func(m *Matrix) { m.Name = "a/b" }},
+		{"no workloads", func(m *Matrix) { m.Workloads = nil }},
+		{"no topologies", func(m *Matrix) { m.Topologies = nil }},
+		{"no clocks", func(m *Matrix) { m.Clocks = nil }},
+		{"no faults", func(m *Matrix) { m.Faults = nil }},
+		{"duplicate workload name", func(m *Matrix) {
+			m.Workloads = append(m.Workloads, Workload{Name: "w", Shape: ShapeBursty})
+		}},
+		{"cross-sign in axis name", func(m *Matrix) { m.Workloads[0].Name = "a×b" }},
+		{"unknown shape", func(m *Matrix) { m.Workloads[0].Shape = "zigzag" }},
+		{"negative events", func(m *Matrix) { m.Workloads[0].Events = -1 }},
+		{"hot_share above 1", func(m *Matrix) { m.Workloads[0].HotShare = 1.5 }},
+		{"spike_prob below 0", func(m *Matrix) { m.Workloads[0].SpikeProb = -0.1 }},
+		{"diurnal peak below floor", func(m *Matrix) {
+			m.Workloads[0].Shape = ShapeDiurnal
+			m.Workloads[0].Rate = 100
+			m.Workloads[0].PeakRate = 50
+		}},
+		{"zero nodes", func(m *Matrix) { m.Topologies[0].Nodes = 0 }},
+		{"too many nodes", func(m *Matrix) { m.Topologies[0].Nodes = 17 }},
+		{"too many sensors", func(m *Matrix) { m.Topologies[0].SensorsPerNode = 9 }},
+		{"relay tier requested", func(m *Matrix) { m.Topologies[0].Relays = 1 }},
+		{"negative offset spread", func(m *Matrix) { m.Clocks[0].OffsetSpreadMicros = -1 }},
+		{"unknown fault op", func(m *Matrix) {
+			m.Faults[0].Script = []FaultStep{{Op: "explode"}}
+		}},
+		{"negative at_ms", func(m *Matrix) {
+			m.Faults[0].Script = []FaultStep{{AtMS: -5, Op: OpCut}}
+		}},
+		{"negative latency", func(m *Matrix) {
+			m.Faults[0].Script = []FaultStep{{Op: OpLatency, MS: -1}}
+		}},
+		{"negative node index", func(m *Matrix) {
+			m.Faults[0].Script = []FaultStep{{Op: OpCut, Nodes: []int{-1}}}
+		}},
+	}
+	for _, tc := range cases {
+		m := minimal()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the spec", tc.desc)
+		}
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	m := minimal()
+	m.Workloads = append(m.Workloads, Workload{Name: "w2", Shape: ShapeBursty})
+	m.Clocks = append(m.Clocks, ClockRegime{Name: "c2"})
+	cells := m.Expand()
+	if len(cells) != 4 {
+		t.Fatalf("Expand returned %d cells, want 4", len(cells))
+	}
+	names := map[string]bool{}
+	for i := range cells {
+		names[cells[i].Name()] = true
+	}
+	for _, want := range []string{"m/w×t×c×f", "m/w×t×c2×f", "m/w2×t×c×f", "m/w2×t×c2×f"} {
+		if !names[want] {
+			t.Errorf("cell %q missing from expansion (got %v)", want, names)
+		}
+	}
+}
+
+func TestCellSeedsAreStableAndDistinct(t *testing.T) {
+	m := minimal()
+	m.Seed = 42
+	m.Workloads = append(m.Workloads, Workload{Name: "w2", Shape: ShapeSteady})
+	cells := m.Expand()
+	if cells[0].Seed() != cells[0].Seed() {
+		t.Fatal("seed not stable across calls")
+	}
+	if cells[0].Seed() == cells[1].Seed() {
+		t.Fatal("distinct cells drew the same seed")
+	}
+	m2 := minimal()
+	m2.Seed = 43
+	m2.Workloads = append(m2.Workloads, Workload{Name: "w2", Shape: ShapeSteady})
+	if m2.Expand()[0].Seed() == cells[0].Seed() {
+		t.Fatal("matrix seed does not perturb cell seeds")
+	}
+}
+
+func TestParamsResolutionPrecedence(t *testing.T) {
+	m := minimal()
+	m.Defaults = Params{SorterInitialTMicros: 111, BatchBytes: 222}
+	m.Workloads[0].Params = Params{BatchBytes: 333}
+	p := m.Expand()[0].Params()
+	if p.BatchBytes != 333 {
+		t.Errorf("workload override lost: batch_bytes = %d, want 333", p.BatchBytes)
+	}
+	if p.SorterInitialTMicros != 111 {
+		t.Errorf("matrix default lost: sorter_initial_t = %d, want 111", p.SorterInitialTMicros)
+	}
+	if p.RingBytes != 1<<18 {
+		t.Errorf("harness default lost: ring_bytes = %d, want %d", p.RingBytes, 1<<18)
+	}
+	if p.TimeoutS != 30 {
+		t.Errorf("harness default lost: timeout_s = %d, want 30", p.TimeoutS)
+	}
+}
+
+func TestFilterSelection(t *testing.T) {
+	m := minimal()
+	m.Tags = []string{"smoke"}
+	m.Workloads = append(m.Workloads, Workload{Name: "w2", Shape: ShapeSteady})
+	cells := m.Expand()
+
+	var f Filter
+	if !f.MatchMatrix(m) || !f.MatchCell(&cells[0]) {
+		t.Fatal("empty filter must admit everything")
+	}
+	f = Filter{Tag: "full"}
+	if f.MatchMatrix(m) {
+		t.Fatal("tag filter admitted an untagged matrix")
+	}
+	f = Filter{Workloads: []string{"w2"}}
+	if f.MatchCell(&cells[0]) || !f.MatchCell(&cells[1]) {
+		t.Fatal("include filter selected the wrong cells")
+	}
+	f = Filter{Workloads: []string{"w", "w2"}, SkipWorkloads: []string{"w2"}}
+	if !f.MatchCell(&cells[0]) || f.MatchCell(&cells[1]) {
+		t.Fatal("exclude must override include")
+	}
+}
+
+// TestShippedScenarios guards the committed scenario files: they must
+// parse, and the smoke-tagged subset must cover at least the 12 distinct
+// cells the check target promises.
+func TestShippedScenarios(t *testing.T) {
+	ms, err := LoadDir(filepath.Join("..", "..", "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	names := map[string]bool{}
+	for _, m := range ms {
+		for _, cell := range m.Expand() {
+			cell := cell
+			if names[cell.Name()] {
+				t.Errorf("duplicate cell name %q across shipped scenarios", cell.Name())
+			}
+			names[cell.Name()] = true
+			for _, tag := range m.Tags {
+				count[tag]++
+			}
+		}
+	}
+	if count["smoke"] < 12 {
+		t.Errorf("smoke tag covers %d cells, want >= 12", count["smoke"])
+	}
+	if count["full"] == 0 {
+		t.Error("no full-tagged cells shipped; the nightly matrix would be empty")
+	}
+}
+
+func TestLoadDirRejectsDuplicateMatrixNames(t *testing.T) {
+	dir := t.TempDir()
+	data := mustJSON(t, minimal())
+	for _, name := range []string{"a.json", "b.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "used by both") {
+		t.Fatalf("duplicate matrix name not rejected: %v", err)
+	}
+}

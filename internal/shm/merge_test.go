@@ -1,0 +1,107 @@
+package shm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+func encTS(t *testing.T, event uint8, ts int64) []byte {
+	t.Helper()
+	rec := record.New(event, record.TSVal(ts), record.I32Val(7))
+	b, err := rec.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestHeadTSPeeksWithoutConsuming(t *testing.T) {
+	r := NewRing(1 << 10)
+	if _, ok := r.HeadTS(); ok {
+		t.Fatal("HeadTS on empty ring reported ok")
+	}
+	r.Write(encTS(t, 1, 1000))
+	r.Write(encTS(t, 1, 2000))
+	for i := 0; i < 3; i++ {
+		ts, ok := r.HeadTS()
+		if !ok || ts != 1000 {
+			t.Fatalf("HeadTS = (%d, %v), want (1000, true)", ts, ok)
+		}
+	}
+	if r.Len() == 0 {
+		t.Fatal("HeadTS consumed the record")
+	}
+}
+
+func TestDrainOneConsumesInOrder(t *testing.T) {
+	r := NewRing(1 << 10)
+	want := [][]byte{encTS(t, 1, 10), encTS(t, 2, 20), encTS(t, 3, 30)}
+	for _, rec := range want {
+		if !r.Write(rec) {
+			t.Fatal("write refused")
+		}
+	}
+	var dst []byte
+	for i, w := range want {
+		start := len(dst)
+		var ok bool
+		dst, ok = r.DrainOne(dst)
+		if !ok {
+			t.Fatalf("DrainOne #%d reported empty", i)
+		}
+		if !bytes.Equal(dst[start:], w) {
+			t.Fatalf("DrainOne #%d bytes mismatch", i)
+		}
+	}
+	if _, ok := r.DrainOne(dst); ok {
+		t.Fatal("DrainOne on empty ring reported a record")
+	}
+}
+
+// TestHeadTSAcrossWraparound forces the head record to straddle the ring
+// boundary, exercising the copy-out slow path of HeadTS.
+func TestHeadTSAcrossWraparound(t *testing.T) {
+	rec := encTS(t, 1, 0)
+	step := len(rec) + 4
+	r := NewRing(MinRingBytes)
+	// Advance head/tail until a record wraps the physical end of the buffer.
+	wrapped := false
+	for i := int64(1); i < 200 && !wrapped; i++ {
+		w := encTS(t, 1, i*100)
+		if !r.Write(w) {
+			t.Fatal("write refused")
+		}
+		pos := (int(r.head.Load()) + 4) % r.Cap()
+		if pos+len(w) > r.Cap() {
+			wrapped = true
+			ts, ok := r.HeadTS()
+			if !ok || ts != i*100 {
+				t.Fatalf("wrapped HeadTS = (%d, %v), want (%d, true)", ts, ok, i*100)
+			}
+		}
+		var ok bool
+		if _, ok = r.DrainOne(nil); !ok {
+			t.Fatal("DrainOne reported empty after write")
+		}
+	}
+	if !wrapped {
+		t.Fatalf("no wraparound hit in 200 steps (cap=%d step=%d)", r.Cap(), step)
+	}
+}
+
+func TestHeadTSTimestamplessRecord(t *testing.T) {
+	r := NewRing(1 << 10)
+	rec := record.New(9, record.I32Val(1), record.I32Val(2))
+	b, err := rec.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Write(b)
+	ts, ok := r.HeadTS()
+	if !ok || ts != math.MinInt64 {
+		t.Fatalf("HeadTS = (%d, %v), want (MinInt64, true)", ts, ok)
+	}
+}

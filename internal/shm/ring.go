@@ -17,8 +17,11 @@ package shm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+
+	"brisk/internal/record"
 )
 
 // Ring buffer geometry limits.
@@ -203,6 +206,57 @@ func (r *Ring) DrainAppend(dst []byte, maxBytes int) ([]byte, int) {
 	}
 	r.head.Store(head)
 	return dst, n
+}
+
+// HeadTS peeks the timestamp of the oldest record without consuming it.
+// ok is false when the ring is empty. A head record with no parseable
+// timestamp reports math.MinInt64 so a timestamp-ordered merge across
+// rings drains it immediately rather than stalling behind it. Only the
+// drain goroutine may call it.
+func (r *Ring) HeadTS() (ts int64, ok bool) {
+	head := r.head.Load()
+	tail := r.tail.Load() // acquire: record bytes below tail are published
+	if head >= tail {
+		return 0, false
+	}
+	size := uint64(r.getUint32(head))
+	i := (head + 4) & r.mask
+	if i+size <= uint64(len(r.buf)) {
+		// Contiguous: peek in place, no copy.
+		if ts, _, hasTS := record.PeekTS(r.buf[i : i+size]); hasTS {
+			return ts, true
+		}
+		return math.MinInt64, true
+	}
+	scratch := drainScratch.Get().(*[]byte)
+	defer drainScratch.Put(scratch)
+	if cap(*scratch) < int(size) {
+		*scratch = make([]byte, size)
+	}
+	rec := (*scratch)[:size]
+	r.copyOut(head+4, rec)
+	if ts, _, hasTS := record.PeekTS(rec); hasTS {
+		return ts, true
+	}
+	return math.MinInt64, true
+}
+
+// DrainOne consumes exactly the oldest record, appending its bytes to
+// dst. It returns the extended slice and false when the ring is empty.
+// Together with HeadTS it lets a consumer merge several rings in
+// timestamp order. Only one goroutine may call Drain/DrainAppend/DrainOne.
+func (r *Ring) DrainOne(dst []byte) ([]byte, bool) {
+	head := r.head.Load()
+	tail := r.tail.Load()
+	if head >= tail {
+		return dst, false
+	}
+	size := uint64(r.getUint32(head))
+	off := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	r.copyOut(head+4, dst[off:])
+	r.head.Store(head + 4 + size)
+	return dst, true
 }
 
 // Len returns the approximate number of unread bytes.

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"testing"
+
+	"brisk/internal/des"
+)
+
+// Burst-window boundaries: the window is half-open [burstStart, burstEnd),
+// so the exact start instant is disturbed and the exact end instant is
+// not. The expected window is recomputed from an identical RNG replica.
+func TestDisturbanceWindowBoundaries(t *testing.T) {
+	p := Params{
+		BaseLatency:      100,
+		DisturbMeanGap:   10_000,
+		DisturbMeanDur:   2_000,
+		DisturbExtraMean: 500,
+		Seed:             5,
+	}
+	// Replica of advanceBursts' draw sequence for the first two windows.
+	ref := des.NewRNG(p.Seed)
+	gap := int64(ref.Exp(p.DisturbMeanGap))
+	dur := int64(ref.Exp(p.DisturbMeanDur))
+	start, end := gap, gap+dur
+	gap2 := int64(ref.Exp(p.DisturbMeanGap))
+	if gap < 1 || dur < 2 || gap2 < 1 {
+		t.Fatalf("seed %d gives degenerate windows (gap=%d dur=%d gap2=%d); pick another seed",
+			p.Seed, gap, dur, gap2)
+	}
+
+	n := New(des.New(), p)
+	for _, tc := range []struct {
+		at   int64
+		want bool
+		desc string
+	}{
+		{start - 1, false, "instant before burstStart"},
+		{start, true, "exactly burstStart"},
+		{end - 1, true, "last instant inside the window"},
+		{end, false, "exactly burstEnd (exclusive)"},
+	} {
+		if got := n.Disturbed(tc.at); got != tc.want {
+			t.Errorf("Disturbed(%d) [%s] = %v, want %v", tc.at, tc.desc, got, tc.want)
+		}
+	}
+}
+
+// Disturbances disabled: no instant is ever disturbed and no RNG draws
+// are consumed for window scheduling.
+func TestNoDisturbancesWhenGapZero(t *testing.T) {
+	n := New(des.New(), Params{BaseLatency: 50, Seed: 1})
+	for _, at := range []int64{0, 1, 1 << 40} {
+		if n.Disturbed(at) {
+			t.Fatalf("Disturbed(%d) with disturbances disabled", at)
+		}
+	}
+}
+
+// A severed link: TryRoundTrip fails without advancing virtual time or
+// running the handler, Send discards, and both count into Dropped.
+// Restoring the link restores delivery.
+func TestSeveredLink(t *testing.T) {
+	sim := des.New()
+	n := New(sim, Params{BaseLatency: 200, Seed: 9})
+
+	n.SetDown(true)
+	served := 0
+	rtt, ok := n.TryRoundTrip(func() { served++ })
+	if ok || rtt != 0 {
+		t.Fatalf("TryRoundTrip on severed link = (%d, %v), want (0, false)", rtt, ok)
+	}
+	if served != 0 {
+		t.Fatal("severed link ran the remote handler")
+	}
+	if sim.Now() != 0 {
+		t.Fatalf("severed TryRoundTrip advanced virtual time to %d", sim.Now())
+	}
+	delivered := false
+	n.Send(func() { delivered = true })
+	sim.Run()
+	if delivered {
+		t.Fatal("severed link delivered a Send")
+	}
+	if n.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", n.Dropped())
+	}
+
+	n.SetDown(false)
+	rtt, ok = n.TryRoundTrip(func() { served++ })
+	if !ok || rtt < 2 || served != 1 {
+		t.Fatalf("restored link TryRoundTrip = (%d, %v) served=%d", rtt, ok, served)
+	}
+	if sim.Now() != rtt {
+		t.Fatalf("virtual time %d after round trip of %d", sim.Now(), rtt)
+	}
+	if n.Dropped() != 2 {
+		t.Fatalf("Dropped grew to %d after link restored", n.Dropped())
+	}
+}

@@ -69,6 +69,9 @@ type Net struct {
 	burstStart int64
 	burstEnd   int64
 	nextSched  int64
+
+	down    bool
+	dropped uint64
 }
 
 // New returns a network over the given simulator.
@@ -117,9 +120,25 @@ func (n *Net) OneWay() int64 {
 	return lat
 }
 
+// SetDown severs or restores the link. While down, Send discards messages
+// and TryRoundTrip fails; both count into Dropped. RoundTrip is unaffected
+// (legacy callers model links that never fail).
+func (n *Net) SetDown(down bool) { n.down = down }
+
+// Down reports whether the link is currently severed.
+func (n *Net) Down() bool { return n.down }
+
+// Dropped returns how many messages the severed link has discarded.
+func (n *Net) Dropped() uint64 { return n.dropped }
+
 // Send schedules fn to run after a sampled one-way latency, modelling an
-// asynchronous message delivery.
+// asynchronous message delivery. On a severed link the message is
+// discarded and counted; fn never runs.
 func (n *Net) Send(fn func()) {
+	if n.down {
+		n.dropped++
+		return
+	}
 	n.sim.After(n.OneWay(), fn)
 }
 
@@ -135,4 +154,16 @@ func (n *Net) RoundTrip(serve func()) int64 {
 	back := n.OneWay()
 	n.sim.RunUntil(start + out + back)
 	return out + back
+}
+
+// TryRoundTrip is RoundTrip for links that can fail: on a severed link the
+// request is discarded and counted, virtual time does not advance, serve
+// never runs, and ok is false. Callers model their own retry/timeout
+// policy on top.
+func (n *Net) TryRoundTrip(serve func()) (rtt int64, ok bool) {
+	if n.down {
+		n.dropped++
+		return 0, false
+	}
+	return n.RoundTrip(serve), true
 }

@@ -12,6 +12,8 @@
 //     discrete-event simulator.
 //   - Drift derives a skewed, drifting node clock from a reference clock,
 //     simulating an unsynchronized workstation.
+//   - Noisy overlays bounded, seeded read noise on any clock, modelling a
+//     cheap oscillator; readings never run backwards.
 //   - Corrected layers the external sensor's correction value over any raw
 //     clock; the clock-synchronization slave adjusts it.
 //
@@ -23,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"brisk/internal/des"
 )
 
 // Clock supplies the current time in microseconds of UTC.
@@ -106,6 +110,41 @@ func (d *Drift) SkewAgainstRef() int64 {
 	defer d.mu.Unlock()
 	elapsed := d.ref.NowMicros() - d.epoch
 	return d.offset + int64(float64(elapsed)*d.driftPPM*1e-6)
+}
+
+// Noisy overlays a clock with non-negative seeded read noise, modelling a
+// cheap oscillator whose reads wobble: each reading adds an exponential
+// draw with the given mean, clamped so the clock never runs backwards.
+// The draw stream is deterministic per seed, so simulated regimes replay
+// exactly. Safe for concurrent use.
+type Noisy struct {
+	mu   sync.Mutex
+	raw  Clock
+	rng  *des.RNG
+	mean float64
+	last int64
+}
+
+// NewNoisy wraps raw with exponential read noise of the given mean (µs),
+// drawn from the seeded stream. A mean of 0 passes readings through
+// (still monotone-clamped).
+func NewNoisy(raw Clock, meanMicros float64, seed uint64) *Noisy {
+	return &Noisy{raw: raw, rng: des.NewRNG(seed), mean: meanMicros}
+}
+
+// NowMicros returns the noisy, monotone-clamped reading.
+func (n *Noisy) NowMicros() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.raw.NowMicros()
+	if n.mean > 0 {
+		t += int64(n.rng.Exp(n.mean))
+	}
+	if t < n.last {
+		t = n.last
+	}
+	n.last = t
+	return t
 }
 
 // Corrected layers the external sensor's correction value over a raw

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"brisk/internal/sensor"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// counterClock returns a clock whose reading advances by one microsecond
+// per call, so timestamps depend only on the call sequence, never on wall
+// time. Sensors are single-goroutine, so no synchronization is needed.
+func counterClock() vclock.Clock {
+	var n int64
+	return vclock.ClockFunc(func() int64 {
+		n++
+		return n
+	})
+}
+
+// drainBytes empties the sensor's ring into one flat byte slice.
+func drainBytes(t *testing.T, s *sensor.Sensor) []byte {
+	t.Helper()
+	var out []byte
+	s.Ring().Drain(1<<20, func(rec []byte) {
+		out = append(out, rec...)
+	})
+	if d := s.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d notices; size the ring so determinism tests see every record", d)
+	}
+	return out
+}
+
+func newTestSensor(ringBytes int) *sensor.Sensor {
+	return sensor.New(shm.NewRegion(), "app", sensor.Options{
+		RingBytes: ringBytes,
+		Clock:     counterClock(),
+	})
+}
+
+func TestBurstySeedDeterminism(t *testing.T) {
+	run := func(seed uint64) (issued, accepted int, raw []byte) {
+		s := newTestSensor(1 << 20)
+		b := &Bursty{Sensor: s, Event: 9, BurstLen: 16, Gap: 0, Seed: seed}
+		accepted = b.Run(20)
+		return b.Issued, accepted, drainBytes(t, s)
+	}
+	i1, a1, b1 := run(42)
+	i2, a2, b2 := run(42)
+	if i1 != i2 || a1 != a2 || !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different sequences: issued %d/%d accepted %d/%d bytes equal=%v",
+			i1, i2, a1, a2, bytes.Equal(b1, b2))
+	}
+	if i1 == 20*16 {
+		t.Fatalf("seeded bursty issued exactly bursts*BurstLen (%d): burst lengths were not jittered", i1)
+	}
+	i3, _, b3 := run(43)
+	if i1 == i3 && bytes.Equal(b1, b3) {
+		t.Fatalf("different seeds produced identical sequences (issued=%d)", i1)
+	}
+}
+
+func TestBurstyUnseededFixedLengths(t *testing.T) {
+	s := newTestSensor(1 << 20)
+	b := &Bursty{Sensor: s, Event: 9, BurstLen: 8, Gap: 0}
+	accepted := b.Run(5)
+	if b.Issued != 5*8 || accepted != 5*8 {
+		t.Fatalf("unseeded bursty: issued=%d accepted=%d, want 40/40", b.Issued, accepted)
+	}
+}
+
+func TestHotSkewSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) ([]int, []byte) {
+		region := shm.NewRegion()
+		clk := counterClock()
+		sensors := make([]*sensor.Sensor, 3)
+		for i := range sensors {
+			sensors[i] = sensor.New(region, string(rune('a'+i)), sensor.Options{
+				RingBytes: 1 << 19,
+				Clock:     clk,
+			})
+		}
+		h := &HotSkew{Sensors: sensors, Event: 7, HotShare: 0.7, Seed: seed}
+		h.Run(500)
+		var raw []byte
+		for _, s := range sensors {
+			raw = append(raw, drainBytes(t, s)...)
+		}
+		return h.PerSensor, raw
+	}
+	p1, b1 := run(7)
+	p2, b2 := run(7)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different hot-skew sequences")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed produced different per-sensor counts: %v vs %v", p1, p2)
+		}
+	}
+	if p1[0] <= p1[1] || p1[0] <= p1[2] {
+		t.Fatalf("hot source not hot: per-sensor counts %v", p1)
+	}
+	_, b3 := run(8)
+	if bytes.Equal(b1, b3) {
+		t.Fatal("different seeds produced identical hot-skew sequences")
+	}
+}
+
+func TestDelayedStreamSeedDeterminism(t *testing.T) {
+	specs := []StreamSpec{
+		{Source: 1, MeanGap: 100, Delay: DelayParams{Base: 50, JitterMean: 200, SpikeProb: 0.05, SpikeMean: 5000}},
+		{Source: 2, MeanGap: 150, Delay: DelayParams{Base: 80, JitterMean: 300}},
+	}
+	a := GenDelayedStreams(specs, 400, 99)
+	b := GenDelayedStreams(specs, 400, 99)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := GenDelayedStreams(specs, 400, 100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delayed streams")
+	}
+}
+
+func TestCausalPairDeterminism(t *testing.T) {
+	run := func() (uint64, []byte) {
+		region := shm.NewRegion()
+		clk := counterClock()
+		reason := sensor.New(region, "reason", sensor.Options{RingBytes: 1 << 18, Clock: clk})
+		conseq := sensor.New(region, "conseq", sensor.Options{RingBytes: 1 << 18, Clock: clk})
+		cp := &CausalPair{Reasoner: reason, Consequent: conseq, Event: 20, Think: 0}
+		for i := 0; i < 200; i++ {
+			cp.Fire()
+		}
+		raw := drainBytes(t, reason)
+		raw = append(raw, drainBytes(t, conseq)...)
+		return cp.Accepted, raw
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != 400 || a2 != 400 {
+		t.Fatalf("accepted counts %d/%d, want 400", a1, a2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identical causal-pair runs produced different byte sequences")
+	}
+}
+
+func TestDiurnalStampsSequence(t *testing.T) {
+	s := newTestSensor(1 << 20)
+	d := &Diurnal{Sensor: s, Event: 5, FloorRate: 50_000, PeakRate: 200_000, Period: 50 * time.Millisecond}
+	accepted := d.Run(300)
+	if accepted != 300 {
+		t.Fatalf("diurnal accepted %d of 300", accepted)
+	}
+	raw1 := drainBytes(t, s)
+	s2 := newTestSensor(1 << 20)
+	d2 := &Diurnal{Sensor: s2, Event: 5, FloorRate: 50_000, PeakRate: 200_000, Period: 50 * time.Millisecond}
+	d2.Run(300)
+	raw2 := drainBytes(t, s2)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("diurnal notice content not deterministic (pacing may vary, content must not)")
+	}
+}

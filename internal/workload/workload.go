@@ -5,13 +5,24 @@
 //     having six fields of type integer", at a fixed or unbounded event
 //     rate (experiments E1–E3, E5).
 //   - Bursty issues exponential bursts, stressing ring and batch sizing.
+//   - Diurnal ramps the event rate through a compressed day, the
+//     load-follows-users shape production instrumentation sees.
+//   - HotSkew spreads one node's events across several sensors with one
+//     hot source taking a configurable share, stressing per-source
+//     quotas and fairness.
 //   - DelayedStream synthesizes the "streams of artificially delayed
 //     event records" used to evaluate the on-line sorting algorithm (E7).
 //   - CausalPair drives reason/consequence traffic across two sensors for
 //     the causally-related-event machinery.
+//
+// Generators that draw randomness take an explicit seed and use an
+// independent des.RNG stream, so the same seed reproduces the same
+// notice sequence byte for byte — the property the scenario matrix
+// (internal/scenario) builds its reproducible cells on.
 package workload
 
 import (
+	"math"
 	"time"
 
 	"brisk/internal/des"
@@ -94,22 +105,137 @@ func (l *Looper) RunFor(d time.Duration) (issued, accepted int) {
 type Bursty struct {
 	Sensor *sensor.Sensor
 	Event  uint8
-	// BurstLen is the number of notices per burst.
+	// BurstLen is the number of notices per burst (the mean burst length
+	// when Seed is set).
 	BurstLen int
 	// Gap is the idle time between bursts.
 	Gap time.Duration
+	// Seed, when nonzero, jitters individual burst lengths uniformly in
+	// [1, 2·BurstLen−1] from a deterministic stream: the same seed
+	// reproduces the same burst shape exactly.
+	Seed uint64
+	// Issued is the total number of notices the last Run attempted
+	// (accepted plus ring-refused).
+	Issued int
 }
 
 // Run issues the given number of bursts, returning accepted notices.
+// Each notice stamps (burst index, index within burst) so consumers can
+// verify per-source order.
 func (b *Bursty) Run(bursts int) int {
+	var rng *des.RNG
+	if b.Seed != 0 {
+		rng = des.NewRNG(b.Seed)
+	}
 	accepted := 0
+	b.Issued = 0
 	for k := 0; k < bursts; k++ {
-		for i := 0; i < b.BurstLen; i++ {
+		n := b.BurstLen
+		if rng != nil && b.BurstLen > 1 {
+			n = 1 + rng.Intn(2*b.BurstLen-1)
+		}
+		for i := 0; i < n; i++ {
+			b.Issued++
 			if b.Sensor.Notice6i(b.Event, int32(k), int32(i), 0, 0, 0, 0) {
 				accepted++
 			}
 		}
 		time.Sleep(b.Gap)
+	}
+	return accepted
+}
+
+// Diurnal paces notices through a compressed day: the instantaneous rate
+// follows one raised-cosine period from FloorRate up to PeakRate and back,
+// the diurnal load curve production instrumentation rides.
+type Diurnal struct {
+	Sensor *sensor.Sensor
+	Event  uint8
+	// FloorRate and PeakRate bound the event rate (events/s). FloorRate
+	// is clamped to at least 1.
+	FloorRate int
+	PeakRate  int
+	// Period is the length of the compressed day. Default 1 s.
+	Period time.Duration
+}
+
+// Run issues n notices, pacing each by the rate the diurnal curve gives
+// at its issue time. It returns the number accepted into the ring. The
+// notice content (sequence numbers) is deterministic; only the pacing
+// varies with the curve.
+func (d *Diurnal) Run(n int) int {
+	floor := d.FloorRate
+	if floor < 1 {
+		floor = 1
+	}
+	peak := d.PeakRate
+	if peak < floor {
+		peak = floor
+	}
+	period := d.Period
+	if period <= 0 {
+		period = time.Second
+	}
+	accepted := 0
+	start := time.Now()
+	var due time.Duration // virtual elapsed time of the next event
+	for i := 0; i < n; i++ {
+		phase := float64(due%period) / float64(period)
+		rate := float64(floor) + (float64(peak-floor))*(1-math.Cos(2*math.Pi*phase))/2
+		due += time.Duration(float64(time.Second) / rate)
+		if wait := time.Until(start.Add(due)); wait > 0 {
+			time.Sleep(wait)
+		}
+		if d.Sensor.Notice6i(d.Event, int32(i), 1, 2, 3, 4, 5) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// HotSkew drives several sensors of one node with a skewed source
+// distribution: Sensors[0] (the hot source) takes HotShare of the events,
+// the rest split uniformly. Each notice stamps (per-sensor sequence,
+// sensor index) so consumers can verify per-source order and attribute
+// drops. Deterministic for a given seed.
+type HotSkew struct {
+	Sensors []*sensor.Sensor
+	Event   uint8
+	// HotShare is the fraction of events issued on Sensors[0]; clamped
+	// to [0, 1]. With one sensor every event is hot.
+	HotShare float64
+	// Seed selects the deterministic source-pick stream.
+	Seed uint64
+	// PerSensor is filled by Run with the per-sensor issued counts.
+	PerSensor []int
+}
+
+// Run issues n notices across the sensors, returning accepted notices.
+func (h *HotSkew) Run(n int) int {
+	if len(h.Sensors) == 0 {
+		return 0
+	}
+	share := h.HotShare
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	rng := des.NewRNG(h.Seed)
+	h.PerSensor = make([]int, len(h.Sensors))
+	seqs := make([]int32, len(h.Sensors))
+	accepted := 0
+	for i := 0; i < n; i++ {
+		j := 0
+		if len(h.Sensors) > 1 && rng.Float64() >= share {
+			j = 1 + rng.Intn(len(h.Sensors)-1)
+		}
+		h.PerSensor[j]++
+		if h.Sensors[j].Notice2i(h.Event, seqs[j], int32(j)) {
+			accepted++
+		}
+		seqs[j]++
 	}
 	return accepted
 }
@@ -240,17 +366,24 @@ type CausalPair struct {
 	Consequent *sensor.Sensor
 	Event      uint8
 	Think      time.Duration
-	nextID     uint64
+	// Accepted counts notices (reasons plus consequences) the rings
+	// accepted across all Fires.
+	Accepted uint64
+	nextID   uint64
 }
 
 // Fire issues one reason/consequence pair and returns its identifier.
 func (c *CausalPair) Fire() uint64 {
 	c.nextID++
 	id := c.nextID
-	c.Reasoner.NoticeReason(c.Event, id, 0)
+	if c.Reasoner.NoticeReason(c.Event, id, 0) {
+		c.Accepted++
+	}
 	if c.Think > 0 {
 		time.Sleep(c.Think)
 	}
-	c.Consequent.NoticeConseq(c.Event+1, id, 0)
+	if c.Consequent.NoticeConseq(c.Event+1, id, 0) {
+		c.Accepted++
+	}
 	return id
 }
