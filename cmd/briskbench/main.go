@@ -13,7 +13,7 @@
 //	briskbench clocksync [-seed 1]
 //	briskbench ols [-seed 1]
 //	briskbench ingest [-sessions 1,8] [-records 150000] [-batch 256] [-json FILE]
-//	briskbench sorter [-shards 1,2,4,8] [-sources 8] [-records 100000]
+//	briskbench sorter [-cores calendar,heap] [-shards 1,2,4,8] [-sources 8] [-records 100000]
 //	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_current.json]
 //	briskbench matrix [-scenarios scenarios] [-filter smoke] [-out BENCH_scenarios.json]
 //
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"brisk/internal/bench"
+	"brisk/internal/ols"
 )
 
 func main() {
@@ -91,7 +92,7 @@ experiments:
   clocksync   E6: clock-synchronization quality and convergence
   ols         E7: on-line sorting parameter sweep
   ingest      manager ingest capacity vs session count (bench-check suite)
-  sorter      sorter-stage throughput vs shard count (tentpole scaling)
+  sorter      sorter-stage throughput vs core (calendar/heap) and shard count
   benchgate   run the ingest suite and fail on regression vs a baseline file
   matrix      scenario matrix: workload × topology × clock × fault cells with contract checks
   intrusion   ablation: instrumentation overhead on a computation
@@ -250,17 +251,42 @@ func runIngest(args []string) error {
 	return nil
 }
 
+// parseCores turns "calendar,heap" into sorter core kinds.
+func parseCores(s string) ([]ols.CoreKind, error) {
+	var out []ols.CoreKind
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "":
+		case "calendar":
+			out = append(out, ols.CoreCalendar)
+		case "heap":
+			out = append(out, ols.CoreHeap)
+		default:
+			return nil, fmt.Errorf("bad sorter core %q (want calendar or heap)", f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sorter cores in %q", s)
+	}
+	return out, nil
+}
+
 func runSorter(args []string) error {
 	fs := flag.NewFlagSet("sorter", flag.ExitOnError)
+	cores := fs.String("cores", "calendar,heap", "comma-separated sorter cores (calendar, heap)")
 	shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts")
 	sources := fs.Int("sources", 8, "parallel pushing sources")
 	records := fs.Int("records", 100_000, "records per source")
 	fs.Parse(args)
+	kinds, err := parseCores(*cores)
+	if err != nil {
+		return err
+	}
 	counts, err := parseSessionCounts(*shards)
 	if err != nil {
 		return err
 	}
-	rows, err := bench.RunSorterSuite(counts, *sources, *records)
+	rows, err := bench.RunSorterSuite(kinds, counts, *sources, *records)
 	if err != nil {
 		return err
 	}
@@ -276,6 +302,7 @@ func runBenchGate(args []string) error {
 	batch := fs.Int("batch", 256, "records per data batch")
 	sorterRecords := fs.Int("sorter-records", 100_000, "records per source in the sorter-stage sweep")
 	shardRatio := fs.Float64("shardratio", 1.5, "required sorter-stage speedup of 4 shards over 1 (skipped below 4 CPUs)")
+	coreRatio := fs.Float64("coreratio", 1.3, "required single-shard speedup of the calendar core over the heap core (skipped below 4 CPUs)")
 	maxLoss := fs.Float64("maxloss", 0.15, "tolerated fractional throughput regression")
 	allocSlack := fs.Float64("allocslack", 0.25, "tolerated extra allocations per record")
 	fs.Parse(args)
@@ -293,28 +320,34 @@ func runBenchGate(args []string) error {
 	}
 	bench.IngestTable(rows).Render(os.Stdout)
 	fmt.Println()
-	// The 4-shard sorter configuration needs real parallelism to mean
-	// anything: on fewer than 4 CPUs it runs 4× SLOWER than one shard, a
-	// number that would poison any cross-box comparison. Below 4 CPUs it
-	// is not run at all — the output carries an explicit SKIP row instead
-	// of a misleading measurement.
+	// The sorter-stage matrix runs both cores (calendar and heap) at 1 and
+	// 4 shards. The 4-shard configurations need real parallelism to mean
+	// anything: on fewer than 4 CPUs they run 4× SLOWER than one shard, a
+	// number that would poison any cross-box comparison. Below 4 CPUs they
+	// are not run at all — the rendered table carries explicit SKIP rows,
+	// and WriteBenchFile omits those rows from the JSON body entirely so
+	// downstream tooling never sees a `records: 0` configuration.
 	procs := runtime.GOMAXPROCS(0)
+	benchCores := []ols.CoreKind{ols.CoreCalendar, ols.CoreHeap}
 	shardCounts := []int{1, 4}
 	if procs < 4 {
 		shardCounts = []int{1}
 	}
-	srows, err := bench.RunSorterSuite(shardCounts, 8, *sorterRecords)
+	srows, err := bench.RunSorterSuite(benchCores, shardCounts, 8, *sorterRecords)
 	if err != nil {
 		return err
 	}
-	bench.SorterTable(srows).Render(os.Stdout)
 	if procs < 4 {
-		srows = append(srows, bench.IngestResult{
-			Name:    "sorter/shards=4",
-			Shards:  4,
-			Skipped: fmt.Sprintf("GOMAXPROCS=%d < 4: shard scaling not measurable on this box", procs),
-		})
+		for _, core := range benchCores {
+			srows = append(srows, bench.IngestResult{
+				Name:    fmt.Sprintf("sorter/%s/shards=4", core),
+				Shards:  4,
+				Core:    core.String(),
+				Skipped: fmt.Sprintf("GOMAXPROCS=%d < 4: shard scaling not measurable on this box", procs),
+			})
+		}
 	}
+	bench.SorterTable(srows).Render(os.Stdout)
 	if *out != "" {
 		all := append(append([]bench.IngestResult{}, rows...), srows...)
 		if err := bench.WriteBenchFile(*out, all); err != nil {
@@ -322,17 +355,29 @@ func runBenchGate(args []string) error {
 		}
 	}
 	bad := bench.CompareBench(base.Results, rows, *maxLoss, *allocSlack)
-	// The shard-scaling gate is likewise only enforced where the hardware
-	// can express it.
+	// The sorter-stage gates are likewise only enforced where the hardware
+	// can express them: shard scaling on the calendar (production) core,
+	// and the calendar-over-heap single-shard speedup.
+	byName := make(map[string]bench.IngestResult, len(srows))
+	for _, r := range srows {
+		byName[r.Name] = r
+	}
 	if procs >= 4 {
-		ratio := srows[1].RecordsPerSec / srows[0].RecordsPerSec
-		if ratio < *shardRatio {
-			bad = append(bad, fmt.Sprintf("sorter/shards=4: ×%.2f over one shard, need ×%.2f", ratio, *shardRatio))
+		c1 := byName["sorter/calendar/shards=1"]
+		c4 := byName["sorter/calendar/shards=4"]
+		h1 := byName["sorter/heap/shards=1"]
+		if ratio := c4.RecordsPerSec / c1.RecordsPerSec; ratio < *shardRatio {
+			bad = append(bad, fmt.Sprintf("sorter/calendar/shards=4: ×%.2f over one shard, need ×%.2f", ratio, *shardRatio))
 		} else {
 			fmt.Printf("benchgate: sorter-stage scaling ×%.2f at 4 shards (need ×%.2f)\n", ratio, *shardRatio)
 		}
+		if ratio := c1.RecordsPerSec / h1.RecordsPerSec; ratio < *coreRatio {
+			bad = append(bad, fmt.Sprintf("sorter/calendar/shards=1: ×%.2f over the heap core, need ×%.2f", ratio, *coreRatio))
+		} else {
+			fmt.Printf("benchgate: calendar core ×%.2f over heap single-shard (need ×%.2f)\n", ratio, *coreRatio)
+		}
 	} else {
-		fmt.Printf("benchgate: SKIP sorter shard-scaling run and gate (GOMAXPROCS=%d < 4)\n", procs)
+		fmt.Printf("benchgate: SKIP sorter shard-scaling and core-speedup gates (GOMAXPROCS=%d < 4)\n", procs)
 	}
 	if len(bad) > 0 {
 		for _, b := range bad {

@@ -3,7 +3,11 @@
 // [text](target) and reference-style [label]: target — resolves to a
 // file or directory in the tree. External URLs and intra-document
 // anchors are skipped; a `#fragment` on a resolving file link is
-// accepted without checking the heading.
+// accepted without checking the heading. It also verifies that the
+// repository's core documents (README, ARCHITECTURE, DESIGN, TUNING,
+// OBSERVABILITY, EXPERIMENTS, ROADMAP) exist at the root, so renaming
+// or dropping one fails the gate instead of silently orphaning its
+// inbound links.
 //
 // Usage:
 //
@@ -31,12 +35,25 @@ var refRE = regexp.MustCompile(`(?m)^\[[^\]]+\]:\s+(\S+)`)
 // skipDirs are trees never scanned for Markdown or used as link targets.
 var skipDirs = map[string]bool{".git": true, "testdata": false}
 
+// requiredDocs must exist at the repository root: the documentation set
+// the rest of the tree links into.
+var requiredDocs = []string{
+	"README.md", "ARCHITECTURE.md", "DESIGN.md", "TUNING.md",
+	"OBSERVABILITY.md", "EXPERIMENTS.md", "ROADMAP.md",
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
 	broken := 0
+	for _, doc := range requiredDocs {
+		if _, err := os.Stat(filepath.Join(root, doc)); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: required document %s missing\n", doc)
+			broken++
+		}
+	}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err

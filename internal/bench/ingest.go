@@ -25,6 +25,7 @@ type IngestResult struct {
 	Name            string  `json:"name"`
 	Sessions        int     `json:"sessions"`
 	Shards          int     `json:"shards,omitempty"`
+	Core            string  `json:"core,omitempty"`
 	Records         int     `json:"records"`
 	ElapsedMicros   int64   `json:"elapsed_micros"`
 	RecordsPerSec   float64 `json:"records_per_sec"`
@@ -201,12 +202,22 @@ func IngestTable(rows []IngestResult) *Table {
 }
 
 // WriteBenchFile writes the suite results as a bench-check reference
-// file, stamped with the producing machine's CPU budget.
+// file, stamped with the producing machine's CPU budget. Skipped rows
+// are omitted from the file entirely — they carry no numbers, and a
+// `records: 0` row in the JSON invites downstream tooling to divide by
+// zero; the skip reason still appears on the rendered table and in the
+// gate's log.
 func WriteBenchFile(path string, results []IngestResult) error {
+	kept := make([]IngestResult, 0, len(results))
+	for _, r := range results {
+		if r.Skipped == "" {
+			kept = append(kept, r)
+		}
+	}
 	f := BenchFile{
 		Schema:  BenchSchema,
 		Env:     &BenchEnv{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
-		Results: results,
+		Results: kept,
 	}
 	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -16,8 +16,9 @@ import (
 // manager's decode-workers/merger split without the wire and decode cost.
 // This is the number that should scale with shard count on multi-core
 // machines; the end-to-end ingest benchmark dilutes it with TCP and
-// decode work.
-func RunSorterStage(shards, sources, perSource int) (IngestResult, error) {
+// decode work. The core axis (calendar vs heap) isolates the per-shard
+// data-structure cost on the same workload.
+func RunSorterStage(core ols.CoreKind, shards, sources, perSource int) (IngestResult, error) {
 	if shards <= 0 {
 		shards = 1
 	}
@@ -32,7 +33,7 @@ func RunSorterStage(shards, sources, perSource int) (IngestResult, error) {
 	// Fixed tiny T: every record is past its deadline the moment it
 	// arrives, so the merger is always busy and the measurement is pure
 	// sorter+merge throughput, not window latency.
-	sh := ols.NewSharded(ols.Config{InitialT: 1, Grow: ols.GrowFixed}, shards)
+	sh := ols.NewSharded(ols.Config{InitialT: 1, Grow: ols.GrowFixed, Core: core}, shards)
 	protos := make([]record.Record, sources)
 	for i := range protos {
 		protos[i] = record.New(1,
@@ -81,9 +82,10 @@ loop:
 		return IngestResult{}, fmt.Errorf("bench: sorter emitted %d of %d", emitted, total)
 	}
 	return IngestResult{
-		Name:            fmt.Sprintf("sorter/shards=%d", shards),
+		Name:            fmt.Sprintf("sorter/%s/shards=%d", core, shards),
 		Sessions:        sources,
 		Shards:          shards,
+		Core:            core.String(),
 		Records:         total,
 		ElapsedMicros:   elapsed.Microseconds(),
 		RecordsPerSec:   float64(total) / elapsed.Seconds(),
@@ -91,30 +93,42 @@ loop:
 	}, nil
 }
 
-// RunSorterSuite runs the sorter-stage benchmark at each shard count.
-func RunSorterSuite(shardCounts []int, sources, perSource int) ([]IngestResult, error) {
+// RunSorterSuite runs the sorter-stage benchmark for each core at each
+// shard count.
+func RunSorterSuite(cores []ols.CoreKind, shardCounts []int, sources, perSource int) ([]IngestResult, error) {
+	if len(cores) == 0 {
+		cores = []ols.CoreKind{ols.CoreCalendar, ols.CoreHeap}
+	}
 	if len(shardCounts) == 0 {
 		shardCounts = []int{1, 2, 4, 8}
 	}
 	var out []IngestResult
-	for _, n := range shardCounts {
-		r, err := RunSorterStage(n, sources, perSource)
-		if err != nil {
-			return nil, err
+	for _, core := range cores {
+		for _, n := range shardCounts {
+			r, err := RunSorterStage(core, n, sources, perSource)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }
 
-// SorterTable renders the sorter-stage suite.
+// SorterTable renders the sorter-stage suite. Skipped configurations
+// render their skip reason in place of numbers; WriteBenchFile drops
+// them from the JSON entirely.
 func SorterTable(rows []IngestResult) *Table {
 	t := &Table{
-		Title:  "sorter: shard→merge stage throughput vs shard count",
-		Header: []string{"shards", "sources", "records", "elapsed", "records/s", "allocs/record"},
+		Title:  "sorter: shard→merge stage throughput vs core and shard count",
+		Header: []string{"core", "shards", "sources", "records", "elapsed", "records/s", "allocs/record"},
 	}
 	for _, r := range rows {
-		t.Add(r.Shards, r.Sessions, r.Records,
+		if r.Skipped != "" {
+			t.Add(r.Core, r.Shards, "-", "-", "-", "SKIP: "+r.Skipped, "-")
+			continue
+		}
+		t.Add(r.Core, r.Shards, r.Sessions, r.Records,
 			(time.Duration(r.ElapsedMicros) * time.Microsecond).Round(time.Millisecond),
 			r.RecordsPerSec, r.AllocsPerRecord)
 	}

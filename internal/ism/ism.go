@@ -583,8 +583,19 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 		Help: "current on-line sorter window T (the adaptive time frame; max across shards)", Unit: "microseconds"},
 		func() float64 { return float64(m.sorter.TimeFrame()) })
 	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_heap_depth",
-		Help: "records currently buffered in the sorter's heaps (aggregate across shards)", Unit: "records"},
+		Help: "records currently buffered inside the sorter's delay window (aggregate across shards, either core)", Unit: "records"},
 		func() float64 { return float64(m.sorter.Buffered()) })
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_ols_bucket_occupancy",
+		Help: "live records in the fullest calendar bucket across shards (0 on the heap core or while the heap fallback is active)", Unit: "records"},
+		func() float64 { return float64(m.sorter.MaxBucketOccupancy()) })
+	reg.CounterFunc(metrics.Desc{Name: "brisk_ols_fallback_heap_total",
+		Help: "times a calendar-core shard fell back to its binary heap (timestamp regression, tachyon beyond re-anchor reach, or hot-bucket imbalance)",
+		Unit: "fallbacks"},
+		func() uint64 { return m.sorter.Stats().HeapFallbacks })
+	reg.CounterFunc(metrics.Desc{Name: "brisk_ols_calendar_rebuilds_total",
+		Help: "times a calendar-core shard re-bucketed its ring at a doubled width (in-flight span outgrew the ring)",
+		Unit: "rebuilds"},
+		func() uint64 { return m.sorter.Stats().CalendarRebuilds })
 	olsCounter := func(name, help string, get func(ols.Stats) uint64) {
 		reg.CounterFunc(metrics.Desc{Name: name, Help: help, Unit: "records"}, func() uint64 {
 			return get(m.sorter.Stats())
@@ -622,6 +633,9 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 				func(s ols.Stats) uint64 { return s.Inversions })
 			shardCounter("brisk_ols_shard_dropped_full_total", "records this shard dropped at the aggregate MaxBuffered or per-source quota bound",
 				func(s ols.Stats) uint64 { return s.DroppedFull })
+			reg.CounterFunc(metrics.Desc{Name: "brisk_ols_shard_fallback_heap_total",
+				Help: "times this shard's calendar core fell back to its binary heap", Unit: "fallbacks", Labels: labels},
+				func() uint64 { return m.sorter.ShardStats(i).HeapFallbacks })
 		}
 	}
 	creCounter := func(name, help string, get func(cre.Stats) uint64) {

@@ -13,9 +13,13 @@ import (
 func TestAllocsSteadyStatePushExtract(t *testing.T) {
 	s := New(Config{InitialT: 10, Grow: GrowFixed})
 	emit := func(record.Record) {}
-	// Warm up: establish both source queues and their slot capacity.
+	// Warm up: establish both source queues and their slot capacity. Under
+	// the calendar core slot storage lives in the 256-bucket ring and is
+	// grown lazily as the ring rotates, so the warm phase must cover
+	// several full ring revolutions before every bucket's capacity is
+	// established.
 	now := int64(0)
-	for i := 0; i < 256; i++ {
+	for i := 0; i < 4096; i++ {
 		now += 100
 		s.Push(1, rec(now), now)
 		s.Push(2, rec(now+1), now)

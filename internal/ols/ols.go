@@ -10,9 +10,38 @@
 // amount of instrumentation data delayed in memory. The method trades
 // event ordering against latency.
 //
-// The merge itself uses a heap with one entry per source queue (the
-// paper's ISM heap); per-source FIFO order is always preserved because
-// only queue heads enter the heap.
+// # Sorter cores
+//
+// Two interchangeable cores implement the delay-window merge, selected
+// by Config.Core and proven emission-identical on arbitrary input:
+//
+//   - CoreCalendar (the default): a timestamp-bucketed calendar queue.
+//     A record lands in the flat bucket keyed by (TS − base) / width,
+//     O(1) amortized; emission is an append-order scan of expired
+//     buckets; the bucket width tracks the adaptive window T. See
+//     calendar.go for the structure and the equivalence argument.
+//   - CoreHeap: the paper's ISM heap — per-source FIFO queues whose
+//     heads are merged through a min-heap ordered by (TS, Seq),
+//     O(log n) per record.
+//
+// A calendar-core sorter falls back to the heap automatically when the
+// input turns pathological for bucketing (a source regressing its own
+// timeline, tachyons beyond re-anchor reach behind the ring, occupancy
+// collapsing into one bucket), counts the event in Stats.HeapFallbacks,
+// and returns to the calendar once it drains empty. Fallback never
+// changes what is emitted or in what order — only the cost of producing
+// it.
+//
+// # Adaptive window, quota and loss accounting
+//
+// Both cores share the surrounding machinery: the adaptive time frame T
+// (grown per GrowPolicy on observed inversions, exponentially decayed
+// toward MinT with half-life HalfLife), the MaxBuffered global bound
+// and per-source SourceQuota with drop-newest accounting, and the
+// per-source loss accumulators drained by TakeLosses that let the ISM
+// synthesize loss-marker records — markers themselves are exempt from
+// the bounds. Per-source FIFO order is always preserved: all of one
+// source's records order by Seq whichever core holds them.
 package ols
 
 import (
@@ -51,6 +80,33 @@ func (p GrowPolicy) String() string {
 	}
 }
 
+// CoreKind selects the data structure a Sorter delays and orders
+// records with.
+type CoreKind int
+
+const (
+	// CoreCalendar is the timestamp-bucketed calendar queue — O(1)
+	// amortized per record on the nearly-sorted streams the transport
+	// delivers, with an automatic per-sorter heap fallback for
+	// pathological skew. The zero value, hence the default.
+	CoreCalendar CoreKind = iota
+	// CoreHeap is the paper's comparison core: per-source FIFO queues
+	// merged through a min-heap of queue heads, O(log n) per record.
+	CoreHeap
+)
+
+// String names the core ("calendar", "heap").
+func (k CoreKind) String() string {
+	switch k {
+	case CoreCalendar:
+		return "calendar"
+	case CoreHeap:
+		return "heap"
+	default:
+		return "CoreKind(?)"
+	}
+}
+
 // Config holds the sorter's tuning knobs.
 type Config struct {
 	// InitialT is the starting time frame in µs. Default 1000.
@@ -75,6 +131,10 @@ type Config struct {
 	// budget and force drops onto quiet sensors. 0 means no per-source
 	// bound.
 	SourceQuota int
+	// Core selects the sorting data structure. The zero value is
+	// CoreCalendar; both cores emit byte-identical streams, so this is a
+	// performance knob, not a semantic one.
+	Core CoreKind
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +170,15 @@ type Stats struct {
 	SourceDrops map[int32]uint64
 	// GrownTo is the largest T ever reached.
 	GrownTo int64
+	// HeapFallbacks counts calendar→heap core switches: pushes the
+	// bucket ring could not absorb without breaking heap equivalence
+	// (same-source timestamp regression, a tachyon behind the ring's
+	// re-anchor reach, or single-bucket occupancy collapse). Always 0
+	// for CoreHeap sorters.
+	HeapFallbacks uint64
+	// CalendarRebuilds counts bucket-ring rebuilds at a wider bucket
+	// width, taken when a push lands beyond the ring's forward span.
+	CalendarRebuilds uint64
 }
 
 // Sorter merges per-source record streams into timestamp order. Not safe
@@ -127,6 +196,15 @@ type Sorter struct {
 	queues map[int32]*srcQueue
 	h      srcHeap
 	seq    uint64
+
+	// onHeap is the live core: true for CoreHeap sorters always, and for
+	// CoreCalendar sorters while the automatic fallback is engaged. The
+	// calendar state below is untouched (and empty) while it is true.
+	onHeap bool
+	cal    calendar
+	// calRebuild scratch, retained to amortize across rebuilds.
+	calRecs []record.Record
+	calQs   []*srcQueue
 
 	lossPending int // sources with unharvested drop accumulators
 
@@ -148,7 +226,12 @@ type Sorter struct {
 // New returns a sorter with the given configuration.
 func New(cfg Config) *Sorter {
 	cfg = cfg.withDefaults()
-	return &Sorter{cfg: cfg, t: float64(cfg.InitialT), queues: make(map[int32]*srcQueue)}
+	return &Sorter{
+		cfg:    cfg,
+		t:      float64(cfg.InitialT),
+		queues: make(map[int32]*srcQueue),
+		onHeap: cfg.Core == CoreHeap,
+	}
 }
 
 // TimeFrame returns the current time frame T in µs.
@@ -217,10 +300,11 @@ func (s *Sorter) TakeLosses(fn func(src int32, count uint64, firstTS, lastTS int
 // merged stream. Records without a timestamp are stamped with now so they
 // flow through rather than stall the merge.
 //
-// Push deep-copies rec, including its Fields, into queue-owned storage:
-// the caller may recycle rec.Fields (a pooled decode batch, say) as soon
-// as Push returns. The copy reuses the queue slot's previous Fields array,
-// so steady-state pushes do not allocate.
+// Push deep-copies rec, including its Fields, into sorter-owned storage
+// (a calendar bucket slot or a queue slot, per the live core): the caller
+// may recycle rec.Fields (a pooled decode batch, say) as soon as Push
+// returns. The copy reuses the slot's previous Fields array, so
+// steady-state pushes do not allocate.
 //
 // A push beyond MaxBuffered or the source's quota is dropped (drop-newest)
 // and accounted to the source in Stats.SourceDrops and in the loss
@@ -283,6 +367,19 @@ func (s *Sorter) Push(src int32, rec record.Record, now int64) {
 		s.grow(now - rec.TS)
 	}
 
+	if !s.onHeap {
+		if s.calInsert(q, rec) {
+			q.lastPushTS = rec.TS
+			q.buffered++
+			s.buffered++
+			return
+		}
+		// The ring cannot absorb this record without breaking heap
+		// equivalence: migrate everything buffered into the queues and
+		// continue on the heap core (reverted once it drains empty).
+		s.fallbackToHeap()
+	}
+	q.lastPushTS = rec.TS
 	wasEmpty := q.empty()
 	q.push(rec)
 	q.buffered++
@@ -335,16 +432,31 @@ func (s *Sorter) decay(now int64) {
 
 // Extract emits, in merged timestamp order, every buffered record that has
 // aged at least T (now − TS ≥ T). It returns the number emitted. The
-// record passed to emit borrows its Fields from the queue slot that held
-// it, which a later Push into the sorter reuses: it is valid as given only
-// until the next Push or Extract call. A callee retaining records beyond
-// that window must record.Detach them.
+// record passed to emit borrows its Fields from the queue or bucket slot
+// that held it, which a later Push into the sorter reuses: it is valid as
+// given only until the next Push or Extract call. A callee retaining
+// records beyond that window must record.Detach them.
 func (s *Sorter) Extract(now int64, emit func(record.Record)) int {
 	s.decay(now)
 	return s.extract(now, emit)
 }
 
+// extract dispatches the drain to the live core. Both cores apply the
+// identical aging gate (emit while now − TS ≥ T) in the identical
+// (TS, Seq) order; a calendar sorter parked on the heap fallback
+// reverts once the drain leaves it empty.
 func (s *Sorter) extract(now int64, emit func(record.Record)) int {
+	if !s.onHeap {
+		return s.calDrain(now, emit)
+	}
+	n := s.extractHeap(now, emit)
+	s.maybeRevert()
+	return n
+}
+
+// extractHeap is extract for the heap core: pop aged queue heads in
+// (TS, Seq) order, re-fixing the heap as each queue's head advances.
+func (s *Sorter) extractHeap(now int64, emit func(record.Record)) int {
 	n := 0
 	for len(s.h) > 0 {
 		q := s.h[0]
@@ -384,21 +496,39 @@ func (s *Sorter) Flush(emit func(record.Record)) int {
 // record becomes emittable, and false when nothing is buffered. The ISM
 // merger uses it to sleep precisely instead of polling.
 func (s *Sorter) NextDeadline() (int64, bool) {
+	if !s.onHeap {
+		ts, ok := s.cal.oldest()
+		if !ok {
+			return 0, false
+		}
+		return ts + int64(s.t), true
+	}
 	if len(s.h) == 0 {
 		return 0, false
 	}
 	return s.h[0].head().TS + int64(s.t), true
 }
 
-// srcQueue is one source's FIFO with an amortized head index.
+// srcQueue is one source's FIFO with an amortized head index. Under the
+// calendar core the queue itself stays empty (records live in the
+// bucket ring) but the struct remains the source's accounting record:
+// buffered count, quota, loss accumulators, and the monotonicity
+// watermark below.
 type srcQueue struct {
 	src  int32
 	recs []record.Record
 	hd   int
 	pos  int // index in the heap, -1 when absent
 
-	buffered int    // live records in this queue
+	buffered int    // live records in this queue (or this source's bucket share)
 	dropped  uint64 // cumulative records dropped at a buffer bound
+
+	// lastPushTS is the timestamp of this source's most recent push. The
+	// calendar's global (TS, Seq) order equals the heap's FIFO merge only
+	// while every source's buffered records are TS-non-decreasing; a push
+	// behind this watermark (with records still buffered) forces the heap
+	// fallback before the invariant breaks.
+	lastPushTS int64
 
 	// Unharvested loss accumulator (drained by TakeLosses): how many
 	// records dropped since the last harvest and the timestamp range they

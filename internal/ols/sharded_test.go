@@ -322,7 +322,7 @@ func TestAllocsShardedSteadyState(t *testing.T) {
 	for i := range warm {
 		warm[i] = rec(0)
 	}
-	for i := 0; i < 256; i++ {
+	for i := 0; i < 4096; i++ {
 		now += 100
 		for s := int32(1); s <= sources; s++ {
 			warm[s-1].SetTS(now + int64(s))
