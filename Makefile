@@ -51,7 +51,7 @@ test:
 # reconnect, resume, fault injection, sharded sorting, and the pooled
 # record paths hammer shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/workload
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/relay ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/workload
 
 # Full suite under the race detector (slower).
 race:

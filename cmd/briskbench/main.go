@@ -348,8 +348,26 @@ func runBenchGate(args []string) error {
 		}
 	}
 	bench.SorterTable(srows).Render(os.Stdout)
+	// The relay-hop row prices federated delivery (leaf→relay→root) at
+	// the largest baseline session count. It is informational this round:
+	// CompareBench only gates rows named in the baseline, so the row
+	// lands in the output file without failing anyone's gate until a
+	// baseline number is committed for it.
+	relaySessions := 1
+	for _, n := range counts {
+		if n > relaySessions {
+			relaySessions = n
+		}
+	}
+	rrow, err := bench.RunRelayIngest(relaySessions, *records, *batch)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.RelayTable([]bench.IngestResult{rrow}).Render(os.Stdout)
 	if *out != "" {
 		all := append(append([]bench.IngestResult{}, rows...), srows...)
+		all = append(all, rrow)
 		if err := bench.WriteBenchFile(*out, all); err != nil {
 			return err
 		}

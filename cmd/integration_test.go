@@ -23,7 +23,7 @@ import (
 func buildAll(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"ism", "exs", "brisktrace", "mknotice", "briskbench"} {
+	for _, tool := range []string{"ism", "exs", "relay", "brisktrace", "mknotice", "briskbench"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./"+tool)
 		cmd.Dir = "." // cmd/ directory
@@ -148,6 +148,127 @@ func TestMultiProcessSession(t *testing.T) {
 	for _, node := range []string{"   1      ", "   2      "} {
 		if !strings.Contains(text, node) {
 			t.Fatalf("node attribution missing:\n%s", text)
+		}
+	}
+}
+
+// TestFederatedMultiProcessSession stacks the real executables into the
+// hierarchical deployment: a root ism, one relay process fronting the
+// regional fleet, and two exs processes attached to the relay. The root
+// trace must hold every record, rebased onto the relay's node-id range,
+// with the relay's wider root time frame keeping the merged order clean.
+func TestFederatedMultiProcessSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process session in -short mode")
+	}
+	bin := buildAll(t)
+	rootAddr := freePort(t)
+	relayAddr := freePort(t)
+	trace := filepath.Join(t.TempDir(), "federated.picl")
+
+	// The relay tier parks records for up to its own time frame before
+	// forwarding, so the root's frame is widened per the composed-window
+	// rule (2× the tier frame plus merge/flush slack).
+	ism := exec.Command(filepath.Join(bin, "ism"),
+		"-addr", rootAddr, "-sync", "100ms", "-picl", trace, "-T", "50000")
+	var ismOut strings.Builder
+	ism.Stdout = &ismOut
+	ism.Stderr = &ismOut
+	if err := ism.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if ism.Process != nil {
+			ism.Process.Kill()
+			ism.Wait()
+		}
+	}()
+	waitListening(t, rootAddr)
+
+	relay := exec.Command(filepath.Join(bin, "relay"),
+		"-addr", relayAddr, "-parent", rootAddr, "-name", "region-a",
+		"-node-base", "100", "-sync", "100ms", "-T", "2000")
+	var relayOut strings.Builder
+	relay.Stdout = &relayOut
+	relay.Stderr = &relayOut
+	if err := relay.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if relay.Process != nil {
+			relay.Process.Kill()
+			relay.Wait()
+		}
+	}()
+	waitListening(t, relayAddr)
+
+	runEXS := func(name string, extra ...string) *exec.Cmd {
+		args := append([]string{
+			"-manager", relayAddr, "-name", name,
+			"-rate", "3000", "-count", "300",
+		}, extra...)
+		c := exec.Command(filepath.Join(bin, "exs"), args...)
+		c.Stdout = os.Stderr
+		c.Stderr = os.Stderr
+		return c
+	}
+	a := runEXS("fed-a")
+	b := runEXS("fed-b", "-skew", "-20ms")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatalf("exs a: %v", err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatalf("exs b: %v", err)
+	}
+
+	// Tier-ordered shutdown: the relay's SIGINT flushes its sorter through
+	// the uplink and drains acks, then the root's SIGINT flushes the trace.
+	time.Sleep(500 * time.Millisecond)
+	stop := func(name string, cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not exit on SIGINT", name)
+		}
+	}
+	stop("relay", relay)
+	if !strings.Contains(relayOut.String(), "forwarded=600") {
+		t.Fatalf("relay final stats missing records:\n%s", relayOut.String())
+	}
+	stop("ism", ism)
+	if !strings.Contains(ismOut.String(), "received=600") {
+		t.Fatalf("ism final stats missing records:\n%s", ismOut.String())
+	}
+
+	out, err := exec.Command(filepath.Join(bin, "brisktrace"), trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("brisktrace: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "records: 600") {
+		t.Fatalf("trace record count wrong:\n%s", text)
+	}
+	inv := -1
+	fmt.Sscanf(text[strings.Index(text, "inversions:"):], "inversions: %d", &inv)
+	if inv < 0 || inv > 5 {
+		t.Fatalf("merged trace inversions = %d, want ≤5:\n%s", inv, text)
+	}
+	// The relay rebases the fleet's session ids onto its -node-base range.
+	for _, node := range []string{" 101      ", " 102      "} {
+		if !strings.Contains(text, node) {
+			t.Fatalf("rebased node attribution missing:\n%s", text)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+// Command relay runs one intermediate tier of a federated BRISK
+// deployment: a full instrumentation-system manager for a regional
+// sensor fleet (local sort, correction, child-tier clock sync) whose
+// merged output is forwarded upstream to a parent manager as a single
+// high-rate session. Stack relays to build a hierarchy; the root ism
+// re-merges the regional streams into the global order.
+//
+// Usage:
+//
+//	relay -addr :7412 -parent 127.0.0.1:7411 -name region-a -node-base 1000
+//
+// Statistics are reported on SIGINT before exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"brisk"
+	"brisk/internal/ism"
+	"brisk/internal/ols"
+	"brisk/internal/relay"
+	"brisk/internal/vclock"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7412", "TCP listen address for the regional fleet")
+		parent   = flag.String("parent", "127.0.0.1:7411", "parent manager address the merged stream forwards to")
+		name     = flag.String("name", hostnameOr("relay"), "node name announced upstream")
+		nodeBase = flag.Int("node-base", 0, "added to forwarded origin node ids; give relay i a base of i×(fleet size)")
+		skew     = flag.Duration("skew", 0, "initial clock offset (simulated, e.g. -50ms)")
+		drift    = flag.Float64("drift", 0, "clock frequency error in ppm (simulated)")
+
+		syncPeriod = flag.Duration("sync", 5*time.Second, "child-tier clock-sync polling period (0 disables)")
+		initialT   = flag.Int64("T", 1000, "regional sorter initial time frame (µs); widen the parent's by 2× plus slack")
+		merge      = flag.Duration("merge", 5*time.Millisecond, "regional merger wake interval")
+		maxBuf     = flag.Int("maxbuffered", 0, "regional sorter record bound, arms credit flow control (0 = unbounded)")
+		olsShards  = flag.Int("ols-shards", 0, "regional sorter shards (0 or 1 = single sorter, -1 = one per CPU)")
+
+		batch         = flag.Int("batch", 0, "records per uplink batch (0 = default 256)")
+		flush         = flag.Duration("flush", 0, "partial uplink batch flush interval (0 = default 2ms)")
+		queue         = flag.Int("queue", 0, "bytes of unacknowledged uplink batches buffered across outages (0 = default 4MiB)")
+		reconnectBase = flag.Duration("reconnect-base", 0, "first uplink reconnect backoff delay (0 = default 50ms)")
+		reconnectMax  = flag.Duration("reconnect-max", 0, "uplink reconnect backoff cap (0 = default 5s)")
+		reconnectCap  = flag.Int("reconnect-attempts", -1, "failed uplink reconnects before giving up (-1 = retry forever)")
+
+		statsEvery = flag.Duration("stats", 0, "periodically print statistics (0 disables)")
+		statsHTTP  = flag.String("stats-http", "", "serve statistics as JSON on this address")
+		obsAddr    = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	var raw vclock.Clock = vclock.System{}
+	if *skew != 0 || *drift != 0 {
+		raw = vclock.NewDrift(vclock.System{}, skew.Microseconds(), *drift)
+	}
+	rl, err := relay.New(relay.Config{
+		Addr:     *addr,
+		Parent:   *parent,
+		Name:     *name,
+		NodeBase: int32(*nodeBase),
+		Clock:    raw,
+		ISM: ism.Config{
+			SyncPeriod:    *syncPeriod,
+			MergeInterval: *merge,
+			Sorter:        ols.Config{InitialT: *initialT, MaxBuffered: *maxBuf},
+			OLSShards:     *olsShards,
+		},
+		BatchRecords:         *batch,
+		FlushInterval:        *flush,
+		QueueBytes:           *queue,
+		ReconnectBase:        *reconnectBase,
+		ReconnectMax:         *reconnectMax,
+		MaxReconnectAttempts: *reconnectCap,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("relay: node %d (%s) listening on %s, forwarding to %s\n",
+		rl.Node(), *name, rl.Addr(), *parent)
+
+	if *obsAddr != "" {
+		obs, err := brisk.ServeObservability(*obsAddr, rl.Metrics(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relay: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer obs.Close()
+		fmt.Printf("relay: metrics at http://%s/metrics\n", obs.Addr())
+	}
+	if *statsHTTP != "" {
+		ln, err := net.Listen("tcp", *statsHTTP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relay: stats-http: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rl.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("relay: statistics at http://%s/stats\n", ln.Addr())
+	}
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := rl.Stats()
+				fmt.Printf("relay: online=%v fleet=%d received=%d forwarded=%d shipped=%d backlog=%d queued=%dB reconnects=%d markedLost=%d corr=%dµs\n",
+					st.Online, st.ISM.Connected, st.ISM.Received, st.Forwarded,
+					st.Shipped, st.BacklogRecords, st.QueuedBytes,
+					st.Reconnects, st.MarkedLost+st.ISM.MarkedLost, st.Correction)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := rl.Stats()
+	if err := rl.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "relay: close: %v\n", err)
+	}
+	fmt.Printf("relay: final stats: fleet=%d received=%d forwarded=%d shipped=%d batches=%d retransmits=%d reconnects=%d dropped=%d markedLost=%d corr=%dµs\n",
+		st.ISM.Connected, st.ISM.Received, st.Forwarded, st.Shipped,
+		st.Batches, st.Retransmits, st.Reconnects, st.Dropped,
+		st.MarkedLost+st.ISM.MarkedLost, st.Correction)
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}

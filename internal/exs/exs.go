@@ -762,13 +762,7 @@ func (e *EXS) markDisconnected(c *wire.Conn, err error) {
 	e.conn, e.raw = nil, nil
 	e.connMu.Unlock()
 	raw.Close()
-	e.qMu.Lock()
-	for i := range e.queue {
-		e.queue[i].sent = false
-	}
-	e.inflight = 0 // nothing is in flight on a dead link
-	e.stalled = false
-	e.qMu.Unlock()
+	e.resetTransmitState()
 	if e.closed.Load() {
 		return
 	}
@@ -779,6 +773,23 @@ func (e *EXS) markDisconnected(c *wire.Conn, err error) {
 	case e.reconnectCh <- struct{}{}:
 	default:
 	}
+}
+
+// resetTransmitState flags every queued batch for retransmission and
+// clears the in-flight window. It must run whenever a connection is
+// abandoned — including a redial whose replay failed before the link
+// went online. Skipping it leaves sent-but-undelivered batches marked
+// sent: the next replay pass would omit them, and a cumulative ack for
+// a later sequence (the manager tolerates gaps because spill eviction
+// creates legitimate ones) would then release them silently.
+func (e *EXS) resetTransmitState() {
+	e.qMu.Lock()
+	for i := range e.queue {
+		e.queue[i].sent = false
+	}
+	e.inflight = 0 // nothing is in flight on a dead link
+	e.stalled = false
+	e.qMu.Unlock()
 }
 
 // markDead gives up on the manager permanently: the queue is discarded
@@ -883,9 +894,13 @@ func (e *EXS) reconnectLoop() bool {
 			e.ackTo(ack.LastSeq)
 		}
 		// Replay the backlog before going online so fresh batches cannot
-		// overtake older sequence numbers.
+		// overtake older sequence numbers. A failure here abandons a
+		// connection markDisconnected never saw (e.conn is still nil), so
+		// the batches this pump wrote into the dead socket must be
+		// re-flagged for retransmission by hand.
 		if err := e.pump(conn); err != nil {
 			raw.Close()
+			e.resetTransmitState()
 			continue
 		}
 		e.connMu.Lock()

@@ -402,6 +402,179 @@ func TestDialContextCancelAbortsBackoff(t *testing.T) {
 	}
 }
 
+// TestReplayAbortRetransmitsWrittenPrefix is the regression test for the
+// silent-loss hole where a redial's replay pump dies mid-pass: batches it
+// had already written into the doomed socket stayed flagged sent, the
+// next replay skipped them, and the manager's cumulative ack for a later
+// sequence (gaps are legal — eviction creates them) released them without
+// delivery. The fake manager here never acks on the first connection,
+// accepts the resume on the second and immediately resets it mid-replay,
+// then behaves on the third — which must receive every sequence.
+func TestReplayAbortRetransmitsWrittenPrefix(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Enough queued bytes that the second connection's replay overflows
+	// the loopback socket buffers (the kernel autotunes the send buffer
+	// up to ~4 MiB) and blocks mid-pass: ~330 batches of ~16 KiB
+	// (batchRecords records of 24 bytes each) ≈ 5.4 MiB.
+	const conn1Batches = 330
+	const batchRecords = 680
+
+	var mu sync.Mutex
+	seqs := make(map[int][]uint64) // connection ordinal → batch seqs received
+	conn1Done := make(chan struct{})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 1; ; n++ {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wc := wire.NewConn(raw)
+			msg, err := wc.Recv()
+			if err != nil {
+				raw.Close()
+				continue
+			}
+			hello, ok := msg.(*wire.Hello)
+			if !ok {
+				raw.Close()
+				continue
+			}
+			ack := &wire.HelloAck{Node: 1, Resumed: hello.Resume}
+			if wc.Send(ack) != nil {
+				raw.Close()
+				continue
+			}
+			if n == 2 {
+				// Read nothing: the replay pump fills the socket buffers,
+				// marks those batches sent, and blocks. Then reset the
+				// link so the blocked write fails partway through the
+				// replay pass.
+				time.Sleep(50 * time.Millisecond)
+				if tc, ok := raw.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				raw.Close()
+				continue
+			}
+			conn := n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer raw.Close()
+				for {
+					msg, err := wc.Recv()
+					if err != nil {
+						return
+					}
+					b, ok := msg.(*wire.DataBatch)
+					if !ok {
+						continue
+					}
+					mu.Lock()
+					seqs[conn] = append(seqs[conn], b.Seq)
+					got := len(seqs[conn])
+					mu.Unlock()
+					if conn == 1 {
+						// Never ack; once the queue holds well over a
+						// socket buffer's worth of unacked batches, cut.
+						if got == conn1Batches {
+							if tc, ok := raw.(*net.TCPConn); ok {
+								tc.SetLinger(0)
+							}
+							raw.Close()
+							close(conn1Done)
+							return
+						}
+						continue
+					}
+					if wc.Send(&wire.DataAck{Seq: b.Seq}) != nil {
+						return
+					}
+				}
+			}()
+			if conn >= 3 {
+				return // accept loop done; connection 3 is the keeper
+			}
+		}
+	}()
+
+	region := shm.NewRegion()
+	cfg := Config{
+		ManagerAddr:   ln.Addr().String(),
+		NodeName:      "t",
+		Region:        region,
+		FlushInterval: time.Millisecond,
+		PollInterval:  200 * time.Microsecond,
+		ReconnectBase: 2 * time.Millisecond,
+		ReconnectMax:  10 * time.Millisecond,
+		SpillBytes:    16 << 20, // hold the whole backlog; no eviction
+		Logf:          func(string, ...any) {},
+	}
+	e, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := sensor.New(region, "app", sensor.Options{})
+
+	// Ship the backlog one batch at a time (paced on the fake's receive
+	// count so the ring never overruns); the fake cuts after the last.
+	for i := 0; i < conn1Batches; i++ {
+		for j := 0; j < batchRecords; j++ {
+			s.Notice2i(1, int32(i), int32(j))
+		}
+		e.Flush()
+		waitFor(t, 5*time.Second, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(seqs[1]) >= i+1
+		})
+	}
+	<-conn1Done
+
+	// The sensor must reconnect (twice: the mid-replay reset, then the
+	// good connection) and drain its whole queue.
+	waitFor(t, 10*time.Second, func() bool {
+		e.qMu.Lock()
+		empty := len(e.queue) == 0
+		e.qMu.Unlock()
+		return e.Stats().Online && empty
+	})
+
+	st := e.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", st.Dropped)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var maxSeq uint64
+	for _, batch := range seqs {
+		for _, q := range batch {
+			if q > maxSeq {
+				maxSeq = q
+			}
+		}
+	}
+	got := make(map[uint64]bool, len(seqs[3]))
+	for _, q := range seqs[3] {
+		got[q] = true
+	}
+	for q := uint64(1); q <= maxSeq; q++ {
+		if !got[q] {
+			t.Errorf("seq %d never delivered on the surviving connection (conn3 saw %v)", q, seqs[3])
+		}
+	}
+}
+
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

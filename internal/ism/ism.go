@@ -124,6 +124,20 @@ type Config struct {
 	// "specify what to monitor" hook of the paper's transparent
 	// monitoring discussion.
 	Filter func(rec *record.Record) bool
+	// Forward, when non-nil, receives every sorted record the sinks
+	// accept (loss markers included — they are exempt from Filter),
+	// called on the merger goroutine with the pipeline lock held. The
+	// relay tier uses it as its uplink tap. The record borrows merge
+	// staging storage: implementations must encode or copy what they
+	// keep before returning, and must never block.
+	Forward func(rec *record.Record)
+	// GateBacklog, when non-nil, reports extra records that should count
+	// toward the ack-gate occupancy on top of the sorter's own buffered
+	// count. A relay manager points it at its uplink backlog, so a
+	// parent withholding acks closes this manager's gate too — the
+	// mechanism that composes backpressure across tiers. Called on every
+	// gate update; must be fast and lock-free.
+	GateBacklog func() int
 	// Logf logs diagnostics; nil means log.Printf.
 	Logf func(format string, args ...any)
 	// Metrics, when non-nil, is the registry the manager registers its
@@ -148,6 +162,9 @@ type Stats struct {
 	Emitted uint64
 	// Batches counts data batches received.
 	Batches uint64
+	// RelayBatches counts relay batches (origin-attributed batches from
+	// a downstream relay-tier ISM) among them.
+	RelayBatches uint64
 	// BytesIn counts wire payload bytes received.
 	BytesIn uint64
 	// Sorter and CRE expose the subsystem counters.
@@ -263,10 +280,12 @@ func (s *session) severCurrent() {
 }
 
 // pending is one received-but-undecoded data batch queued to a session's
-// decode worker.
+// decode worker. relay marks a RelayBatch payload: node-prefixed entries
+// carrying their own origin ids instead of the session's node.
 type pending struct {
 	count   uint32
 	payload []byte
+	relay   bool
 }
 
 // Manager is the ISM. Create with New, start with Serve (or let New's
@@ -294,12 +313,13 @@ type Manager struct {
 	wgWorkers   sync.WaitGroup // per-session decode workers
 	closed      atomic.Bool
 
-	reg      *metrics.Registry
-	tracer   *metrics.StageTracer
-	received *metrics.Counter
-	batches  *metrics.Counter
-	bytesIn  *metrics.Counter
-	emitted  *metrics.Counter
+	reg          *metrics.Registry
+	tracer       *metrics.StageTracer
+	received     *metrics.Counter
+	batches      *metrics.Counter
+	relayBatches *metrics.Counter
+	bytesIn      *metrics.Counter
+	emitted      *metrics.Counter
 
 	// sorterMu guards the merger-owned pipeline state downstream of the
 	// sorter (matcher, out, sinkBufs, emitNow). The sorter itself locks
@@ -374,11 +394,13 @@ const (
 // srcBatch hands one decoded batch from a session's decode worker to the
 // merge goroutine. The batch pointer comes from record.GetBatch; the
 // merger returns it to the pool after pushing every record, and credits
-// the records back against the session's inflight count.
+// the records back against the session's inflight count. mixed marks a
+// relay batch whose records carry their own origins in rec.Node.
 type srcBatch struct {
 	node  int32
 	batch *[]record.Record
 	sess  *session
+	mixed bool
 }
 
 // lineBuffer renders one PICL line at a time for the visual dispatcher.
@@ -505,6 +527,8 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 		Help: "records accepted from all external sensors", Unit: "records"})
 	m.batches = reg.Counter(metrics.Desc{Name: "brisk_ism_batches_received_total",
 		Help: "data-batch frames received, including replays", Unit: "batches"})
+	m.relayBatches = reg.Counter(metrics.Desc{Name: "brisk_ism_relay_batches_received_total",
+		Help: "relay-batch frames received from downstream relay-tier managers", Unit: "batches"})
 	m.bytesIn = reg.Counter(metrics.Desc{Name: "brisk_ism_wire_bytes_in_total",
 		Help: "wire payload bytes received from all sensors", Unit: "bytes"})
 	m.emitted = reg.Counter(metrics.Desc{Name: "brisk_ism_records_emitted_total",
@@ -885,71 +909,13 @@ func (m *Manager) handleConn(raw net.Conn) {
 		c.lastRecv.Store(time.Now().UnixNano())
 		switch t := msg.(type) {
 		case *wire.DataBatch:
-			m.batches.Inc()
-			m.bytesIn.Add(uint64(len(t.Payload)))
-			if t.Seq != 0 && sess.id != 0 {
-				sess.mu.Lock()
-				dup := t.Seq <= sess.lastSeq
-				high := sess.lastSeq
-				sess.mu.Unlock()
-				if dup {
-					// Replay of a batch merged before the link broke.
-					// Re-ack so the sensor can release it (or defer the
-					// re-ack like any other when the gate is closed).
-					m.deduped.Inc()
-					if sess.dedupedC != nil {
-						sess.dedupedC.Inc()
-					}
-					if err := m.ackOrDefer(wc, sess, high); err != nil {
-						return
-					}
-					continue
-				}
+			if !m.acceptBatch(wc, sess, t.Seq, t.Count, &t.Payload, false) {
+				return
 			}
-			// Hand the payload to the session's decode worker. RecvReuse
-			// lets us take ownership by swapping in a recycled buffer: the
-			// next frame decodes into that instead, so a steady stream
-			// allocates no payload storage at all.
-			pb := pending{count: t.Count, payload: t.Payload}
-			select {
-			case t.Payload = <-sess.free:
-			default:
-				t.Payload = nil
-			}
-			sess.inflight.Add(int64(pb.count))
-			select {
-			case sess.work <- pb:
-			default:
-				// Queue full: the decode worker is behind. Block here so
-				// backpressure reaches the sensor through TCP.
-				m.queueStalls.Inc()
-				select {
-				case sess.work <- pb:
-				case <-sess.quit:
-					return
-				case <-m.done:
-					return
-				}
-			}
-			if sess.batchesC != nil {
-				sess.batchesC.Inc()
-			}
-			// Ack once the batch is queued: the worker owns it from here and
-			// shutdown drains the queue, so an acked batch is never lost —
-			// under overload it is either merged or represented by a
-			// loss-marker record, never silently discarded. When the sorter
-			// is past its high watermark the ack is deferred instead: the
-			// sensor's credit runs dry and it pauses until the merger
-			// releases the ack.
-			if t.Seq != 0 && sess.id != 0 {
-				sess.mu.Lock()
-				if t.Seq > sess.lastSeq {
-					sess.lastSeq = t.Seq
-				}
-				sess.mu.Unlock()
-				if err := m.ackOrDefer(wc, sess, t.Seq); err != nil {
-					return
-				}
+		case *wire.RelayBatch:
+			m.relayBatches.Inc()
+			if !m.acceptBatch(wc, sess, t.Seq, t.Count, &t.Payload, true) {
+				return
 			}
 		case *wire.ProbeReply:
 			// The reused message is recycled on the next RecvReuse; the
@@ -968,6 +934,77 @@ func (m *Manager) handleConn(raw net.Conn) {
 			return
 		}
 	}
+}
+
+// acceptBatch runs the shared ingest path for one DataBatch or RelayBatch
+// frame: dedupe by session sequence, hand the payload to the session's
+// decode worker (swapping a recycled buffer into the reused wire message
+// via payload), and ack or defer. Returns false when the connection must
+// be dropped.
+func (m *Manager) acceptBatch(wc *wire.Conn, sess *session, seq uint64, count uint32, payload *[]byte, relay bool) bool {
+	m.batches.Inc()
+	m.bytesIn.Add(uint64(len(*payload)))
+	if seq != 0 && sess.id != 0 {
+		sess.mu.Lock()
+		dup := seq <= sess.lastSeq
+		high := sess.lastSeq
+		sess.mu.Unlock()
+		if dup {
+			// Replay of a batch merged before the link broke. Re-ack so
+			// the sender can release it (or defer the re-ack like any
+			// other when the gate is closed).
+			m.deduped.Inc()
+			if sess.dedupedC != nil {
+				sess.dedupedC.Inc()
+			}
+			return m.ackOrDefer(wc, sess, high) == nil
+		}
+	}
+	// Hand the payload to the session's decode worker. RecvReuse lets us
+	// take ownership by swapping in a recycled buffer: the next frame
+	// decodes into that instead, so a steady stream allocates no payload
+	// storage at all.
+	pb := pending{count: count, payload: *payload, relay: relay}
+	select {
+	case *payload = <-sess.free:
+	default:
+		*payload = nil
+	}
+	sess.inflight.Add(int64(pb.count))
+	select {
+	case sess.work <- pb:
+	default:
+		// Queue full: the decode worker is behind. Block here so
+		// backpressure reaches the sender through TCP.
+		m.queueStalls.Inc()
+		select {
+		case sess.work <- pb:
+		case <-sess.quit:
+			return false
+		case <-m.done:
+			return false
+		}
+	}
+	if sess.batchesC != nil {
+		sess.batchesC.Inc()
+	}
+	// Ack once the batch is queued: the worker owns it from here and
+	// shutdown drains the queue, so an acked batch is never lost — under
+	// overload it is either merged or represented by a loss-marker
+	// record, never silently discarded. When the sorter is past its high
+	// watermark the ack is deferred instead: the sender's credit runs dry
+	// and it pauses until the merger releases the ack.
+	if seq != 0 && sess.id != 0 {
+		sess.mu.Lock()
+		if seq > sess.lastSeq {
+			sess.lastSeq = seq
+		}
+		sess.mu.Unlock()
+		if err := m.ackOrDefer(wc, sess, seq); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // unregisterSession drops a dead session's labeled series so the registry
@@ -1038,6 +1075,12 @@ func (m *Manager) ackOrDefer(wc *wire.Conn, s *session, seq uint64) error {
 func (m *Manager) updateGate(buffered int, now int64) {
 	if !m.flowEnabled {
 		return
+	}
+	if m.cfg.GateBacklog != nil {
+		// Records stalled downstream of this manager (a relay's uplink
+		// backlog) occupy the same budget as records inside the sorter:
+		// a parent withholding acks closes this gate too.
+		buffered += m.cfg.GateBacklog()
 	}
 	m.gateMu.Lock()
 	defer m.gateMu.Unlock()
@@ -1172,7 +1215,13 @@ func (m *Manager) drainWork(s *session) {
 // poison frame forever.
 func (m *Manager) decodeOne(s *session, pb pending) {
 	bp := record.GetBatch()
-	recs, err := record.DecodeAppend((*bp)[:0], pb.payload)
+	var recs []record.Record
+	var err error
+	if pb.relay {
+		recs, err = record.DecodeNodeAppend((*bp)[:0], pb.payload)
+	} else {
+		recs, err = record.DecodeAppend((*bp)[:0], pb.payload)
+	}
 	if err == nil && uint32(len(recs)) != pb.count {
 		err = fmt.Errorf("batch declared %d records, contained %d", pb.count, len(recs))
 	}
@@ -1203,7 +1252,11 @@ func (m *Manager) decodeOne(s *session, pb pending) {
 		// when a sink batch's worth has built up so backlog drains at
 		// ingest rate, not merge-tick rate.
 		now := m.clock.NowMicros()
-		m.sorter.PushBatch(s.node, recs, now)
+		if pb.relay {
+			m.sorter.PushMixed(recs, now)
+		} else {
+			m.sorter.PushBatch(s.node, recs, now)
+		}
 		record.PutBatch(bp)
 		s.inflight.Add(-int64(pb.count))
 		m.updateGate(m.sorter.Buffered(), now)
@@ -1216,7 +1269,7 @@ func (m *Manager) decodeOne(s *session, pb pending) {
 		return
 	}
 	select {
-	case m.merge <- srcBatch{node: s.node, batch: bp, sess: s}:
+	case m.merge <- srcBatch{node: s.node, batch: bp, sess: s, mixed: pb.relay}:
 	case <-m.done:
 		record.PutBatch(bp)
 		s.inflight.Add(-int64(pb.count))
@@ -1246,7 +1299,11 @@ func (m *Manager) mergeLoop() {
 				case b := <-m.merge:
 					now := m.clock.NowMicros()
 					m.sorterMu.Lock()
-					m.sorter.PushBatch(b.node, *b.batch, now)
+					if b.mixed {
+						m.sorter.PushMixed(*b.batch, now)
+					} else {
+						m.sorter.PushBatch(b.node, *b.batch, now)
+					}
 					m.sorterMu.Unlock()
 					if b.sess != nil {
 						b.sess.inflight.Add(-int64(len(*b.batch)))
@@ -1301,7 +1358,11 @@ func (m *Manager) extractTick() {
 func (m *Manager) mergeBatch(b srcBatch) {
 	now := m.clock.NowMicros()
 	m.sorterMu.Lock()
-	m.sorter.PushBatch(b.node, *b.batch, now)
+	if b.mixed {
+		m.sorter.PushMixed(*b.batch, now)
+	} else {
+		m.sorter.PushBatch(b.node, *b.batch, now)
+	}
 	n := len(*b.batch)
 	// Push deep-copies into sorter-owned storage; the batch can go back to
 	// the pool before extraction.
@@ -1355,6 +1416,9 @@ func (m *Manager) flushSinks(now int64) {
 			continue
 		}
 		m.emitted.Inc()
+		if m.cfg.Forward != nil {
+			m.cfg.Forward(rec)
+		}
 		if rec.HasTS {
 			age := now - rec.TS
 			m.emitLat.Observe(age)
@@ -1559,6 +1623,7 @@ func (m *Manager) Stats() Stats {
 		Received:              m.received.Value(),
 		Emitted:               m.emitted.Value(),
 		Batches:               m.batches.Value(),
+		RelayBatches:          m.relayBatches.Value(),
 		BytesIn:               m.bytesIn.Value(),
 		Sorter:                ss,
 		CRE:                   cs,

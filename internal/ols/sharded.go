@@ -113,6 +113,31 @@ func (sh *Sharded) PushBatch(src int32, recs []record.Record, now int64) {
 	shd.mu.Unlock()
 }
 
+// PushMixed enqueues a decoded batch whose records carry their own
+// origin in rec.Node — a relay-forwarded batch interleaving many
+// sources. Records are routed shard-by-shard exactly as Push would route
+// them individually, but the shard lock is taken once per consecutive
+// same-shard run. Relative order within each source is preserved (the
+// batch is scanned front to back), so per-source FIFO holds.
+func (sh *Sharded) PushMixed(recs []record.Record, now int64) {
+	for i := 0; i < len(recs); {
+		si := sh.shardFor(recs[i].Node)
+		j := i + 1
+		for j < len(recs) && sh.shardFor(recs[j].Node) == si {
+			j++
+		}
+		shd := sh.shards[si]
+		shd.mu.Lock()
+		before := shd.s.buffered
+		for k := i; k < j; k++ {
+			shd.s.Push(recs[k].Node, recs[k], now)
+		}
+		sh.agg.Add(int64(shd.s.buffered - before))
+		shd.mu.Unlock()
+		i = j
+	}
+}
+
 // Extract emits, in merged timestamp order, every buffered record that
 // has aged at least its shard's T. The same now is applied to every
 // shard within the pass, which is what keeps the merged stream monotone

@@ -1,6 +1,9 @@
 package record
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // DecodeAppend parses every record concatenated in payload, appends each
 // onto dst and returns the extended slice — the manager's batch-decode hot
@@ -24,6 +27,38 @@ func DecodeAppend(dst []Record, payload []byte) ([]Record, error) {
 		if err != nil {
 			return dst[:len(dst)-1], err
 		}
+		payload = payload[n:]
+	}
+	return dst, nil
+}
+
+// ErrShortPrefix reports a node-prefixed payload that ends inside a
+// 4-byte origin prefix.
+var ErrShortPrefix = errors.New("record: truncated node prefix")
+
+// DecodeNodeAppend parses a payload of node-prefixed entries — each
+// record preceded by its 4-byte big-endian origin node id, the framing
+// shared by the shm memory buffer and the wire RelayBatch — appending
+// each onto dst with Node set from its prefix. Storage reuse and
+// error-prefix semantics match DecodeAppend.
+func DecodeNodeAppend(dst []Record, payload []byte) ([]Record, error) {
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return dst, ErrShortPrefix
+		}
+		node := int32(uint32(payload[0])<<24 | uint32(payload[1])<<16 |
+			uint32(payload[2])<<8 | uint32(payload[3]))
+		payload = payload[4:]
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, Record{})
+		}
+		n, err := DecodeInto(&dst[len(dst)-1], payload)
+		if err != nil {
+			return dst[:len(dst)-1], err
+		}
+		dst[len(dst)-1].Node = node
 		payload = payload[n:]
 	}
 	return dst, nil

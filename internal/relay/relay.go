@@ -1,0 +1,997 @@
+// Package relay implements the intermediate tier of a hierarchical
+// (federated) BRISK deployment: a relay owns a regional fleet of
+// external sensors — running the full manager pipeline against them
+// (per-session decode, on-line sort, causal matching, clock sync) — and
+// forwards its already-monotone merged stream upward to a parent ISM
+// over the ordinary wire protocol as one high-rate session.
+//
+// The relay is two halves bolted together:
+//
+//   - downstream, an embedded ism.Manager whose Forward sink tap feeds
+//     every emitted record (origin-attributed, loss markers included)
+//     into the uplink, and whose GateBacklog hook counts the uplink's
+//     unacknowledged backlog toward the ack-gate occupancy — so a parent
+//     withholding acks closes this tier's gate and the halt propagates
+//     to the leaves;
+//   - upstream, an EXS-shaped client (sequence-numbered retransmit
+//     queue, credit flow control, session resume, drop-oldest eviction
+//     folding into loss markers) that ships RelayBatch frames whose
+//     entries carry their 4-byte origin node ids, rebased by NodeBase so
+//     origins stay globally unique across relays.
+//
+// Clock correction composes per hop: the relay's child-tier sync master
+// runs on the relay's raw clock (children converge to the relay frame),
+// the parent's probes are answered with the relay's corrected clock and
+// its adjustments accumulate in that correction, and every forwarded
+// timestamp is patched by the correction at encode time — so a leaf
+// record reaches the root in the root frame with error bounded by the
+// sum of the per-hop residuals.
+//
+// Loss markers never disappear: a marker emitted downstream is forwarded
+// like any record, and batches evicted from the uplink queue are folded
+// (marker coverage included) into a pending-loss accumulator whose next
+// synthesized marker rides at the head of a later batch. The composed
+// contract "acked ⇒ emitted at the root or represented by a loss
+// marker" therefore holds across both hops.
+package relay
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brisk/internal/ism"
+	"brisk/internal/metrics"
+	"brisk/internal/record"
+	"brisk/internal/vclock"
+	"brisk/internal/wire"
+)
+
+// DefaultReconnectAttempts bounds one uplink outage's retry schedule.
+const DefaultReconnectAttempts = 20
+
+// Uplink connection states.
+const (
+	stateOnline = iota
+	stateReconnecting
+	stateDead
+)
+
+// Config configures a Relay. Addr and Parent are required.
+type Config struct {
+	// Addr is the downstream TCP listen address for this relay's
+	// regional sensor fleet (port 0 for ephemeral; see Relay.Addr).
+	Addr string
+	// Parent is the parent manager's address the merged stream is
+	// forwarded to.
+	Parent string
+	// Name is the node name announced upstream. Default "relay".
+	Name string
+	// NodeBase is added to every forwarded origin node id (and stamps
+	// uplink-synthesized loss markers), keeping origins globally unique
+	// when several relays feed one root: give relay i a base of
+	// i×(its fleet size).
+	NodeBase int32
+	// Clock is the relay's raw local clock; nil means the system clock.
+	// The downstream manager (and so the child-tier sync master) runs
+	// directly on it; the uplink wraps it in the corrected clock the
+	// parent's sync rounds adjust.
+	Clock vclock.Clock
+	// ISM tunes the downstream manager (sorter, shards, watermarks,
+	// sync cadence, …). Addr, Clock, Forward, GateBacklog and Metrics
+	// are overridden by the relay.
+	ISM ism.Config
+	// BatchRecords is how many forwarded records one uplink batch
+	// carries before it is sealed. Default 256.
+	BatchRecords int
+	// FlushInterval bounds how long a partial batch may wait before
+	// shipping. Default 2 ms.
+	FlushInterval time.Duration
+	// QueueBytes bounds the uplink retransmit queue; the oldest sealed
+	// batch is evicted (folded into a loss marker) past it. Default 4 MiB.
+	QueueBytes int
+	// DialTimeout bounds one parent dial + handshake. Default 5 s.
+	DialTimeout time.Duration
+	// ReconnectBase and ReconnectMax shape the uplink's exponential
+	// backoff. Defaults 50 ms and 5 s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// MaxReconnectAttempts caps one outage's retries; 0 means
+	// DefaultReconnectAttempts, negative retries forever.
+	MaxReconnectAttempts int
+	// Metrics, when non-nil, receives both the relay's uplink series and
+	// the embedded manager's series; nil means a private registry.
+	Metrics *metrics.Registry
+	// Logf logs diagnostics; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of relay counters.
+type Stats struct {
+	// Node is the parent-assigned node id of the uplink session.
+	Node int32
+	// Session is the uplink's resume-session identifier.
+	Session uint64
+	// Online reports a live parent connection.
+	Online bool
+	// Forwarded counts records tapped off the downstream emission.
+	Forwarded uint64
+	// Shipped counts records first-sent upstream (marker records
+	// included); Batches counts RelayBatch frames, retransmits included.
+	Shipped uint64
+	Batches uint64
+	// Retransmits counts batches replayed after a session resume.
+	Retransmits uint64
+	// Reconnects counts successful uplink reconnections.
+	Reconnects uint64
+	// Dropped counts records discarded from the uplink queue (eviction
+	// or unacknowledged at close); every evicted record is folded into a
+	// loss marker first.
+	Dropped uint64
+	// LossMarkers counts uplink-synthesized markers; MarkedLost is the
+	// record count they testify to.
+	LossMarkers uint64
+	MarkedLost  uint64
+	// BacklogRecords is the current unacknowledged uplink backlog (the
+	// quantity GateBacklog feeds the downstream ack gate).
+	BacklogRecords int64
+	// QueuedBytes is the sealed-batch queue's current size.
+	QueuedBytes int
+	// CreditWindow is the parent's current grant (-1 without flow
+	// control); CreditStalls counts pump passes stopped on empty credit.
+	CreditWindow int64
+	CreditStalls uint64
+	// Probes and Adjusts count parent sync traffic served; Correction is
+	// the accumulated relay→root clock correction in µs.
+	Probes     uint64
+	Adjusts    uint64
+	Correction int64
+	// ISM is the embedded downstream manager's snapshot.
+	ISM ism.Stats
+}
+
+// qEntry is one sealed, sequence-numbered uplink batch.
+type qEntry struct {
+	seq      uint64
+	count    int
+	payload  []byte
+	sent     bool
+	everSent bool
+}
+
+// Relay is one intermediate-tier node. Create with New, stop with Close.
+type Relay struct {
+	cfg     Config
+	logf    func(string, ...any)
+	rawClk  vclock.Clock
+	clock   *vclock.Corrected
+	mgr     *ism.Manager
+	reg     *metrics.Registry
+	session uint64
+
+	// Uplink batch assembly and retransmit queue. cur accumulates
+	// encoded entries between seals; queue holds sealed batches until
+	// the parent acks them.
+	qMu       sync.Mutex
+	cur       []byte
+	curCount  int
+	queue     []qEntry
+	qBytes    int
+	nextSeq   uint64
+	freeBufs  [][]byte
+	inflight  int64
+	creditOn  bool
+	creditW   int64
+	stalled   bool
+	lossCount uint64
+	lossFirst int64
+	lossLast  int64
+
+	backlog atomic.Int64 // records in cur + queue (pending-loss coverage excluded)
+
+	connMu sync.Mutex
+	conn   *wire.Conn
+	raw    net.Conn
+
+	state       atomic.Int32
+	node        atomic.Int32
+	closed      atomic.Bool
+	done        chan struct{}
+	flushNow    chan struct{}
+	reconnectCh chan struct{}
+	wgCtl       sync.WaitGroup
+	wgFlush     sync.WaitGroup
+	rng         *mrand.Rand
+	rngMu       sync.Mutex
+
+	forwarded    *metrics.Counter
+	shipped      *metrics.Counter
+	batches      *metrics.Counter
+	retransmits  *metrics.Counter
+	reconnects   *metrics.Counter
+	dropped      *metrics.Counter
+	lossMarkersC *metrics.Counter
+	markedLostC  *metrics.Counter
+	creditStalls *metrics.Counter
+	probes       *metrics.Counter
+	adjusts      *metrics.Counter
+}
+
+// New creates a relay: it starts the downstream manager on cfg.Addr,
+// dials the parent, and begins forwarding.
+func New(cfg Config) (*Relay, error) {
+	if cfg.Addr == "" || cfg.Parent == "" {
+		return nil, errors.New("relay: Config.Addr and Config.Parent are required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "relay"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.System{}
+	}
+	if cfg.BatchRecords <= 0 {
+		cfg.BatchRecords = 256
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Millisecond
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 4 << 20
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 5 * time.Second
+	}
+	if cfg.MaxReconnectAttempts == 0 {
+		cfg.MaxReconnectAttempts = DefaultReconnectAttempts
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	r := &Relay{
+		cfg:         cfg,
+		logf:        logf,
+		rawClk:      cfg.Clock,
+		clock:       vclock.NewCorrected(cfg.Clock),
+		session:     newSessionID(),
+		done:        make(chan struct{}),
+		flushNow:    make(chan struct{}, 1),
+		reconnectCh: make(chan struct{}, 1),
+	}
+	r.rng = mrand.New(mrand.NewSource(int64(r.session) ^ time.Now().UnixNano()))
+	r.registerMetrics(cfg.Metrics)
+
+	mcfg := cfg.ISM
+	mcfg.Addr = cfg.Addr
+	mcfg.Clock = r.rawClk
+	mcfg.Forward = r.forward
+	mcfg.GateBacklog = func() int { return int(r.backlog.Load()) }
+	mcfg.Metrics = r.reg
+	if mcfg.Logf == nil {
+		mcfg.Logf = logf
+	}
+	mgr, err := ism.New(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("relay: downstream manager: %w", err)
+	}
+	r.mgr = mgr
+
+	raw, conn, ack, err := r.connect(false)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	r.raw, r.conn = raw, conn
+	r.node.Store(ack.Node)
+	r.applyWindow(ack.Window)
+	r.state.Store(stateOnline)
+
+	mgr.Start()
+	r.wgCtl.Add(1)
+	go r.controlLoop(conn)
+	r.wgCtl.Add(1)
+	go r.reconnector()
+	r.wgFlush.Add(1)
+	go r.flushLoop()
+	return r, nil
+}
+
+// newSessionID returns a random non-zero session identifier.
+func newSessionID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+func (r *Relay) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r.reg = reg
+	r.forwarded = reg.Counter(metrics.Desc{Name: "brisk_relay_forwarded_total",
+		Help: "records tapped off the downstream emission into the uplink", Unit: "records"})
+	r.shipped = reg.Counter(metrics.Desc{Name: "brisk_relay_shipped_total",
+		Help: "records first-sent to the parent (uplink markers included)", Unit: "records"})
+	r.batches = reg.Counter(metrics.Desc{Name: "brisk_relay_batches_total",
+		Help: "relay-batch frames written upstream, retransmits included", Unit: "batches"})
+	r.retransmits = reg.Counter(metrics.Desc{Name: "brisk_relay_retransmit_batches_total",
+		Help: "uplink batches replayed after a session resume", Unit: "batches"})
+	r.reconnects = reg.Counter(metrics.Desc{Name: "brisk_relay_reconnects_total",
+		Help: "successful uplink reconnections to the parent", Unit: "connections"})
+	r.dropped = reg.Counter(metrics.Desc{Name: "brisk_relay_dropped_total",
+		Help: "records discarded from the uplink queue (evicted into a loss marker, or unacknowledged at close)",
+		Unit: "records"})
+	r.lossMarkersC = reg.Counter(metrics.Desc{Name: "brisk_relay_loss_markers_total",
+		Help: "loss markers synthesized by the uplink for evicted batches", Unit: "markers"})
+	r.markedLostC = reg.Counter(metrics.Desc{Name: "brisk_relay_marked_lost_total",
+		Help: "records represented by uplink-synthesized loss markers", Unit: "records"})
+	r.creditStalls = reg.Counter(metrics.Desc{Name: "brisk_relay_credit_stalls_total",
+		Help: "uplink pump passes stopped on exhausted parent credit", Unit: "stalls"})
+	r.probes = reg.Counter(metrics.Desc{Name: "brisk_relay_clock_probes_total",
+		Help: "parent clock-synchronization probes answered", Unit: "probes"})
+	r.adjusts = reg.Counter(metrics.Desc{Name: "brisk_relay_clock_adjusts_total",
+		Help: "parent clock adjustments applied to the relay correction", Unit: "adjustments"})
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_relay_backlog_records",
+		Help: "unacknowledged uplink backlog counted toward the downstream ack gate", Unit: "records"},
+		func() float64 { return float64(r.backlog.Load()) })
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_relay_correction_microseconds",
+		Help: "accumulated relay-to-root clock correction (this hop's offset estimate)", Unit: "microseconds"},
+		func() float64 { return float64(r.clock.Correction()) })
+	reg.GaugeFunc(metrics.Desc{Name: "brisk_relay_online",
+		Help: "1 while the uplink session is attached to the parent"},
+		func() float64 {
+			if r.state.Load() == stateOnline {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Metrics returns the registry holding the relay's (and its embedded
+// manager's) series.
+func (r *Relay) Metrics() *metrics.Registry { return r.reg }
+
+// Manager returns the embedded downstream manager (for its Addr, buffer
+// cursors and stats).
+func (r *Relay) Manager() *ism.Manager { return r.mgr }
+
+// Addr returns the downstream listen address sensors dial.
+func (r *Relay) Addr() string { return r.mgr.Addr() }
+
+// Node returns the parent-assigned uplink node id.
+func (r *Relay) Node() int32 { return r.node.Load() }
+
+// Clock returns the relay's corrected clock (raw clock plus the
+// correction accumulated from parent sync rounds).
+func (r *Relay) Clock() *vclock.Corrected { return r.clock }
+
+// connect dials the parent and runs the HELLO exchange.
+func (r *Relay) connect(resume bool) (net.Conn, *wire.Conn, *wire.HelloAck, error) {
+	d := net.Dialer{Timeout: r.cfg.DialTimeout}
+	raw, err := d.Dial("tcp", r.cfg.Parent)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("relay: dial parent: %w", err)
+	}
+	raw.SetDeadline(time.Now().Add(r.cfg.DialTimeout))
+	conn := wire.NewConn(raw)
+	hello := &wire.Hello{
+		Version: wire.ProtocolVersion,
+		Name:    r.cfg.Name,
+		Session: r.session,
+		Resume:  resume,
+	}
+	if err := conn.Send(hello); err != nil {
+		raw.Close()
+		return nil, nil, nil, fmt.Errorf("relay: hello: %w", err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		raw.Close()
+		return nil, nil, nil, fmt.Errorf("relay: hello ack: %w", err)
+	}
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		raw.Close()
+		return nil, nil, nil, fmt.Errorf("relay: expected HELLO_ACK, got %v", msg.Type())
+	}
+	raw.SetDeadline(time.Time{})
+	return raw, conn, ack, nil
+}
+
+// forward is the downstream manager's Forward tap: it encodes one
+// emitted record as a node-prefixed entry into the batch under
+// assembly, rebasing the origin id and patching the timestamp into the
+// parent frame. Runs on the downstream merger with its pipeline lock
+// held, so it only appends — sealing moves the batch to the queue but
+// never touches the network.
+func (r *Relay) forward(rec *record.Record) {
+	node := rec.Node + r.cfg.NodeBase
+	corr := r.clock.Correction()
+	r.qMu.Lock()
+	mark := len(r.cur)
+	buf := append(r.cur,
+		byte(uint32(node)>>24), byte(uint32(node)>>16),
+		byte(uint32(node)>>8), byte(uint32(node)))
+	var err error
+	if corr != 0 && rec.HasTS {
+		// Shift into the parent frame for the encode only; the record is
+		// borrowed and feeds the local sinks after us.
+		rec.TS += corr
+		buf, err = rec.Append(buf)
+		rec.TS -= corr
+	} else {
+		buf, err = rec.Append(buf)
+	}
+	if err != nil {
+		r.cur = buf[:mark]
+		r.qMu.Unlock()
+		r.logf("relay: encode for uplink: %v", err)
+		return
+	}
+	r.cur = buf
+	r.curCount++
+	r.backlog.Add(1)
+	seal := r.curCount >= r.cfg.BatchRecords
+	if seal {
+		r.sealLocked()
+	}
+	r.qMu.Unlock()
+	r.forwarded.Inc()
+	if seal {
+		r.kick()
+	}
+}
+
+// kick asks the flush loop to pump now.
+func (r *Relay) kick() {
+	select {
+	case r.flushNow <- struct{}{}:
+	default:
+	}
+}
+
+// appendMarker encodes one node-prefixed loss marker entry.
+func appendMarker(buf []byte, node int32, count uint64, firstTS, lastTS int64) ([]byte, error) {
+	rec := record.NewLossMarker(count, firstTS, lastTS)
+	buf = append(buf,
+		byte(uint32(node)>>24), byte(uint32(node)>>16),
+		byte(uint32(node)>>8), byte(uint32(node)))
+	return rec.Append(buf)
+}
+
+// sealLocked closes the batch under assembly into a queue entry,
+// prefixing a loss marker when evictions are pending, and applies the
+// drop-oldest queue bound. Caller holds qMu.
+func (r *Relay) sealLocked() {
+	if r.curCount == 0 && r.lossCount == 0 {
+		return
+	}
+	var payload []byte
+	if n := len(r.freeBufs); n > 0 {
+		payload = r.freeBufs[n-1]
+		r.freeBufs = r.freeBufs[:n-1]
+	}
+	count := 0
+	if r.lossCount > 0 {
+		var err error
+		payload, err = appendMarker(payload, r.cfg.NodeBase, r.lossCount, r.lossFirst, r.lossLast)
+		if err == nil {
+			count++
+			r.backlog.Add(1)
+			r.lossMarkersC.Inc()
+			r.markedLostC.Add(r.lossCount)
+			r.lossCount, r.lossFirst, r.lossLast = 0, 0, 0
+		}
+	}
+	payload = append(payload, r.cur...)
+	count += r.curCount
+	r.cur = r.cur[:0]
+	r.curCount = 0
+	r.nextSeq++
+	r.queue = append(r.queue, qEntry{seq: r.nextSeq, count: count, payload: payload})
+	r.qBytes += len(payload)
+	var evicted uint64
+	for r.qBytes > r.cfg.QueueBytes && len(r.queue) > 1 {
+		old := r.queue[0]
+		r.queue = r.queue[1:]
+		r.qBytes -= len(old.payload)
+		if old.sent {
+			r.inflight -= int64(old.count)
+		}
+		if n, f, l := tallyPrefixed(old.payload); n > 0 {
+			r.addLossLocked(n, f, l)
+		}
+		r.recycleBuf(old.payload)
+		r.backlog.Add(-int64(old.count))
+		evicted += uint64(old.count)
+	}
+	if evicted > 0 {
+		r.dropped.Add(evicted)
+	}
+}
+
+// tallyPrefixed sums the records of one node-prefixed uplink payload,
+// folding nested loss markers into the count and covered range — so an
+// evicted batch's own markers survive into the replacement marker.
+func tallyPrefixed(payload []byte) (count uint64, firstTS, lastTS int64) {
+	first := true
+	note := func(ts int64) {
+		if first {
+			firstTS, lastTS, first = ts, ts, false
+			return
+		}
+		if ts < firstTS {
+			firstTS = ts
+		}
+		if ts > lastTS {
+			lastTS = ts
+		}
+	}
+	for len(payload) >= 4 {
+		payload = payload[4:]
+		rec, n, err := record.Decode(payload)
+		if err != nil || n == 0 {
+			break
+		}
+		payload = payload[n:]
+		if c, f, l, ok := record.LossInfo(&rec); ok {
+			count += c
+			note(f)
+			note(l)
+			continue
+		}
+		count++
+		if rec.HasTS {
+			note(rec.TS)
+		}
+	}
+	return count, firstTS, lastTS
+}
+
+// addLossLocked folds evicted records into the pending-loss
+// accumulator. Caller holds qMu.
+func (r *Relay) addLossLocked(count uint64, firstTS, lastTS int64) {
+	if count == 0 {
+		return
+	}
+	if r.lossCount == 0 {
+		r.lossFirst, r.lossLast = firstTS, lastTS
+	} else {
+		if firstTS < r.lossFirst {
+			r.lossFirst = firstTS
+		}
+		if lastTS > r.lossLast {
+			r.lossLast = lastTS
+		}
+	}
+	r.lossCount += count
+}
+
+// maxFreeBufs bounds the recycled-payload free list.
+const maxFreeBufs = 8
+
+// recycleBuf returns an acked or evicted payload's storage to the free
+// list. Caller holds qMu.
+func (r *Relay) recycleBuf(b []byte) {
+	if b != nil && len(r.freeBufs) < maxFreeBufs {
+		r.freeBufs = append(r.freeBufs, b[:0])
+	}
+}
+
+// applyWindow installs a parent credit grant; 0 disables flow control.
+func (r *Relay) applyWindow(w uint32) {
+	r.qMu.Lock()
+	if w == 0 {
+		r.creditOn, r.creditW = false, 0
+	} else {
+		r.creditOn, r.creditW = true, int64(w)
+	}
+	r.qMu.Unlock()
+}
+
+// pump writes every not-yet-sent sealed batch to c in sequence order,
+// within the parent's credit window (the first batch is always
+// sendable, as in the sensor pump).
+func (r *Relay) pump(c *wire.Conn) error {
+	r.qMu.Lock()
+	defer r.qMu.Unlock()
+	blocked := false
+	for i := range r.queue {
+		ent := &r.queue[i]
+		if ent.sent {
+			continue
+		}
+		if r.creditOn && r.inflight > 0 && r.inflight+int64(ent.count) > r.creditW {
+			blocked = true
+			if !r.stalled {
+				r.stalled = true
+				r.creditStalls.Inc()
+			}
+			break
+		}
+		msg := &wire.RelayBatch{Seq: ent.seq, Count: uint32(ent.count), Payload: ent.payload}
+		if err := c.Send(msg); err != nil {
+			return err
+		}
+		ent.sent = true
+		r.inflight += int64(ent.count)
+		r.batches.Inc()
+		if ent.everSent {
+			r.retransmits.Inc()
+		} else {
+			ent.everSent = true
+			r.shipped.Add(uint64(ent.count))
+		}
+	}
+	if !blocked {
+		r.stalled = false
+	}
+	return nil
+}
+
+// ackTo releases every sealed batch with sequence ≤ seq.
+func (r *Relay) ackTo(seq uint64) {
+	r.qMu.Lock()
+	for len(r.queue) > 0 && r.queue[0].seq <= seq {
+		ent := r.queue[0]
+		if ent.sent {
+			r.inflight -= int64(ent.count)
+		}
+		r.qBytes -= len(ent.payload)
+		r.recycleBuf(ent.payload)
+		r.backlog.Add(-int64(ent.count))
+		r.queue = r.queue[1:]
+	}
+	if len(r.queue) == 0 {
+		r.queue = nil
+	}
+	if r.inflight < 0 {
+		r.inflight = 0
+	}
+	r.qMu.Unlock()
+}
+
+// liveConn returns the current uplink connection, or nil.
+func (r *Relay) liveConn() *wire.Conn {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	return r.conn
+}
+
+// markDisconnected tears the uplink down (if c is still current), flags
+// queued batches for retransmission and wakes the reconnector.
+func (r *Relay) markDisconnected(c *wire.Conn, err error) {
+	r.connMu.Lock()
+	if r.conn != c || c == nil {
+		r.connMu.Unlock()
+		return
+	}
+	raw := r.raw
+	r.conn, r.raw = nil, nil
+	r.connMu.Unlock()
+	raw.Close()
+	r.resetTransmitState()
+	if r.closed.Load() {
+		return
+	}
+	if r.state.CompareAndSwap(stateOnline, stateReconnecting) {
+		r.logf("relay: parent connection lost (%v), reconnecting", err)
+	}
+	select {
+	case r.reconnectCh <- struct{}{}:
+	default:
+	}
+}
+
+// resetTransmitState flags every sealed batch for retransmission and
+// clears the in-flight window. It must run whenever an uplink connection
+// is abandoned — including a redial whose replay pump failed before the
+// link went online. A batch left marked sent would be skipped by the
+// next replay, and the parent's cumulative ack for a later sequence
+// (gaps are legal: eviction creates them) would release it undelivered.
+func (r *Relay) resetTransmitState() {
+	r.qMu.Lock()
+	for i := range r.queue {
+		r.queue[i].sent = false
+	}
+	r.inflight = 0
+	r.stalled = false
+	r.qMu.Unlock()
+}
+
+// markDead gives up on the parent permanently: the queue is discarded
+// (counted) and forwarding degrades to accumulating then evicting.
+func (r *Relay) markDead(reason string) {
+	if r.state.Swap(stateDead) == stateDead {
+		return
+	}
+	r.qMu.Lock()
+	var lost uint64
+	for _, ent := range r.queue {
+		lost += uint64(ent.count)
+		r.backlog.Add(-int64(ent.count))
+	}
+	r.queue, r.qBytes = nil, 0
+	r.inflight = 0
+	r.stalled = false
+	r.qMu.Unlock()
+	if lost > 0 {
+		r.dropped.Add(lost)
+	}
+	if !r.closed.Load() {
+		r.logf("relay: giving up on parent (%s), discarding forwarded records", reason)
+	}
+}
+
+// backoffDelay computes the exponential-backoff delay for the 0-based
+// attempt: base·2^attempt capped at max with ±20% jitter.
+func (r *Relay) backoffDelay(attempt int) time.Duration {
+	d := r.cfg.ReconnectBase
+	for i := 0; i < attempt && d < r.cfg.ReconnectMax; i++ {
+		d *= 2
+	}
+	if d > r.cfg.ReconnectMax {
+		d = r.cfg.ReconnectMax
+	}
+	r.rngMu.Lock()
+	f := 1 + 0.2*(2*r.rng.Float64()-1)
+	r.rngMu.Unlock()
+	d = time.Duration(float64(d) * f)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// reconnector owns redialing the parent: backoff, HELLO with resume,
+// trim to the parent's resume point, replay, then back online.
+func (r *Relay) reconnector() {
+	defer r.wgCtl.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.reconnectCh:
+		}
+		if r.state.Load() != stateReconnecting {
+			continue
+		}
+		if !r.reconnectLoop() {
+			return
+		}
+	}
+}
+
+// reconnectLoop runs one outage's retry schedule; false means the
+// reconnector should exit (shutdown or permanent give-up).
+func (r *Relay) reconnectLoop() bool {
+	max := r.cfg.MaxReconnectAttempts
+	for attempt := 0; ; attempt++ {
+		if max >= 0 && attempt >= max {
+			r.markDead(fmt.Sprintf("retry cap %d reached", max))
+			return false
+		}
+		timer := time.NewTimer(r.backoffDelay(attempt))
+		select {
+		case <-r.done:
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+		raw, conn, ack, err := r.connect(true)
+		if err != nil {
+			continue
+		}
+		r.node.Store(ack.Node)
+		r.applyWindow(ack.Window)
+		if ack.Resumed {
+			r.ackTo(ack.LastSeq)
+		}
+		// A replay failure abandons a connection markDisconnected never
+		// saw (r.conn is still nil): re-flag the batches this pump wrote
+		// into the dead socket, or the next replay would skip them.
+		if err := r.pump(conn); err != nil {
+			raw.Close()
+			r.resetTransmitState()
+			continue
+		}
+		r.connMu.Lock()
+		r.raw, r.conn = raw, conn
+		r.connMu.Unlock()
+		r.state.Store(stateOnline)
+		r.reconnects.Inc()
+		r.logf("relay: reconnected to parent as node %d (resumed=%v)", ack.Node, ack.Resumed)
+		r.wgCtl.Add(1)
+		go r.controlLoop(conn)
+		if err := r.pump(conn); err != nil {
+			r.markDisconnected(conn, err)
+		}
+		return true
+	}
+}
+
+// flushLoop seals aged partial batches and pumps the queue, on the
+// flush interval and on demand.
+func (r *Relay) flushLoop() {
+	defer r.wgFlush.Done()
+	ticker := time.NewTicker(r.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.flushNow:
+		case <-ticker.C:
+			r.qMu.Lock()
+			r.sealLocked()
+			r.qMu.Unlock()
+		}
+		if c := r.liveConn(); c != nil {
+			if err := r.pump(c); err != nil {
+				r.markDisconnected(c, err)
+			}
+		}
+	}
+}
+
+// controlLoop serves one uplink connection's inbound frames: the
+// parent's sync probes and adjustments (this hop's clock correction),
+// acks, and heartbeats.
+func (r *Relay) controlLoop(c *wire.Conn) {
+	defer r.wgCtl.Done()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			if !r.closed.Load() {
+				r.markDisconnected(c, err)
+			}
+			return
+		}
+		switch t := msg.(type) {
+		case *wire.Probe:
+			r.probes.Inc()
+			reply := &wire.ProbeReply{
+				Seq:        t.Seq,
+				MasterSend: t.MasterSend,
+				SlaveTime:  r.clock.NowMicros(),
+			}
+			if err := c.Send(reply); err != nil {
+				r.markDisconnected(c, err)
+				return
+			}
+		case *wire.Adjust:
+			r.adjusts.Inc()
+			r.clock.Adjust(t.DeltaMicros)
+		case *wire.DataAck:
+			r.ackTo(t.Seq)
+			r.applyWindow(t.Window)
+			if err := r.pump(c); err != nil {
+				r.markDisconnected(c, err)
+				return
+			}
+		case *wire.Ping:
+			if err := c.Send(&wire.Pong{Seq: t.Seq}); err != nil {
+				r.markDisconnected(c, err)
+				return
+			}
+		case *wire.Bye:
+			r.markDisconnected(c, errors.New("parent sent BYE"))
+			return
+		default:
+			r.logf("relay: unexpected %v from parent", msg.Type())
+			r.markDisconnected(c, fmt.Errorf("unexpected %v", msg.Type()))
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the relay counters.
+func (r *Relay) Stats() Stats {
+	r.qMu.Lock()
+	queued := r.qBytes
+	creditW := int64(-1)
+	if r.creditOn {
+		creditW = r.creditW
+	}
+	r.qMu.Unlock()
+	return Stats{
+		Node:           r.node.Load(),
+		Session:        r.session,
+		Online:         r.state.Load() == stateOnline,
+		Forwarded:      r.forwarded.Value(),
+		Shipped:        r.shipped.Value(),
+		Batches:        r.batches.Value(),
+		Retransmits:    r.retransmits.Value(),
+		Reconnects:     r.reconnects.Value(),
+		Dropped:        r.dropped.Value(),
+		LossMarkers:    r.lossMarkersC.Value(),
+		MarkedLost:     r.markedLostC.Value(),
+		BacklogRecords: r.backlog.Load(),
+		QueuedBytes:    queued,
+		CreditWindow:   creditW,
+		CreditStalls:   r.creditStalls.Value(),
+		Probes:         r.probes.Value(),
+		Adjusts:        r.adjusts.Value(),
+		Correction:     r.clock.Correction(),
+		ISM:            r.mgr.Stats(),
+	}
+}
+
+// Close shuts the relay down tier by tier: the downstream manager first
+// (severing leaf sessions and flushing its sorter through the Forward
+// tap), then the uplink tail is sealed and pumped, acknowledged batches
+// are awaited (bounded), and the parent link closes with a BYE. Records
+// the parent never acknowledged are counted as dropped.
+func (r *Relay) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	// Downstream flush: every record acked to a leaf is now either
+	// emitted (and so in the uplink) or represented by a marker.
+	err := r.mgr.Close()
+	r.qMu.Lock()
+	r.sealLocked()
+	r.qMu.Unlock()
+	if c := r.liveConn(); c != nil {
+		if perr := r.pump(c); perr != nil {
+			r.markDisconnected(c, perr)
+		}
+	}
+	// Wait (bounded) for the parent to acknowledge the tail; closing the
+	// socket with acks in flight would reset the final batches out of
+	// the parent's receive buffer.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r.qMu.Lock()
+		empty := len(r.queue) == 0 && r.curCount == 0 && r.lossCount == 0
+		r.qMu.Unlock()
+		if empty || r.state.Load() != stateOnline || r.liveConn() == nil {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	close(r.done)
+	r.wgFlush.Wait()
+	r.connMu.Lock()
+	c, raw := r.conn, r.raw
+	r.conn, r.raw = nil, nil
+	r.connMu.Unlock()
+	if c != nil {
+		_ = c.Send(&wire.Bye{})
+		if cerr := raw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	r.wgCtl.Wait()
+	r.qMu.Lock()
+	var lost uint64
+	for _, ent := range r.queue {
+		lost += uint64(ent.count)
+		r.backlog.Add(-int64(ent.count))
+	}
+	r.queue, r.qBytes = nil, 0
+	r.qMu.Unlock()
+	if lost > 0 {
+		r.dropped.Add(lost)
+	}
+	return err
+}

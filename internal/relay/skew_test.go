@@ -1,0 +1,190 @@
+package relay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"brisk/internal/exs"
+	"brisk/internal/ism"
+	"brisk/internal/shm"
+	"brisk/internal/vclock"
+)
+
+// TestMultiHopSkewComposition proves BRISK's relative clock correction
+// composes across the federation. The sync rule is relative and
+// forward-only: each master elects its most-ahead slave as the round's
+// reference and advances the laggards toward it. Run over two tiers that
+// means:
+//
+//   - hop 1: within each relay's fleet, the leaves' corrected clocks
+//     converge to the fleet's most-ahead leaf;
+//   - hop 2: across the root's fleet of relays, the relays' corrected
+//     clocks (raw + accumulated root adjustments) converge to the
+//     most-ahead relay;
+//   - composed: a forwarded timestamp carries leaf correction plus relay
+//     correction additively, so the cross-fleet disagreement in the root
+//     frame equals the predictable inter-frame gap — the per-hop
+//     corrections sum along the path, with residual error bounded by the
+//     sum of the per-hop sync accuracies.
+//
+// Every correction must be non-negative: BRISK only ever steps clocks
+// forward, at both tiers.
+func TestMultiHopSkewComposition(t *testing.T) {
+	const (
+		syncPeriod = 10 * time.Millisecond
+		// Per-hop accuracy bound for loopback sync rounds, generous for
+		// CI noise.
+		hopBound = int64(2_500)
+	)
+	relayOffsets := []int64{15_000, -4_000}    // relay raw clocks vs true time
+	leafOffsets := [][]int64{{-12_000, 8_000}, // fleet 0: most-ahead +8000
+		{-9_000, 2_000}} // fleet 1: most-ahead +2000
+
+	root := newRoot(t, func(cfg *ism.Config) {
+		cfg.SyncPeriod = syncPeriod
+	})
+	defer root.Close()
+
+	relays := make([]*Relay, len(relayOffsets))
+	relayDrifts := make([]*vclock.Drift, len(relayOffsets))
+	for x, off := range relayOffsets {
+		relayDrifts[x] = vclock.NewDrift(vclock.System{}, off, 0)
+		icfg := testISM()
+		icfg.SyncPeriod = syncPeriod
+		var err error
+		relays[x], err = New(Config{
+			Addr:          "127.0.0.1:0",
+			Parent:        root.Addr(),
+			Name:          fmt.Sprintf("relay%d", x),
+			NodeBase:      int32(x * 1000),
+			Clock:         relayDrifts[x],
+			ISM:           icfg,
+			FlushInterval: time.Millisecond,
+			Logf:          quietLog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer relays[x].Close()
+	}
+
+	leafDrifts := make([][]*vclock.Drift, len(relays))
+	leafCorr := make([][]*vclock.Corrected, len(relays))
+	for x := range relays {
+		leafDrifts[x] = make([]*vclock.Drift, len(leafOffsets[x]))
+		leafCorr[x] = make([]*vclock.Corrected, len(leafOffsets[x]))
+		for i, off := range leafOffsets[x] {
+			leafDrifts[x][i] = vclock.NewDrift(vclock.System{}, off, 0)
+			leafCorr[x][i] = vclock.NewCorrected(leafDrifts[x][i])
+			e, err := exs.Dial(exs.Config{
+				ManagerAddr:   relays[x].Addr(),
+				NodeName:      fmt.Sprintf("leaf%d.%d", x, i),
+				Region:        shm.NewRegion(),
+				Clock:         leafCorr[x][i],
+				FlushInterval: time.Millisecond,
+				Logf:          quietLog,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+		}
+	}
+
+	// leafFrame is leaf (x,i)'s corrected clock offset vs true time;
+	// relayFrame likewise for relay x.
+	leafFrame := func(x, i int) int64 {
+		return leafDrifts[x][i].SkewAgainstRef() + leafCorr[x][i].Correction()
+	}
+	relayFrame := func(x int) int64 {
+		return relayDrifts[x].SkewAgainstRef() + relays[x].Clock().Correction()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for x := range relays { // hop 1, per fleet
+			if abs(leafFrame(x, 0)-leafFrame(x, 1)) > hopBound {
+				converged = false
+			}
+		}
+		if abs(relayFrame(0)-relayFrame(1)) > hopBound { // hop 2
+			converged = false
+		}
+		if converged {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("multi-hop sync never converged: fleet0 leaves (%d,%d) fleet1 leaves (%d,%d) relays (%d,%d) µs",
+				leafFrame(0, 0), leafFrame(0, 1), leafFrame(1, 0), leafFrame(1, 1),
+				relayFrame(0), relayFrame(1))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Hop 1: each fleet sits on its most-ahead leaf's frame, and no
+	// clock stepped backward.
+	for x := range relays {
+		maxOff := leafOffsets[x][0]
+		if leafOffsets[x][1] > maxOff {
+			maxOff = leafOffsets[x][1]
+		}
+		for i := range leafOffsets[x] {
+			if c := leafCorr[x][i].Correction(); c < 0 {
+				t.Fatalf("leaf %d.%d correction %dµs is negative — BRISK must only advance clocks", x, i, c)
+			}
+			if resid := abs(leafFrame(x, i) - maxOff); resid > hopBound {
+				t.Fatalf("leaf %d.%d frame %dµs, want the fleet's most-ahead %dµs (resid %d > %d)",
+					x, i, leafFrame(x, i), maxOff, resid, hopBound)
+			}
+		}
+	}
+
+	// Hop 2: the laggard relay stepped forward by ≈ the inter-relay
+	// skew; the most-ahead relay stayed put.
+	cA, cB := relays[0].Clock().Correction(), relays[1].Clock().Correction()
+	if cA < 0 || cB < 0 {
+		t.Fatalf("relay corrections (%d, %d)µs: negative — BRISK must only advance clocks", cA, cB)
+	}
+	if wantB := relayOffsets[0] - relayOffsets[1]; abs(cB-wantB) > hopBound || cA > hopBound {
+		t.Fatalf("relay corrections (%d, %d)µs, want ≈(0, %d): laggard steps to the most-ahead relay",
+			cA, cB, wantB)
+	}
+	for x, rl := range relays {
+		st := rl.Stats()
+		if st.Probes == 0 {
+			t.Fatalf("relay %d answered no root probes", x)
+		}
+		if st.ISM.SyncRounds == 0 {
+			t.Fatalf("relay %d ran no sync rounds over its own fleet", x)
+		}
+	}
+	if relays[1].Stats().Adjusts == 0 {
+		t.Fatal("laggard relay received no adjustments from the root")
+	}
+
+	// Composition: a record forwarded from fleet x reaches the root in
+	// frame (most-ahead leaf of x) + (relay x's correction) — the two
+	// hops' corrections add. The cross-fleet disagreement must therefore
+	// equal the predictable inter-frame gap within the summed per-hop
+	// bounds, not drift off unpredictably.
+	composed := func(x, i int) int64 { return leafFrame(x, i) + relays[x].Clock().Correction() }
+	predicted := (leafOffsets[0][1] + cA) - (leafOffsets[1][1] + cB)
+	for i := range leafOffsets[0] {
+		for j := range leafOffsets[1] {
+			got := composed(0, i) - composed(1, j)
+			if abs(got-predicted) > 2*hopBound {
+				t.Fatalf("composed cross-fleet skew leaf0.%d vs leaf1.%d = %dµs, predicted %dµs (±%d)",
+					i, j, got, predicted, 2*hopBound)
+			}
+		}
+	}
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

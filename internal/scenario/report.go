@@ -57,9 +57,17 @@ type CellResult struct {
 	// output. Zero is asserted as the monotone contract except in
 	// bounded-sorter overload cells, where it is reported but advisory.
 	OrderViolations uint64 `json:"order_violations"`
-	// MaxAbsSkewMicros is the largest |node skew + correction| at cell
-	// end — the residual clock error after any synchronization.
+	// MaxAbsSkewMicros is the largest |node skew + composed correction|
+	// at cell end — the residual clock error after any synchronization,
+	// with both hops' corrections applied in relayed topologies.
 	MaxAbsSkewMicros int64 `json:"max_abs_skew_micros"`
+
+	// Federation-tier observables (zero in direct topologies): the relay
+	// count, records marked lost by relay sorters and uplink queues, and
+	// relay uplink reconnections.
+	Relays          int    `json:"relays,omitempty"`
+	RelayMarkedLost uint64 `json:"relay_marked_lost,omitempty"`
+	RelayReconnects uint64 `json:"relay_reconnects,omitempty"`
 
 	// Contracts holds the per-contract verdicts (see Contract* consts).
 	Contracts map[string]bool `json:"contracts"`

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"brisk/internal/ism"
 	"brisk/internal/ols"
 	"brisk/internal/record"
+	"brisk/internal/relay"
 	"brisk/internal/sensor"
 	"brisk/internal/shm"
 	"brisk/internal/vclock"
@@ -122,7 +124,11 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	fail := func(format string, args ...any) {
 		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
 	}
-	quiet := func(string, ...any) {}
+	quiet := func(f string, a ...any) {
+		if os.Getenv("SCEN_DEBUG") != "" {
+			fmt.Fprintf(os.Stderr, f+"\n", a...)
+		}
+	}
 
 	events := c.Workload.Events
 	if events == 0 {
@@ -144,10 +150,22 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		expect = 2 * events * c.Topology.Nodes
 	}
 
+	// Composed sorter window: a relayed record dwells in its relay's
+	// sorter for up to that tier's window before it is forwarded, so the
+	// root must tolerate that much extra lateness on top of the leaf
+	// lateness the base window covers — otherwise the interleave of two
+	// relays' (individually monotone) streams inverts. One relay hop
+	// therefore doubles the root window, plus shipping slack.
+	rootInitialT := params.SorterInitialTMicros
+	if c.Topology.Relays > 0 {
+		rootInitialT = 2*params.SorterInitialTMicros +
+			int64(4*(params.MergeIntervalMS+params.FlushIntervalMS)+10)*1000
+	}
+
 	mgr, err := ism.New(ism.Config{
 		Addr: "127.0.0.1:0",
 		Sorter: ols.Config{
-			InitialT:    params.SorterInitialTMicros,
+			InitialT:    rootInitialT,
 			MaxBuffered: params.SorterMaxBuffered,
 			SourceQuota: params.SorterSourceQuota,
 		},
@@ -165,6 +183,63 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	defer mgr.Close()
 
 	rng := des.NewRNG(c.Seed())
+
+	// Federation tier: Relays intermediate managers, each owning the
+	// nodes round-robin-assigned to it and forwarding its merged stream
+	// to the root. Relay clocks draw from the same regime stream as node
+	// clocks, so a relayed cell exercises two hops of skew. NodeBase
+	// spacing keeps forwarded origin ids globally unique across relays.
+	relays := c.Topology.Relays
+	relayTier := make([]*relay.Relay, 0, relays)
+	relayDrift := make([]*vclock.Drift, relays)
+	for r := 0; r < relays; r++ {
+		offset := rng.Int63n(2*c.Clock.OffsetSpreadMicros+1) - c.Clock.OffsetSpreadMicros
+		driftPPM := (rng.Float64()*2 - 1) * c.Clock.DriftSpreadPPM
+		var raw vclock.Clock = vclock.System{}
+		if c.Clock.OffsetSpreadMicros > 0 || c.Clock.DriftSpreadPPM > 0 {
+			relayDrift[r] = vclock.NewDrift(vclock.System{}, offset, driftPPM)
+			raw = relayDrift[r]
+		}
+		rl, err := relay.New(relay.Config{
+			Addr:     "127.0.0.1:0",
+			Parent:   mgr.Addr(),
+			Name:     fmt.Sprintf("%s/relay%d", c.Name(), r),
+			NodeBase: int32(r * 1000),
+			Clock:    raw,
+			ISM: ism.Config{
+				Sorter: ols.Config{
+					InitialT:    params.SorterInitialTMicros,
+					MaxBuffered: params.SorterMaxBuffered,
+					SourceQuota: params.SorterSourceQuota,
+				},
+				MergeInterval:     time.Duration(params.MergeIntervalMS) * time.Millisecond,
+				BufferRecords:     2*expect + 8192,
+				HeartbeatInterval: 250 * time.Millisecond,
+				SyncPeriod:        time.Duration(c.Clock.SyncPeriodMS) * time.Millisecond,
+				Logf:              quiet,
+			},
+			FlushInterval: time.Duration(params.FlushIntervalMS) * time.Millisecond,
+			// Reuse the spill bound so overload cells evict (and mark) at
+			// the relay tier too. Never give up on the parent: a dead
+			// relay discards its loss accounting by design.
+			QueueBytes:           params.SpillBytes,
+			MaxReconnectAttempts: -1,
+			Logf:                 quiet,
+		})
+		if err != nil {
+			fail("relay %d: %v", r, err)
+			return res
+		}
+		defer rl.Close()
+		relayTier = append(relayTier, rl)
+	}
+	attachAddr := func(i int) string {
+		if relays > 0 {
+			return relayTier[i%relays].Addr()
+		}
+		return mgr.Addr()
+	}
+
 	nodes := make([]*cellNode, c.Topology.Nodes)
 	for i := range nodes {
 		n := &cellNode{}
@@ -188,7 +263,7 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		}
 		n.corrected = vclock.NewCorrected(raw)
 
-		proxy, err := faultnet.Listen(mgr.Addr())
+		proxy, err := faultnet.Listen(attachAddr(i))
 		if err != nil {
 			fail("node %d proxy: %v", i, err)
 			return res
@@ -321,7 +396,7 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	}
 	var exsMarked, evicted, creditStalls, reconnects uint64
 	var maxSkew int64
-	for _, n := range nodes {
+	for i, n := range nodes {
 		if err := n.exs.Close(); err != nil {
 			fail("exs close: %v", err)
 		}
@@ -331,7 +406,22 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		creditStalls += st.CreditStalls
 		reconnects += st.Reconnects
 		if n.drift != nil {
-			if skew := abs64(n.drift.SkewAgainstRef() + n.corrected.Correction()); skew > maxSkew {
+			// Multi-hop composition: a leaf record reaches the root with
+			// the leaf's correction (into the relay frame) plus the owning
+			// relay's correction (into the root frame) applied on top of
+			// its raw skew, so the residual is their sum.
+			resid := n.drift.SkewAgainstRef() + n.corrected.Correction()
+			if relays > 0 {
+				resid += relayTier[i%relays].Clock().Correction()
+			}
+			if skew := abs64(resid); skew > maxSkew {
+				maxSkew = skew
+			}
+		}
+	}
+	for r, rl := range relayTier {
+		if relayDrift[r] != nil {
+			if skew := abs64(relayDrift[r].SkewAgainstRef() + rl.Clock().Correction()); skew > maxSkew {
 				maxSkew = skew
 			}
 		}
@@ -360,8 +450,17 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 			}
 			if !time.Now().Before(deadline) {
 				timedOut = true
-				fail("timeout draining: %d emitted + %d marker-covered of %d produced + %d refused (manager %+v)",
-					emitted, markerCovered, produced, refused, st)
+				relayState := ""
+				for r, rl := range relayTier {
+					relayState += fmt.Sprintf(" relay%d %+v;", r, rl.Stats())
+				}
+				for i, n := range nodes {
+					ns := n.exs.Stats()
+					relayState += fmt.Sprintf(" node%d produced=%d sent=%d dropped=%d marked=%d lostOffline=%d ringDropped=%d;",
+						i, n.produced, ns.Sent, ns.Dropped, ns.MarkedLost, ns.LostOffline, ns.RingDropped)
+				}
+				fail("timeout draining: %d emitted + %d marker-covered of %d produced + %d refused (manager %+v;%s)",
+					emitted, markerCovered, produced, refused, st, relayState)
 				break
 			}
 			time.Sleep(time.Millisecond)
@@ -404,6 +503,17 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		lastSeq[sk] = seq
 	}
 
+	// Relay-tier accounting: markers synthesized by a relay's own sorter
+	// (ISM.MarkedLost) and by its uplink queue evictions (MarkedLost)
+	// both surface as marker records at the root.
+	var relayMarked, relayEvicted, relayReconnects uint64
+	for _, rl := range relayTier {
+		rs := rl.Stats()
+		relayMarked += rs.MarkedLost + rs.ISM.MarkedLost
+		relayEvicted += rs.Dropped
+		relayReconnects += rs.Reconnects
+	}
+
 	st := mgr.Stats()
 	res.ElapsedMicros = time.Since(start).Microseconds()
 	res.LoadMicros = elapsedLoad.Microseconds()
@@ -423,6 +533,9 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	res.DedupedBatches = st.DedupedBatches
 	res.Inversions = st.Sorter.Inversions
 	res.MaxAbsSkewMicros = maxSkew
+	res.Relays = relays
+	res.RelayMarkedLost = relayMarked
+	res.RelayReconnects = relayReconnects
 
 	if timedOut {
 		return res
@@ -459,22 +572,26 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		delete(res.Contracts, ContractMonotone)
 	}
 
-	// Contract 3 — acked ⇒ emitted or loss-marker: the marker coverage in
-	// the output matches what the sensors and the manager say they marked.
-	// Exact equality — except when spill evictions occurred: an evicted
-	// batch may itself have carried a marker record, whose coverage
-	// re-enters the pending-loss accumulator as a single record, so the
-	// sensors' marked totals legitimately over-count what can surface.
-	// The output can never cover MORE than was marked (markers are a
-	// subset of shipped ones), and conservation pins the floor.
-	lossOK := markerCovered == exsMarked+st.MarkedLost
-	if evicted > 0 {
-		lossOK = markerCovered <= exsMarked+st.MarkedLost
+	// Contract 3 — acked ⇒ emitted or loss-marker, composed across tiers:
+	// the marker coverage in the output matches what the sensors, the
+	// relay tier (its sorters and its uplink queues) and the root manager
+	// say they marked. Exact equality — except when spill or uplink
+	// evictions occurred: an evicted batch may itself have carried a
+	// marker record, whose coverage folds back into the pending-loss
+	// accumulator and so is marked a second time; the marked totals then
+	// legitimately over-count what can surface. The output can never
+	// cover MORE than was marked (markers are a subset of shipped ones),
+	// and conservation pins the floor — so markers aggregate across hops
+	// but never disappear.
+	marked := exsMarked + relayMarked + st.MarkedLost
+	lossOK := markerCovered == marked
+	if evicted > 0 || relayEvicted > 0 {
+		lossOK = markerCovered <= marked
 	}
 	res.Contracts[ContractLoss] = lossOK
 	if !lossOK {
-		fail("loss accounting: output markers cover %d, sensors marked %d + manager marked %d (evicted %d)",
-			markerCovered, exsMarked, st.MarkedLost, evicted)
+		fail("loss accounting: output markers cover %d, sensors marked %d + relays marked %d + manager marked %d (evicted %d+%d)",
+			markerCovered, exsMarked, relayMarked, st.MarkedLost, evicted, relayEvicted)
 	}
 
 	// Auxiliary — per-source FIFO: each source's emitted subsequence

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunCellRelayedSteady is the federation smoke: two leaves attach to
+// one relay, the relay forwards to the root, and every standing contract
+// — conservation, monotone emission, loss accounting, per-source FIFO —
+// must hold on the root's merged output exactly as in the direct
+// topology.
+func TestRunCellRelayedSteady(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 400},
+		Topology{Name: "t", Nodes: 2, Relays: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+	if res.Produced != 800 || res.Emitted != 800 {
+		t.Fatalf("produced=%d emitted=%d, want 800/800", res.Produced, res.Emitted)
+	}
+	if res.Relays != 1 {
+		t.Fatalf("relays=%d not recorded in result", res.Relays)
+	}
+}
+
+// TestRunCellTwoRelays splits four leaves across two relays: origin ids
+// must stay globally unique (NodeBase spacing) or the conservation and
+// FIFO checks — keyed on the emitted node id — would collide.
+func TestRunCellTwoRelays(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeBursty, Events: 256, BurstLen: 32},
+		Topology{Name: "t", Nodes: 4, Relays: 2},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+}
+
+// TestRunCellRelayedSynced runs two hops of skewed clocks with both sync
+// masters on: leaves converge to their relay's frame and relays to the
+// root's, so the composed residual (leaf skew + leaf correction + relay
+// correction) must come out far below the raw offset spread.
+func TestRunCellRelayedSynced(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 2500, Rate: 30000,
+			Params: Params{SorterInitialTMicros: 100_000}},
+		Topology{Name: "t", Nodes: 2, Relays: 1},
+		ClockRegime{Name: "c", OffsetSpreadMicros: 20_000, SyncPeriodMS: 10},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+	if res.MaxAbsSkewMicros >= 20_000 {
+		t.Fatalf("composed residual skew %dµs not reduced below the 20000µs spread", res.MaxAbsSkewMicros)
+	}
+}
+
+// TestRunCellRelayedOverload bounds both tiers' sorters and the spill
+// queues, forcing loss markers at the leaves AND the relay: the composed
+// loss contract (root marker coverage == sensors + relays + root marked)
+// is what's under test. Monotone is advisory here, as in direct
+// overload cells.
+func TestRunCellRelayedOverload(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 1500,
+			Params: Params{SorterMaxBuffered: 100, SpillBytes: 8192,
+				BatchBytes: 1024, SorterInitialTMicros: 50_000}},
+		Topology{Name: "t", Nodes: 2, Relays: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "f"},
+	)
+	res := RunCell(cell, 30*time.Second)
+	if !res.Passed() {
+		t.Fatalf("relayed overload cell failed: %v (contracts %v)", res.Failures, res.Contracts)
+	}
+	for _, name := range []string{ContractConservation, ContractLoss, ContractFIFO} {
+		if ok, present := res.Contracts[name]; !present || !ok {
+			t.Errorf("contract %q = (%v, present=%v), want held", name, ok, present)
+		}
+	}
+}
+
+// TestRunCellRelayedCutRecovers cuts the leaf links mid-load: the leaves
+// resume against the relay and nothing is lost end to end.
+func TestRunCellRelayedCutRecovers(t *testing.T) {
+	cell := liveMatrix(
+		Workload{Name: "w", Shape: ShapeSteady, Events: 600, Rate: 20000,
+			Params: Params{SorterInitialTMicros: 500_000}},
+		Topology{Name: "t", Nodes: 2, Relays: 1},
+		ClockRegime{Name: "c"},
+		FaultScript{Name: "cut", Script: []FaultStep{{AtMS: 8, Op: OpCut}}},
+	)
+	res := RunCell(cell, 30*time.Second)
+	requirePass(t, res)
+}

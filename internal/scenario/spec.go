@@ -171,8 +171,11 @@ type Topology struct {
 	// always use two sensors per node (reason and consequence); hotskew
 	// spreads its sources across this many.
 	SensorsPerNode int `json:"sensors_per_node,omitempty"`
-	// Relays is reserved for a future relay/federation tier between the
-	// EXS nodes and the manager; only 0 is accepted today.
+	// Relays inserts a federation tier between the EXS nodes and the
+	// manager: this many relay processes each own a share of the nodes
+	// (round-robin), run the full manager pipeline against them, and
+	// forward their merged streams to the root. 0 (the default) attaches
+	// nodes directly; at most 4 relays, and never more relays than nodes.
 	Relays int `json:"relays,omitempty"`
 }
 
@@ -307,8 +310,11 @@ func (m *Matrix) Validate() error {
 		if tp.SensorsPerNode < 0 || tp.SensorsPerNode > 8 {
 			return fmt.Errorf("scenario %q: topology %q: sensors_per_node must be 0..8", m.Name, tp.Name)
 		}
-		if tp.Relays != 0 {
-			return fmt.Errorf("scenario %q: topology %q: relay tier not implemented yet; relays must be 0", m.Name, tp.Name)
+		if tp.Relays < 0 || tp.Relays > 4 {
+			return fmt.Errorf("scenario %q: topology %q: relays must be 0..4, got %d", m.Name, tp.Name, tp.Relays)
+		}
+		if tp.Relays > tp.Nodes {
+			return fmt.Errorf("scenario %q: topology %q: more relays (%d) than nodes (%d)", m.Name, tp.Name, tp.Relays, tp.Nodes)
 		}
 	}
 	for i := range m.Clocks {

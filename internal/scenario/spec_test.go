@@ -79,7 +79,12 @@ func TestValidateCatchesSpecMistakes(t *testing.T) {
 		{"zero nodes", func(m *Matrix) { m.Topologies[0].Nodes = 0 }},
 		{"too many nodes", func(m *Matrix) { m.Topologies[0].Nodes = 17 }},
 		{"too many sensors", func(m *Matrix) { m.Topologies[0].SensorsPerNode = 9 }},
-		{"relay tier requested", func(m *Matrix) { m.Topologies[0].Relays = 1 }},
+		{"too many relays", func(m *Matrix) { m.Topologies[0].Relays = 5 }},
+		{"more relays than nodes", func(m *Matrix) {
+			m.Topologies[0].Nodes = 2
+			m.Topologies[0].Relays = 3
+		}},
+		{"negative relays", func(m *Matrix) { m.Topologies[0].Relays = -1 }},
 		{"negative offset spread", func(m *Matrix) { m.Clocks[0].OffsetSpreadMicros = -1 }},
 		{"unknown fault op", func(m *Matrix) {
 			m.Faults[0].Script = []FaultStep{{Op: "explode"}}

@@ -26,6 +26,7 @@ func FuzzRecv(f *testing.F) {
 		&DataAck{Seq: 5},
 		&Ping{Seq: 3},
 		&Pong{Seq: 3},
+		&RelayBatch{Seq: 6, Count: 1, Payload: []byte{0, 0, 0, 2, 1, 2, 3, 4}},
 	}
 	for _, m := range msgs {
 		var buf bytes.Buffer

@@ -63,12 +63,16 @@ const (
 	MsgPing
 	// MsgPong answers a heartbeat: EXS → ISM.
 	MsgPong
+	// MsgRelayData carries a batch of origin-attributed records from a
+	// relay-tier ISM to its parent: relay → root.
+	MsgRelayData
 )
 
 var msgNames = map[MsgType]string{
 	MsgHello: "HELLO", MsgHelloAck: "HELLO_ACK", MsgData: "DATA",
 	MsgProbe: "PROBE", MsgProbeReply: "PROBE_REPLY", MsgAdjust: "ADJUST",
 	MsgBye: "BYE", MsgDataAck: "DATA_ACK", MsgPing: "PING", MsgPong: "PONG",
+	MsgRelayData: "RELAY_DATA",
 }
 
 // String names the message type.
@@ -267,6 +271,46 @@ func (m *DataAck) decode(d *xdr.Decoder) error {
 	return err
 }
 
+// RelayBatch carries Count records merged by a relay-tier ISM from its
+// regional fleet. Unlike DataBatch — whose records are all attributed to
+// the sending session's node — a relay batch interleaves many origin
+// nodes, so each record in Payload is prefixed by its 4-byte big-endian
+// origin node id (the same entry framing the shm memory buffer uses).
+// Seq shares the session's data-batch sequence space: the manager
+// dedupes, acks and credits relay batches exactly like data batches, so
+// the v3 resume and flow-control machinery applies unchanged.
+type RelayBatch struct {
+	// Seq numbers the batch within its session (1-based); 0 marks a
+	// sessionless batch.
+	Seq uint64
+	// Count is the number of node-prefixed records encoded in Payload.
+	Count uint32
+	// Payload is the concatenation of (node id, record) entries.
+	Payload []byte
+}
+
+// Type implements Message.
+func (*RelayBatch) Type() MsgType { return MsgRelayData }
+
+func (m *RelayBatch) encode(e *xdr.Encoder) {
+	e.Uint64(m.Seq)
+	e.Uint32(m.Count)
+	e.Opaque(m.Payload)
+}
+
+func (m *RelayBatch) decode(d *xdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Count, err = d.Uint32(); err != nil {
+		return err
+	}
+	// Copy into reused capacity, mirroring DataBatch.decode.
+	m.Payload, err = d.OpaqueInto(m.Payload[:0])
+	return err
+}
+
 // Ping is a manager-issued heartbeat; the peer answers with a Pong
 // echoing Seq. Any received frame counts as liveness, so pings only cost
 // traffic on otherwise idle connections.
@@ -415,6 +459,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Ping{}, nil
 	case MsgPong:
 		return &Pong{}, nil
+	case MsgRelayData:
+		return &RelayBatch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

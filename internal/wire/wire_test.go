@@ -45,6 +45,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&HelloAck{Node: 3, Resumed: true, LastSeq: 42, Window: 4096},
 		&DataBatch{Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
 		&DataBatch{Seq: 17, Count: 2, Payload: []byte{1, 2, 3, 4, 5}},
+		&RelayBatch{Seq: 23, Count: 1, Payload: []byte{0, 0, 0, 7, 1, 2, 3}},
 		&Probe{Seq: 9, MasterSend: 123456789},
 		&ProbeReply{Seq: 9, MasterSend: 123456789, SlaveTime: 123456800},
 		&Adjust{DeltaMicros: 250},
@@ -271,7 +272,7 @@ func TestPropertyMessageStreamRoundTrip(t *testing.T) {
 		n := 1 + rng.Intn(40)
 		for i := 0; i < n; i++ {
 			var m Message
-			switch rng.Intn(10) {
+			switch rng.Intn(11) {
 			case 0:
 				m = &Hello{Version: rng.Uint32(), Name: randString(rng, 20),
 					Session: rng.Uint64(), Resume: rng.Intn(2) == 1}
@@ -294,6 +295,10 @@ func TestPropertyMessageStreamRoundTrip(t *testing.T) {
 				m = &Ping{Seq: rng.Uint32()}
 			case 8:
 				m = &Pong{Seq: rng.Uint32()}
+			case 9:
+				p := make([]byte, rng.Intn(200))
+				rng.Read(p)
+				m = &RelayBatch{Seq: rng.Uint64(), Count: uint32(rng.Intn(50)), Payload: p}
 			default:
 				m = &Bye{}
 			}
@@ -318,6 +323,12 @@ func TestPropertyMessageStreamRoundTrip(t *testing.T) {
 				g := got.(*DataBatch)
 				if g.Count != db.Count || !bytes.Equal(g.Payload, db.Payload) {
 					t.Errorf("msg %d batch mismatch", i)
+					return false
+				}
+			} else if rb, ok := want.(*RelayBatch); ok {
+				g := got.(*RelayBatch)
+				if g.Seq != rb.Seq || g.Count != rb.Count || !bytes.Equal(g.Payload, rb.Payload) {
+					t.Errorf("msg %d relay batch mismatch", i)
 					return false
 				}
 			} else if !reflect.DeepEqual(got, want) {
