@@ -48,10 +48,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent core: the packages where
-# reconnect, resume, fault injection, sharded sorting, and the pooled
-# record paths hammer shared state.
+# reconnect, resume, fault injection, sharded sorting, subscription
+# fan-out, and the pooled record paths hammer shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/relay ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/workload
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/relay ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/subscribe ./internal/workload
 
 # Full suite under the race detector (slower).
 race:
@@ -93,6 +93,7 @@ scenario-full:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDataBatch -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz FuzzScenarioSpec -fuzztime 10s -run '^$$' ./internal/scenario/
+	$(GO) test -fuzz FuzzFilterExpr -fuzztime 10s -run '^$$' ./internal/subscribe/
 
 # Short fuzzing pass over the decoders.
 fuzz:
@@ -102,6 +103,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/picl/
 	$(GO) test -fuzz FuzzDecoder -fuzztime 30s ./internal/xdr/
 	$(GO) test -fuzz FuzzScenarioSpec -fuzztime 30s ./internal/scenario/
+	$(GO) test -fuzz FuzzFilterExpr -fuzztime 30s ./internal/subscribe/
 
 # Regenerate every table of the paper's evaluation.
 eval:

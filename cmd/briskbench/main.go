@@ -14,6 +14,7 @@
 //	briskbench ols [-seed 1]
 //	briskbench ingest [-sessions 1,8] [-records 150000] [-batch 256] [-json FILE]
 //	briskbench sorter [-cores calendar,heap] [-shards 1,2,4,8] [-sources 8] [-records 100000]
+//	briskbench subscribe [-subs 0,64,1024] [-records 150000] [-batch 256]
 //	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_current.json]
 //	briskbench matrix [-scenarios scenarios] [-filter smoke] [-out BENCH_scenarios.json]
 //
@@ -62,6 +63,8 @@ func main() {
 		err = runIngest(args)
 	case "sorter":
 		err = runSorter(args)
+	case "subscribe":
+		err = runSubscribe(args)
 	case "benchgate":
 		err = runBenchGate(args)
 	case "matrix":
@@ -93,6 +96,7 @@ experiments:
   ols         E7: on-line sorting parameter sweep
   ingest      manager ingest capacity vs session count (bench-check suite)
   sorter      sorter-stage throughput vs core (calendar/heap) and shard count
+  subscribe   ingest capacity with the subscription tap at each idle-subscriber count
   benchgate   run the ingest suite and fail on regression vs a baseline file
   matrix      scenario matrix: workload × topology × clock × fault cells with contract checks
   intrusion   ablation: instrumentation overhead on a computation
@@ -291,6 +295,32 @@ func runSorter(args []string) error {
 		return err
 	}
 	bench.SorterTable(rows).Render(os.Stdout)
+	return nil
+}
+
+func runSubscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	subs := fs.String("subs", "0,64,1024", "comma-separated idle subscriber counts")
+	records := fs.Int("records", 150_000, "records pushed through the tapped manager")
+	batch := fs.Int("batch", 256, "records per data batch")
+	fs.Parse(args)
+	var counts []int
+	for _, f := range strings.Split(*subs, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad subscriber count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	rows, err := bench.RunSubscribeSuite(counts, *records, *batch)
+	if err != nil {
+		return err
+	}
+	bench.SubscribeTable(rows).Render(os.Stdout)
 	return nil
 }
 

@@ -30,7 +30,11 @@ func runMatrix(args []string) error {
 	skipTopologies := fs.String("skip-topologies", "", "comma-separated topology names to exclude")
 	skipClocks := fs.String("skip-clocks", "", "comma-separated clock-regime names to exclude")
 	skipFaults := fs.String("skip-faults", "", "comma-separated fault-script names to exclude")
+	verbose := fs.Bool("v", false, "stream per-cell pipeline diagnostics to stderr (equivalent to SCEN_DEBUG=1)")
 	fs.Parse(args)
+	if *verbose {
+		scenario.SetDebug(true)
+	}
 
 	split := func(s string) []string {
 		if s == "" {

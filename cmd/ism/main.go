@@ -41,6 +41,8 @@ func main() {
 		statsEvery = flag.Duration("stats", 0, "periodically print statistics (0 disables)")
 		statsHTTP  = flag.String("stats-http", "", "serve statistics as JSON on this address")
 		obsAddr    = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		subOn      = flag.Bool("subscribe", false, "enable the subscription engine; /subscribe, /query and /topk mount on the -obs server")
+		subWindow  = flag.Int("subscribe-window", 0, "subscription hot-window byte budget (0 = default 8 MiB)")
 		traceEvery = flag.Int("trace-sample", 0, "pipeline trace sampling period (0 = default 64, <0 disables)")
 		heartbeat  = flag.Duration("heartbeat", 0, "per-sensor PING period for dead-peer detection (0 = default 1s, <0 disables)")
 		retention  = flag.Duration("session-retention", 0, "how long a disconnected sensor's session is resumable (0 = default 2m, <0 disables)")
@@ -68,6 +70,9 @@ func main() {
 		AckHighWater:      *ackHigh,
 		AckLowWater:       *ackLow,
 		OLSShards:         *olsShards,
+	}
+	if *subOn {
+		opts.Subscribe = &brisk.SubscribeOptions{WindowBytes: *subWindow}
 	}
 	switch *policy {
 	case "lateness":
@@ -129,6 +134,9 @@ func main() {
 		}
 		defer obs.Close()
 		fmt.Printf("ism: metrics at http://%s/metrics\n", obs.Addr())
+		if mgr.MountSubscribe(obs) {
+			fmt.Printf("ism: subscribe API at http://%s/subscribe\n", obs.Addr())
+		}
 	}
 	if *statsHTTP != "" {
 		ln, err := net.Listen("tcp", *statsHTTP)

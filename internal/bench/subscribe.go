@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"brisk/internal/ism"
+	"brisk/internal/ols"
+	"brisk/internal/record"
+	"brisk/internal/subscribe"
+	"brisk/internal/wire"
+)
+
+// RunSubscribeIngest reruns the ingest benchmark with the subscription
+// engine tapped into the sink flush and `subscribers` idle readers
+// attached. The readers' filters match nothing the workload emits, so
+// the measured cost is the tap itself: the per-record Publish into the
+// hot window plus the per-flush wake scan over the subscriber list.
+// Compare against subscribers=0 — the acceptance bar is that 1024 idle
+// readers price in under a few percent of ingest throughput.
+func RunSubscribeIngest(subscribers, perSession, batchRecords int) (IngestResult, error) {
+	if subscribers < 0 {
+		subscribers = 0
+	}
+	if perSession <= 0 {
+		perSession = 150_000
+	}
+	if batchRecords <= 0 {
+		batchRecords = 256
+	}
+	batches := perSession / batchRecords
+	if batches == 0 {
+		batches = 1
+	}
+	perSession = batches * batchRecords
+	total := perSession
+
+	eng := subscribe.New(subscribe.Config{WindowBytes: 8 << 20})
+	defer eng.Close()
+
+	m, err := ism.New(ism.Config{
+		Addr:              "127.0.0.1:0",
+		MergeInterval:     time.Millisecond,
+		BufferRecords:     1 << 16,
+		Sorter:            ols.Config{InitialT: 100},
+		HeartbeatInterval: -1,
+		Tap:               eng,
+		Logf:              quiet,
+	})
+	if err != nil {
+		return IngestResult{}, err
+	}
+	m.Start()
+	defer m.Close()
+
+	// The workload emits event class 1 only; the idle readers subscribe
+	// to class 200, so wake suppression keeps every one of them parked.
+	var readers sync.WaitGroup
+	defer readers.Wait()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < subscribers; i++ {
+		f, err := subscribe.ParseFilter("event=200")
+		if err != nil {
+			return IngestResult{}, err
+		}
+		sub, err := eng.Subscribe(f, false)
+		if err != nil {
+			return IngestResult{}, err
+		}
+		readers.Add(1)
+		go func(sub *subscribe.Subscription) {
+			defer readers.Done()
+			defer sub.Close()
+			for {
+				if _, err := sub.Next(ctx); err != nil {
+					return
+				}
+			}
+		}(sub)
+	}
+
+	ts := time.Now().UnixMicro() - 10_000_000
+	var payload []byte
+	for i := 0; i < batchRecords; i++ {
+		rec := record.New(1,
+			record.TSVal(ts),
+			record.I32Val(int32(i)), record.I32Val(2), record.I32Val(3),
+			record.I32Val(4), record.I32Val(5), record.I32Val(6))
+		payload, err = rec.Append(payload)
+		if err != nil {
+			return IngestResult{}, err
+		}
+	}
+
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		return IngestResult{}, err
+	}
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	if err := wc.Send(&wire.Hello{Version: wire.ProtocolVersion, Name: "bench"}); err != nil {
+		return IngestResult{}, err
+	}
+	if _, err := wc.Recv(); err != nil {
+		return IngestResult{}, fmt.Errorf("bench: hello ack: %w", err)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	b := &wire.DataBatch{Count: uint32(batchRecords), Payload: payload}
+	for i := 0; i < batches; i++ {
+		if err := wc.Send(b); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for int(m.Stats().Emitted) < total && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	st := m.Stats()
+	if int(st.Emitted) < total {
+		return IngestResult{}, fmt.Errorf("bench: manager emitted %d of %d with %d subscribers", st.Emitted, total, subscribers)
+	}
+	return IngestResult{
+		Name:            fmt.Sprintf("subscribe/subscribers=%d", subscribers),
+		Sessions:        subscribers,
+		Records:         total,
+		ElapsedMicros:   elapsed.Microseconds(),
+		RecordsPerSec:   float64(total) / elapsed.Seconds(),
+		MBPerSec:        float64(st.BytesIn) / 1e6 / elapsed.Seconds(),
+		AllocsPerRecord: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+	}, nil
+}
+
+// RunSubscribeSuite runs the tapped-ingest benchmark at each subscriber
+// count. This row is informational, not gated: CompareBench only
+// enforces names present in the committed baseline.
+func RunSubscribeSuite(subCounts []int, perSession, batchRecords int) ([]IngestResult, error) {
+	if len(subCounts) == 0 {
+		subCounts = []int{0, 64, 1024}
+	}
+	var out []IngestResult
+	for _, n := range subCounts {
+		r, err := RunSubscribeIngest(n, perSession, batchRecords)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SubscribeTable renders the suite; the subscribers=0 row is the
+// tap-attached baseline the others are read against.
+func SubscribeTable(rows []IngestResult) *Table {
+	t := &Table{
+		Title:  "subscribe: ingest capacity vs idle subscriber count (tap attached)",
+		Header: []string{"subscribers", "records", "elapsed", "records/s", "MB/s", "allocs/record"},
+	}
+	for _, r := range rows {
+		t.Add(r.Sessions, r.Records,
+			(time.Duration(r.ElapsedMicros) * time.Microsecond).Round(time.Millisecond),
+			r.RecordsPerSec, r.MBPerSec, r.AllocsPerRecord)
+	}
+	return t
+}

@@ -98,6 +98,11 @@ type Config struct {
 	// ReconnectJitter is the ± fraction of uniform jitter applied to
 	// every backoff delay (0.2 = ±20%). Default 0.2; negative disables.
 	ReconnectJitter float64
+	// ReconnectRand, when non-nil, is the [0,1) source the reconnect
+	// jitter is drawn from, called only on the reconnector goroutine.
+	// Injectable so backoff schedules are deterministic under test; nil
+	// uses a private PRNG seeded from the session id and the wall clock.
+	ReconnectRand func() float64
 	// MaxReconnectAttempts caps consecutive failed reconnect attempts
 	// per outage before the sensor gives up and degrades to
 	// drain-and-discard. 0 means DefaultReconnectAttempts; negative
@@ -256,7 +261,7 @@ type EXS struct {
 	drainPauseH  *metrics.Histogram
 	bytesOutBase atomic.Uint64 // BytesOut of finished connections
 
-	rng *mrand.Rand // jitter source; reconnector-goroutine only
+	jitterRand func() float64 // jitter source; reconnector-goroutine only
 
 	mergeTS []int64 // per-ring head-TS scratch; drain-goroutine only
 
@@ -333,7 +338,10 @@ func DialContext(ctx context.Context, cfg Config) (*EXS, error) {
 	}
 	e.registerMetrics(cfg.Metrics)
 	e.ctx, e.cancel = context.WithCancel(ctx)
-	e.rng = mrand.New(mrand.NewSource(int64(e.session) ^ time.Now().UnixNano()))
+	e.jitterRand = cfg.ReconnectRand
+	if e.jitterRand == nil {
+		e.jitterRand = mrand.New(mrand.NewSource(int64(e.session) ^ time.Now().UnixNano())).Float64
+	}
 	raw, conn, ack, err := e.connect(false)
 	if err != nil {
 		e.cancel()
@@ -836,6 +844,14 @@ func backoffDelay(attempt int, base, max time.Duration, jitter float64, rnd func
 	return d
 }
 
+// nextReconnectDelay is the delay the reconnector sleeps before the
+// given 0-based attempt — the configured schedule with jitter drawn
+// from the (injectable) source.
+func (e *EXS) nextReconnectDelay(attempt int) time.Duration {
+	return backoffDelay(attempt, e.cfg.ReconnectBase, e.cfg.ReconnectMax,
+		e.cfg.ReconnectJitter, e.jitterRand)
+}
+
 // reconnector owns redialing: it sleeps through the backoff schedule,
 // re-runs the HELLO exchange with the session id, trims the queue to the
 // manager's resume point, replays the backlog, and only then marks the
@@ -866,8 +882,7 @@ func (e *EXS) reconnectLoop() bool {
 			e.markDead(fmt.Sprintf("retry cap %d reached", max))
 			return false
 		}
-		delay := backoffDelay(attempt, e.cfg.ReconnectBase, e.cfg.ReconnectMax,
-			e.cfg.ReconnectJitter, e.rng.Float64)
+		delay := e.nextReconnectDelay(attempt)
 		timer := time.NewTimer(delay)
 		select {
 		case <-e.done:

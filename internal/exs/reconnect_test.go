@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -585,4 +586,38 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// TestReconnectRandInjectable verifies Config.ReconnectRand is the
+// source the live reconnect schedule draws from: with a deterministic
+// injected source, the sensor's per-attempt delays are an exact,
+// reproducible function of the attempt number, and a real outage
+// consumes draws from that source (not a hidden wall-clock-seeded RNG).
+func TestReconnectRandInjectable(t *testing.T) {
+	f := newFakeISM(t, true)
+	var calls atomic.Int64
+	const base, max = 10 * time.Millisecond, 80 * time.Millisecond
+	e, _ := dialFake(t, f, func(c *Config) {
+		c.ReconnectBase = base
+		c.ReconnectMax = max
+		c.ReconnectJitter = 0.2
+		c.MaxReconnectAttempts = 2
+		// rnd=0.5 makes the jitter factor exactly 1, so the schedule is
+		// the pure exponential — byte-exact assertions below.
+		c.ReconnectRand = func() float64 { calls.Add(1); return 0.5 }
+	})
+	want := []time.Duration{base, 2 * base, 4 * base, max, max}
+	for attempt, w := range want {
+		if got := e.nextReconnectDelay(attempt); got != w {
+			t.Errorf("attempt %d: delay = %v, want %v (injected source must pin the schedule)", attempt, got, w)
+		}
+	}
+	probes := calls.Load() // draws consumed by the assertions above
+
+	// A real outage must draw its backoff jitter from the same source.
+	f.Close()
+	waitFor(t, 10*time.Second, func() bool { return e.state.Load() == stateDead })
+	if calls.Load() <= probes {
+		t.Fatal("outage reconnect schedule did not draw from the injected jitter source")
+	}
 }

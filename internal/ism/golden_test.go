@@ -20,7 +20,7 @@ import (
 // every record timestamp so nothing is emitted until Close's ordered
 // flush; unique timestamps then make the merged order, and therefore the
 // trace bytes, a pure function of the workload — for any shard count.
-func goldenTrace(t *testing.T, shards int) []byte {
+func goldenTrace(t *testing.T, shards int, tap SinkTap) []byte {
 	t.Helper()
 	var trace bytes.Buffer
 	pw := picl.NewWriter(&trace, picl.TimeUTC, 0)
@@ -32,6 +32,7 @@ func goldenTrace(t *testing.T, shards int) []byte {
 		MergeInterval:     time.Millisecond,
 		HeartbeatInterval: -1,
 		OLSShards:         shards,
+		Tap:               tap,
 		Logf:              quietLog,
 	})
 	if err != nil {
@@ -108,8 +109,8 @@ func goldenTrace(t *testing.T, shards int) []byte {
 // sink delivery — and that trace must match the committed golden file.
 // Regenerate with GOLDEN_UPDATE=1 after an intentional format change.
 func TestGoldenTraceDeterminism(t *testing.T) {
-	first := goldenTrace(t, 1)
-	second := goldenTrace(t, 1)
+	first := goldenTrace(t, 1, nil)
+	second := goldenTrace(t, 1, nil)
 	if !bytes.Equal(first, second) {
 		t.Fatal("two identical runs produced different traces (nondeterminism in the pipeline)")
 	}
@@ -142,7 +143,7 @@ func TestGoldenTraceShardTransparent(t *testing.T) {
 		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
 	}
 	for _, shards := range []int{2, 4, 8} {
-		got := goldenTrace(t, shards)
+		got := goldenTrace(t, shards, nil)
 		if !bytes.Equal(got, want) {
 			t.Fatalf("shards=%d: trace diverges from the single-sorter golden trace (%d bytes vs %d)",
 				shards, len(got), len(want))

@@ -131,6 +131,17 @@ type Config struct {
 	// staging storage: implementations must encode or copy what they
 	// keep before returning, and must never block.
 	Forward func(rec *record.Record)
+	// Tap, when non-nil, is the read-side subscription tap: it receives
+	// every record the sinks accept (loss markers included) together
+	// with the node-prefixed encoding the memory-buffer sink produced
+	// and the flush's manager-clock instant, then one EndFlush per sink
+	// flush to amortize subscriber wake-ups. Both calls run on the
+	// merger goroutine with the pipeline lock held: implementations
+	// must never block and must not allocate on the Publish path — the
+	// ingest pipeline's zero-allocation contract extends through the
+	// tap. The record and encoding borrow merge staging storage and
+	// must be copied if kept.
+	Tap SinkTap
 	// GateBacklog, when non-nil, reports extra records that should count
 	// toward the ack-gate occupancy on top of the sorter's own buffered
 	// count. A relay manager points it at its uplink backlog, so a
@@ -151,6 +162,17 @@ type Config struct {
 
 // DefaultTraceSampleEvery is the default pipeline-trace sampling period.
 const DefaultTraceSampleEvery = 64
+
+// SinkTap consumes the sorted stream at the sink stage — the
+// subscription engine's attachment point (see Config.Tap).
+type SinkTap interface {
+	// Publish receives one sink-accepted record, its node-prefixed
+	// encoding, and the manager clock of the flush. Borrowed storage;
+	// must not block or allocate.
+	Publish(rec *record.Record, encoded []byte, now int64)
+	// EndFlush marks the end of one sink flush.
+	EndFlush()
+}
 
 // Stats is a snapshot of manager counters.
 type Stats struct {
@@ -1439,6 +1461,9 @@ func (m *Manager) flushSinks(now int64) {
 		} else {
 			m.sinkBufs[n] = buf
 			n++
+			if m.cfg.Tap != nil {
+				m.cfg.Tap.Publish(rec, buf, now)
+			}
 		}
 		if m.cfg.PICL != nil {
 			if err := m.cfg.PICL.WriteRecord(rec); err != nil {
@@ -1459,6 +1484,9 @@ func (m *Manager) flushSinks(now int64) {
 		}
 	}
 	m.buffer.PublishBatch(m.sinkBufs[:n])
+	if m.cfg.Tap != nil {
+		m.cfg.Tap.EndFlush()
+	}
 	m.sinkBatchH.Observe(int64(len(m.out)))
 	m.out = m.out[:0]
 }

@@ -1,0 +1,67 @@
+package ism
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"brisk/internal/record"
+	"brisk/internal/subscribe"
+)
+
+// TestGoldenTraceWithSubscribeTap locks the read side's transparency
+// contract at the byte level: running the golden workload with the
+// subscription engine tapped into the sink flush must produce the exact
+// trace bytes the untapped pipeline does — the tap observes the stream,
+// it never perturbs it.
+func TestGoldenTraceWithSubscribeTap(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.picl"))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	eng := subscribe.New(subscribe.Config{Shards: 4, WindowBytes: 1 << 20})
+	sub, err := eng.Subscribe(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenTrace(t, 4, eng)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace with subscribe tap diverges from golden (%d bytes vs %d): the tap must not perturb the pipeline",
+			len(got), len(want))
+	}
+
+	// The tap saw every emitted record; a catch-up subscriber reads them
+	// all back out of the hot window in emission order (the window was
+	// large enough that nothing was evicted — no markers expected).
+	eng.Close()
+	var n int
+	var lastSeq uint64
+	for {
+		evs, err := sub.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range evs {
+			if record.IsLossMarker(&evs[i].Record) {
+				t.Fatal("unexpected loss marker: nothing was evicted")
+			}
+			if n > 0 && evs[i].Seq != lastSeq+1 {
+				t.Fatalf("subscriber saw seq %d after %d", evs[i].Seq, lastSeq)
+			}
+			lastSeq = evs[i].Seq
+			n++
+		}
+	}
+	// goldenTrace emits one PICL line per record; line count is the
+	// emitted record count.
+	want = bytes.TrimRight(want, "\n")
+	if emitted := bytes.Count(want, []byte("\n")) + 1; n != emitted {
+		t.Fatalf("subscriber drained %d records, pipeline emitted %d", n, emitted)
+	}
+}

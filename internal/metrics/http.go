@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -61,8 +63,14 @@ func NewMux(r *Registry, healthy func() error) *http.ServeMux {
 // Close.
 type Server struct {
 	ln  net.Listener
+	mux *http.ServeMux
 	srv *http.Server
 }
+
+// CloseGrace is how long Close waits for in-flight requests (a /metrics
+// scrape mid-body, a pprof profile, a streaming subscriber draining its
+// last batch) before force-closing their connections.
+const CloseGrace = time.Second
 
 // Serve binds addr (host:port, port 0 for ephemeral) and serves the
 // introspection mux for reg on it. healthy, when non-nil, backs /healthz.
@@ -71,16 +79,37 @@ func Serve(addr string, reg *Registry, healthy func() error) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
+	mux := NewMux(reg, healthy)
 	srv := &http.Server{
-		Handler:           NewMux(reg, healthy),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, mux: mux, srv: srv}, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Handle registers an extra handler on the introspection mux — how the
+// subscription API (/subscribe, /query, /topk) mounts next to /metrics.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// Close stops the server gracefully: the listener closes immediately,
+// in-flight requests get up to CloseGrace to finish their bodies (so a
+// scrape racing Close still reads a complete exposition and a streaming
+// subscriber sees a clean EOF rather than a mid-body reset), and
+// whatever is still running after the grace is force-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Still-running handlers (a hung client, an endless stream) have
+		// had their chance; sever them.
+		return s.srv.Close()
+	}
+	return err
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCloseWaitsForInFlightScrape is the regression test for the
+// hard-abort shutdown bug: Close used to call http.Server.Close, which
+// severs open connections, so a scrape racing shutdown got a truncated
+// body (or a reset) and the final state of a run was lost to the
+// scraper. Close must now let the in-flight response finish.
+func TestCloseWaitsForInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter(Desc{Name: "test_scrape_total", Help: "h"})
+	c.Add(41)
+	started := make(chan struct{}, 1)
+	reg.GaugeFunc(Desc{Name: "test_slow_gauge", Help: "h"}, func() float64 {
+		// Simulate an expensive collection so the scrape is reliably
+		// mid-body when Close lands.
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(200 * time.Millisecond)
+		return 7
+	})
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), err: err}
+	}()
+
+	<-started // the handler is inside the exposition now
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- srv.Close() }()
+
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("scrape racing Close failed: %v", res.err)
+	}
+	for _, series := range []string{"test_scrape_total 41", "test_slow_gauge 7"} {
+		if !strings.Contains(res.body, series) {
+			t.Fatalf("scrape body incomplete: missing %q in:\n%s", series, res.body)
+		}
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseForcesHungHandlers bounds the grace: a handler that never
+// returns (a dead streaming client, a stuck profile) must not wedge
+// Close forever — after CloseGrace it is severed.
+func TestCloseForcesHungHandlers(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	srv.Handle("/hang", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(entered)
+		<-req.Context().Done() // holds the connection until forced closure
+	}))
+	go http.Get("http://" + srv.Addr() + "/hang")
+	<-entered
+
+	start := time.Now()
+	err = srv.Close()
+	elapsed := time.Since(start)
+	if err != nil && !isServerClosed(err) {
+		t.Fatalf("Close after forcing: %v", err)
+	}
+	if elapsed < CloseGrace {
+		t.Fatalf("Close returned in %v, before the %v grace elapsed", elapsed, CloseGrace)
+	}
+	if elapsed > CloseGrace+2*time.Second {
+		t.Fatalf("Close took %v; the grace deadline did not bound it", elapsed)
+	}
+}
+
+func isServerClosed(err error) bool {
+	return err == http.ErrServerClosed || err == context.DeadlineExceeded
+}
+
+// TestHandleMountsExtraEndpoints covers the post-start mount path the
+// subscription API uses.
+func TestHandleMountsExtraEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("/extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "mounted")
+	}))
+	resp, err := http.Get("http://" + srv.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "mounted" {
+		t.Fatalf("GET /extra = %q, want %q", b, "mounted")
+	}
+}

@@ -1,0 +1,90 @@
+package relay
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicWithInjectedRand pins the uplink's backoff
+// schedule byte-exactly through an injected jitter source — the
+// regression test for the untestable wall-clock-seeded RNG. rnd=0.5
+// makes the ±20% jitter factor exactly 1, leaving the pure exponential.
+func TestBackoffDeterministicWithInjectedRand(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 80 * time.Millisecond
+	r := &Relay{
+		cfg:        Config{ReconnectBase: base, ReconnectMax: max},
+		jitterRand: func() float64 { return 0.5 },
+	}
+	want := []time.Duration{base, 2 * base, 4 * base, max, max, max}
+	for attempt, w := range want {
+		if got := r.backoffDelay(attempt); got != w {
+			t.Errorf("attempt %d: delay = %v, want %v", attempt, got, w)
+		}
+	}
+	// Two walks of the same schedule must agree exactly.
+	for attempt := range want {
+		if a, b := r.backoffDelay(attempt), r.backoffDelay(attempt); a != b {
+			t.Fatalf("attempt %d: schedule not deterministic (%v vs %v)", attempt, a, b)
+		}
+	}
+}
+
+// TestBackoffJitterBounds covers the jitter band at the extremes of the
+// random source: the factor is 1±0.2, and the floor clamps at 1ms.
+func TestBackoffJitterBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	for _, tc := range []struct {
+		rnd  float64
+		want time.Duration
+	}{
+		{0, 80 * time.Millisecond},
+		{0.5, 100 * time.Millisecond},
+		{1, 120 * time.Millisecond},
+	} {
+		r := &Relay{
+			cfg:        Config{ReconnectBase: base, ReconnectMax: time.Second},
+			jitterRand: func() float64 { return tc.rnd },
+		}
+		if got := r.backoffDelay(0); got != tc.want {
+			t.Errorf("rnd=%v: delay = %v, want %v", tc.rnd, got, tc.want)
+		}
+	}
+	floor := &Relay{
+		cfg:        Config{ReconnectBase: 1, ReconnectMax: time.Second},
+		jitterRand: func() float64 { return 0 },
+	}
+	if got := floor.backoffDelay(0); got < time.Millisecond {
+		t.Fatalf("delay = %v, want the 1ms floor", got)
+	}
+}
+
+// TestReconnectRandReachesLiveRelay verifies New wires Config's source
+// into the running relay: an outage's backoff draws from it.
+func TestReconnectRandReachesLiveRelay(t *testing.T) {
+	root := newRoot(t, nil)
+	defer root.Close()
+	var calls atomic.Int64
+	rl, err := New(Config{
+		Addr:                 "127.0.0.1:0",
+		Parent:               root.Addr(),
+		ISM:                  testISM(),
+		ReconnectBase:        2 * time.Millisecond,
+		ReconnectMax:         10 * time.Millisecond,
+		MaxReconnectAttempts: 2,
+		ReconnectRand:        func() float64 { calls.Add(1); return 0.5 },
+		Logf:                 quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	root.Close() // sever the parent: the uplink enters its retry schedule
+	deadline := time.Now().Add(10 * time.Second)
+	for calls.Load() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("outage backoff never drew from the injected jitter source")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

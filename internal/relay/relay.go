@@ -106,6 +106,11 @@ type Config struct {
 	// MaxReconnectAttempts caps one outage's retries; 0 means
 	// DefaultReconnectAttempts, negative retries forever.
 	MaxReconnectAttempts int
+	// ReconnectRand, when non-nil, is the [0,1) source the uplink's
+	// ±20% backoff jitter is drawn from. Injectable so backoff schedules
+	// are deterministic under test; nil uses a private PRNG seeded from
+	// the session id and the wall clock.
+	ReconnectRand func() float64
 	// Metrics, when non-nil, receives both the relay's uplink series and
 	// the embedded manager's series; nil means a private registry.
 	Metrics *metrics.Registry
@@ -208,7 +213,7 @@ type Relay struct {
 	reconnectCh chan struct{}
 	wgCtl       sync.WaitGroup
 	wgFlush     sync.WaitGroup
-	rng         *mrand.Rand
+	jitterRand  func() float64 // guarded by rngMu
 	rngMu       sync.Mutex
 
 	forwarded    *metrics.Counter
@@ -271,7 +276,10 @@ func New(cfg Config) (*Relay, error) {
 		flushNow:    make(chan struct{}, 1),
 		reconnectCh: make(chan struct{}, 1),
 	}
-	r.rng = mrand.New(mrand.NewSource(int64(r.session) ^ time.Now().UnixNano()))
+	r.jitterRand = cfg.ReconnectRand
+	if r.jitterRand == nil {
+		r.jitterRand = mrand.New(mrand.NewSource(int64(r.session) ^ time.Now().UnixNano())).Float64
+	}
 	r.registerMetrics(cfg.Metrics)
 
 	mcfg := cfg.ISM
@@ -753,7 +761,7 @@ func (r *Relay) backoffDelay(attempt int) time.Duration {
 		d = r.cfg.ReconnectMax
 	}
 	r.rngMu.Lock()
-	f := 1 + 0.2*(2*r.rng.Float64()-1)
+	f := 1 + 0.2*(2*r.jitterRand()-1)
 	r.rngMu.Unlock()
 	d = time.Duration(float64(d) * f)
 	if d < time.Millisecond {

@@ -466,7 +466,7 @@ func TestTallyPrefixed(t *testing.T) {
 // TestBackoffDelayBounds pins the retry schedule's envelope.
 func TestBackoffDelayBounds(t *testing.T) {
 	r := &Relay{cfg: Config{ReconnectBase: 10 * time.Millisecond, ReconnectMax: 80 * time.Millisecond}}
-	r.rng = mrand.New(mrand.NewSource(1))
+	r.jitterRand = mrand.New(mrand.NewSource(1)).Float64
 	for attempt := 0; attempt < 10; attempt++ {
 		d := r.backoffDelay(attempt)
 		if d < time.Millisecond || d > time.Duration(1.2*float64(80*time.Millisecond)) {

@@ -1,0 +1,27 @@
+package scenario
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// debugOn gates the runner's per-cell pipeline diagnostics. It is
+// initialized from the SCEN_DEBUG environment variable (any non-empty
+// value enables it; see EXPERIMENTS.md) and flipped programmatically by
+// SetDebug — `briskbench matrix -v` uses the latter, so verbosity is a
+// first-class flag rather than a magic env read at each call site.
+var debugOn atomic.Bool
+
+func init() {
+	if os.Getenv("SCEN_DEBUG") != "" {
+		debugOn.Store(true)
+	}
+}
+
+// SetDebug enables or disables the runner's per-cell pipeline
+// diagnostics (EXS/ISM logs, cell progress) on stderr. It overrides the
+// SCEN_DEBUG environment default for the rest of the process.
+func SetDebug(on bool) { debugOn.Store(on) }
+
+// DebugEnabled reports whether per-cell diagnostics are on.
+func DebugEnabled() bool { return debugOn.Load() }

@@ -1,0 +1,19 @@
+package scenario
+
+import "testing"
+
+// TestSetDebugOverridesEnvDefault verifies the programmatic switch the
+// briskbench -v flag uses: SetDebug flips the gate both ways regardless
+// of what SCEN_DEBUG initialized it to.
+func TestSetDebugOverridesEnvDefault(t *testing.T) {
+	orig := DebugEnabled()
+	defer SetDebug(orig)
+	SetDebug(true)
+	if !DebugEnabled() {
+		t.Fatal("SetDebug(true) did not enable diagnostics")
+	}
+	SetDebug(false)
+	if DebugEnabled() {
+		t.Fatal("SetDebug(false) did not disable diagnostics")
+	}
+}

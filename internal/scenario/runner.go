@@ -125,7 +125,7 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
 	}
 	quiet := func(f string, a ...any) {
-		if os.Getenv("SCEN_DEBUG") != "" {
+		if DebugEnabled() {
 			fmt.Fprintf(os.Stderr, f+"\n", a...)
 		}
 	}

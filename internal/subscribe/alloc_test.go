@@ -1,0 +1,77 @@
+package subscribe
+
+import (
+	"fmt"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+// tapAllocs measures steady-state allocations of one Publish+EndFlush
+// round — the full per-record tap cost on the merger goroutine — after
+// warming the hot window past its byte budget so rings and entry buffers
+// have reached their stable sizes.
+func tapAllocs(t *testing.T, e *Engine) float64 {
+	t.Helper()
+	const nodes = 32
+	recs := make([]record.Record, nodes)
+	encs := make([][]byte, nodes)
+	for i := range recs {
+		recs[i] = record.New(uint8(i%8), record.TSVal(int64(i)), record.I32Val(int32(i)), record.U64Val(7))
+		recs[i].Node = int32(i)
+		encs[i] = encode(t, &recs[i])
+	}
+	// Warm: push every shard well past eviction so put recycles slots
+	// instead of growing.
+	for round := 0; round < 5000; round++ {
+		for i := range recs {
+			e.Publish(&recs[i], encs[i], int64(round))
+		}
+		e.EndFlush()
+	}
+	i, now := 0, int64(5000)
+	return testing.AllocsPerRun(2000, func() {
+		e.Publish(&recs[i%nodes], encs[i%nodes], now)
+		i++
+		if i%8 == 0 {
+			e.EndFlush()
+			now++
+		}
+	})
+}
+
+// TestTapZeroAllocNoSubscribers proves the hard requirement of the read
+// side: the tap adds zero allocations to the ingest path.
+func TestTapZeroAllocNoSubscribers(t *testing.T) {
+	e := New(Config{Shards: 8, WindowBytes: 64 << 10})
+	defer e.Close()
+	if allocs := tapAllocs(t, e); allocs != 0 {
+		t.Fatalf("tap allocates %v per record with no subscribers, want 0", allocs)
+	}
+}
+
+// TestTapZeroAllocWithSubscribers repeats the contract with a population
+// of attached subscribers — idle ones whose filters cannot match (wake
+// suppression must keep them completely off the publish path) and
+// matching ones that never read (the full wake channel must be a
+// non-blocking no-op, not a buffer growth).
+func TestTapZeroAllocWithSubscribers(t *testing.T) {
+	e := New(Config{Shards: 8, WindowBytes: 64 << 10})
+	defer e.Close()
+	for i := 0; i < 64; i++ {
+		var f *Filter
+		if i%2 == 0 {
+			f = mustFilter(t, "event=200") // never published: idle
+		} else {
+			f = mustFilter(t, fmt.Sprintf("node=%d", i%32)) // matches, never reads
+		}
+		sub, err := e.Subscribe(f, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+	}
+	if allocs := tapAllocs(t, e); allocs != 0 {
+		t.Fatalf("tap allocates %v per record with 64 subscribers, want 0", allocs)
+	}
+}

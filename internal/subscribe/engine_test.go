@@ -1,0 +1,413 @@
+package subscribe
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"brisk/internal/record"
+)
+
+// encode renders a record exactly as the manager's memory-buffer sink
+// does: 4-byte big-endian node prefix + the NOTICE binary structure.
+func encode(t testing.TB, rec *record.Record) []byte {
+	t.Helper()
+	buf := []byte{
+		byte(uint32(rec.Node) >> 24), byte(uint32(rec.Node) >> 16),
+		byte(uint32(rec.Node) >> 8), byte(uint32(rec.Node)),
+	}
+	buf, err := rec.Append(buf)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf
+}
+
+// publish pushes one record through the tap the way the merger does.
+func publish(t testing.TB, e *Engine, node int32, event uint8, ts int64, now int64, extra ...record.Value) {
+	t.Helper()
+	fields := append([]record.Value{record.TSVal(ts)}, extra...)
+	rec := record.New(event, fields...)
+	rec.Node = node
+	e.Publish(&rec, encode(t, &rec), now)
+}
+
+func ctxShort(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestEngineLiveTail(t *testing.T) {
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	sub, err := e.Subscribe(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		publish(t, e, int32(i%3), uint8(i), int64(1000+i), 1, record.I32Val(int32(i)))
+	}
+	e.EndFlush()
+	var got []Event
+	for len(got) < 10 {
+		evs, err := sub.Next(ctxShort(t))
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for i := range evs {
+			ev := evs[i]
+			got = append(got, ev)
+		}
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d: seq=%d, want %d (global emission order)", i, ev.Seq, i)
+		}
+		if ev.Record.Node != int32(i%3) || ev.Record.Event != uint8(i) || ev.Record.TS != int64(1000+i) {
+			t.Fatalf("event %d decoded wrong: %v", i, ev.Record.String())
+		}
+		if len(ev.Record.Fields) != 2 || ev.Record.Fields[1].Int() != int64(i) {
+			t.Fatalf("event %d payload field wrong: %v", i, ev.Record.String())
+		}
+	}
+	if d, dr := sub.Stats(); d != 10 || dr != 0 {
+		t.Fatalf("Stats = (%d, %d), want (10, 0)", d, dr)
+	}
+}
+
+func TestEngineSubscribeSeesOnlyNewWithoutReplay(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	publish(t, e, 1, 1, 100, 1)
+	e.EndFlush()
+	sub, _ := e.Subscribe(nil, false)
+	defer sub.Close()
+	publish(t, e, 1, 2, 200, 1)
+	e.EndFlush()
+	evs, err := sub.Next(ctxShort(t))
+	if err != nil || len(evs) != 1 || evs[0].Record.Event != 2 {
+		t.Fatalf("head subscription got %v, %v; want the one post-subscribe record", evs, err)
+	}
+
+	old, _ := e.Subscribe(nil, true)
+	defer old.Close()
+	var replay []uint8
+	for len(replay) < 2 {
+		evs, err := old.Next(ctxShort(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range evs {
+			replay = append(replay, evs[i].Record.Event)
+		}
+	}
+	if replay[0] != 1 || replay[1] != 2 {
+		t.Fatalf("replay=oldest got events %v, want [1 2]", replay)
+	}
+}
+
+func TestEngineFilterSkipsAndWakeSuppression(t *testing.T) {
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	f := mustFilter(t, "event=7")
+	sub, _ := e.Subscribe(f, false)
+	defer sub.Close()
+	// A flush carrying no class-7 records must not wake the subscriber.
+	publish(t, e, 1, 3, 100, 1)
+	e.EndFlush()
+	if got := e.wakeupsC.Value(); got != 0 {
+		t.Fatalf("wakeups after non-matching flush = %d, want 0 (mask suppression)", got)
+	}
+	publish(t, e, 1, 7, 200, 1)
+	e.EndFlush()
+	if got := e.wakeupsC.Value(); got != 1 {
+		t.Fatalf("wakeups after matching flush = %d, want 1", got)
+	}
+	evs, err := sub.Next(ctxShort(t))
+	if err != nil || len(evs) != 1 || evs[0].Record.Event != 7 {
+		t.Fatalf("filtered Next got %v, %v; want just the class-7 record", evs, err)
+	}
+}
+
+func TestEngineOverrunSynthesizesLossMarker(t *testing.T) {
+	// One shard with the smallest byte budget: retention a handful of
+	// records deep, so a parked cursor is quickly overrun.
+	e := New(Config{Shards: 1, WindowBytes: 1}) // floor: 1024 bytes/shard
+	defer e.Close()
+	sub, _ := e.Subscribe(nil, true)
+	defer sub.Close()
+	const total = 1000
+	for i := 0; i < total; i++ {
+		publish(t, e, 1, 1, int64(i), 1, record.StrVal("padding-padding-padding"))
+	}
+	e.EndFlush()
+	var data, lost uint64
+	var lastSeq uint64
+	first := true
+	var markerLastTS int64
+	for data+lost < total {
+		evs, err := sub.Next(ctxShort(t))
+		if err != nil {
+			t.Fatalf("Next: %v (data=%d lost=%d)", err, data, lost)
+		}
+		for i := range evs {
+			ev := &evs[i]
+			if count, _, lastTS, ok := record.LossInfo(&ev.Record); ok {
+				lost += count
+				markerLastTS = lastTS
+				continue
+			}
+			if !first && ev.Seq != lastSeq+1 {
+				t.Fatalf("non-contiguous data after marker accounting: %d -> %d", lastSeq, ev.Seq)
+			}
+			first = false
+			lastSeq = ev.Seq
+			data++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("expected an overrun cursor to produce a loss marker")
+	}
+	if data+lost != total {
+		t.Fatalf("conservation broken: delivered %d + dropped %d != published %d", data, lost, total)
+	}
+	// The marker's covered range ends at the newest evicted record's TS,
+	// which is the record just before the first delivered one.
+	if want := int64(lost - 1); markerLastTS != want {
+		t.Fatalf("marker lastTS = %d, want %d", markerLastTS, want)
+	}
+	if d, dr := sub.Stats(); d != data || dr != lost {
+		t.Fatalf("Stats = (%d, %d), want (%d, %d)", d, dr, data, lost)
+	}
+}
+
+func TestEngineTTLEviction(t *testing.T) {
+	e := New(Config{Shards: 1, WindowTTL: time.Second}) // 1e6 µs
+	defer e.Close()
+	publish(t, e, 1, 1, 100, 1_000_000)
+	publish(t, e, 1, 2, 200, 1_500_000)
+	// Publishing at now=2_400_000 ages out the first record
+	// (wall 1_000_000 < cutoff 1_400_000) but keeps the second.
+	publish(t, e, 1, 3, 300, 2_400_000)
+	e.EndFlush()
+	evs := e.Query(nil, 10)
+	if len(evs) != 2 || evs[0].Record.Event != 2 || evs[1].Record.Event != 3 {
+		t.Fatalf("after TTL eviction Query returned %d events (want the 2 young ones)", len(evs))
+	}
+	if n, _, _ := e.cache.stats(); n != 2 {
+		t.Fatalf("cache entries = %d, want 2", n)
+	}
+}
+
+func TestEngineQuery(t *testing.T) {
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	for i := 0; i < 50; i++ {
+		publish(t, e, int32(i%5), uint8(i%4), int64(i), 1, record.I32Val(int32(i)))
+	}
+	e.EndFlush()
+
+	all := e.Query(nil, 1000)
+	if len(all) != 50 {
+		t.Fatalf("unfiltered query: %d events, want 50", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatal("query results must be in ascending emission order")
+		}
+	}
+
+	// limit keeps the newest.
+	newest := e.Query(nil, 10)
+	if len(newest) != 10 || newest[0].Seq != 40 || newest[9].Seq != 49 {
+		t.Fatalf("limited query kept seqs [%d..%d], want [40..49]",
+			newest[0].Seq, newest[len(newest)-1].Seq)
+	}
+
+	byNode := e.Query(mustFilter(t, "node=2"), 1000)
+	if len(byNode) != 10 {
+		t.Fatalf("node=2 query: %d events, want 10", len(byNode))
+	}
+	for _, ev := range byNode {
+		if ev.Record.Node != 2 {
+			t.Fatalf("node=2 query returned node %d", ev.Record.Node)
+		}
+	}
+
+	byField := e.Query(mustFilter(t, "f1>=45"), 1000)
+	if len(byField) != 5 {
+		t.Fatalf("f1>=45 query: %d events, want 5", len(byField))
+	}
+}
+
+func TestEngineTopK(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	// Node 9 and class 3 dominate.
+	for i := 0; i < 100; i++ {
+		publish(t, e, 9, 3, int64(i), 1)
+	}
+	for i := 0; i < 10; i++ {
+		publish(t, e, int32(i), uint8(i), int64(i), 1)
+	}
+	e.EndFlush()
+	srcs := e.TopSources(3)
+	if len(srcs) == 0 || srcs[0].Key != 9 || srcs[0].Count < 100 {
+		t.Fatalf("TopSources = %v, want node 9 first with count >= 100", srcs)
+	}
+	evts := e.TopEvents(3)
+	if len(evts) == 0 || evts[0].Key != 3 || evts[0].Count < 100 {
+		t.Fatalf("TopEvents = %v, want class 3 first with count >= 100", evts)
+	}
+}
+
+func TestEngineCloseDrainsThenEOF(t *testing.T) {
+	e := New(Config{Shards: 2})
+	sub, _ := e.Subscribe(nil, true)
+	publish(t, e, 1, 1, 100, 1)
+	publish(t, e, 1, 2, 200, 1)
+	e.EndFlush()
+	e.Close()
+	var events []uint8
+	for {
+		evs, err := sub.Next(ctxShort(t))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for i := range evs {
+			events = append(events, evs[i].Record.Event)
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("drained %d events before EOF, want 2", len(events))
+	}
+	if _, err := e.Subscribe(nil, false); err != ErrClosed {
+		t.Fatalf("Subscribe on closed engine: %v, want ErrClosed", err)
+	}
+}
+
+func TestSubscriptionCloseUnblocksNext(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	sub, _ := e.Subscribe(nil, false)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background())
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("Next after Close: %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not return after Close")
+	}
+}
+
+func TestEngineNextContext(t *testing.T) {
+	e := New(Config{Shards: 2})
+	defer e.Close()
+	sub, _ := e.Subscribe(nil, false)
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sub.Next(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Next with expired context: %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestEngineMetricsConservation(t *testing.T) {
+	e := New(Config{Shards: 4})
+	defer e.Close()
+	sub, _ := e.Subscribe(nil, true)
+	defer sub.Close()
+	const total = 64
+	for i := 0; i < total; i++ {
+		publish(t, e, int32(i), uint8(i), int64(i), 1)
+	}
+	e.EndFlush()
+	var n int
+	for n < total {
+		evs, err := sub.Next(ctxShort(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(evs)
+	}
+	if got := e.publishedC.Value(); got != total {
+		t.Fatalf("published counter = %d, want %d", got, total)
+	}
+	if got := e.deliveredC.Value(); got != total {
+		t.Fatalf("delivered counter = %d, want %d", got, total)
+	}
+	if got := e.droppedC.Value(); got != 0 {
+		t.Fatalf("dropped counter = %d, want 0", got)
+	}
+}
+
+func TestCacheRingGrowAndWrap(t *testing.T) {
+	// Small budget so the ring wraps; verifies entries survive growth.
+	c := newCache(1, 1<<20, 0)
+	s := c.shards[0]
+	payload := make([]byte, 16)
+	for i := 0; i < 1000; i++ {
+		s.put(c, uint64(i), int32(i), 1, int64(i), true, 1, payload)
+	}
+	tail, head := s.bounds()
+	if head != 1000 {
+		t.Fatalf("head = %d, want 1000", head)
+	}
+	var out []loaded
+	var arena []byte
+	out, _, scanned, gap, _, _, _ := s.load(nil, tail, 1<<20, out, arena)
+	if gap != 0 || scanned != head-tail || uint64(len(out)) != head-tail {
+		t.Fatalf("load after wrap: scanned=%d gap=%d out=%d window=%d", scanned, gap, len(out), head-tail)
+	}
+	for i, l := range out {
+		if l.seq != tail+uint64(i) {
+			t.Fatalf("entry %d has seq %d, want %d (ring relocation broke order)", i, l.seq, tail+uint64(i))
+		}
+	}
+}
+
+func TestTopKDisplacement(t *testing.T) {
+	tk := newTopK(2)
+	tk.offer(1, 5)
+	tk.offer(2, 3)
+	tk.offer(3, 10) // displaces key 2
+	top := tk.top(2)
+	if len(top) != 2 || top[0].Key != 3 || top[1].Key != 1 {
+		t.Fatalf("top = %v, want [{3 10} {1 5}]", top)
+	}
+	tk.offer(1, 20) // update in place
+	if top := tk.top(1); top[0].Key != 1 || top[0].Count != 20 {
+		t.Fatalf("top after update = %v, want key 1 count 20", top)
+	}
+}
+
+func TestSketchEstimates(t *testing.T) {
+	sk := newSketch(1024, 4)
+	for i := 0; i < 500; i++ {
+		sk.add(42)
+	}
+	sk.add(7)
+	if got := sk.estimate(42); got < 500 {
+		t.Fatalf("estimate(42) = %d, want >= 500 (CM sketch never undercounts)", got)
+	}
+	if got := sk.estimate(7); got < 1 || got > 501 {
+		t.Fatalf("estimate(7) = %d, out of sane range", got)
+	}
+	if got := sk.estimate(999); got > 501 {
+		t.Fatalf("estimate(unseen) = %d, collision bound blown", got)
+	}
+}

@@ -1,0 +1,226 @@
+package subscribe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"brisk/internal/record"
+)
+
+func mustFilter(t *testing.T, expr string) *Filter {
+	t.Helper()
+	f, err := ParseFilter(expr)
+	if err != nil {
+		t.Fatalf("ParseFilter(%q): %v", expr, err)
+	}
+	return f
+}
+
+func TestParseFilterEmpty(t *testing.T) {
+	f := mustFilter(t, "")
+	if !f.MatchMeta(7, 200, 123, true) || !f.MatchMeta(-1, 0, 0, false) {
+		t.Fatal("empty filter must match everything")
+	}
+	if f.NeedsFields() {
+		t.Fatal("empty filter must not need fields")
+	}
+	if f.shardMask(8) != 0xFF {
+		t.Fatalf("shardMask = %#x, want 0xFF", f.shardMask(8))
+	}
+}
+
+func TestParseFilterNodes(t *testing.T) {
+	f := mustFilter(t, "node=1,3,5")
+	for _, tc := range []struct {
+		node int32
+		want bool
+	}{{1, true}, {3, true}, {5, true}, {2, false}, {0, false}, {-1, false}} {
+		if got := f.MatchMeta(tc.node, 0, 0, false); got != tc.want {
+			t.Errorf("node %d: match=%v, want %v", tc.node, got, tc.want)
+		}
+	}
+	// source= is an alias.
+	g := mustFilter(t, "source=1")
+	if !g.MatchMeta(1, 0, 0, false) || g.MatchMeta(2, 0, 0, false) {
+		t.Fatal("source= alias broken")
+	}
+}
+
+func TestParseFilterEvents(t *testing.T) {
+	f := mustFilter(t, "event=5,7,255")
+	for _, tc := range []struct {
+		ev   uint8
+		want bool
+	}{{5, true}, {7, true}, {255, true}, {6, false}, {0, false}} {
+		if got := f.MatchMeta(0, tc.ev, 0, false); got != tc.want {
+			t.Errorf("event %d: match=%v, want %v", tc.ev, got, tc.want)
+		}
+	}
+}
+
+func TestParseFilterTSRange(t *testing.T) {
+	f := mustFilter(t, "ts>=100 ts<200")
+	for _, tc := range []struct {
+		ts    int64
+		hasTS bool
+		want  bool
+	}{
+		{100, true, true}, {199, true, true},
+		{99, true, false}, {200, true, false},
+		// Records without a timestamp fail every ts clause.
+		{150, false, false},
+	} {
+		if got := f.MatchMeta(0, 0, tc.ts, tc.hasTS); got != tc.want {
+			t.Errorf("ts=%d hasTS=%v: match=%v, want %v", tc.ts, tc.hasTS, got, tc.want)
+		}
+	}
+	eq := mustFilter(t, "ts=150")
+	if !eq.MatchMeta(0, 0, 150, true) || eq.MatchMeta(0, 0, 151, true) {
+		t.Fatal("ts= must pin the range to one instant")
+	}
+	gt := mustFilter(t, "ts>100 ts<=200")
+	if gt.MatchMeta(0, 0, 100, true) || !gt.MatchMeta(0, 0, 101, true) ||
+		!gt.MatchMeta(0, 0, 200, true) || gt.MatchMeta(0, 0, 201, true) {
+		t.Fatal("strict/inclusive ts bounds wrong")
+	}
+}
+
+func TestParseFilterConjunction(t *testing.T) {
+	// && and whitespace separate clauses interchangeably.
+	f := mustFilter(t, "node=3 && event=1,2&&ts>=10")
+	if !f.MatchMeta(3, 1, 10, true) {
+		t.Fatal("conjunction should match")
+	}
+	if f.MatchMeta(3, 1, 9, true) || f.MatchMeta(3, 3, 10, true) || f.MatchMeta(4, 1, 10, true) {
+		t.Fatal("one failing clause must fail the conjunction")
+	}
+}
+
+func TestParseFilterFieldPredicates(t *testing.T) {
+	rec := record.New(9,
+		record.I32Val(42),         // f0
+		record.F64Val(3.5),        // f1
+		record.StrVal("checkout"), // f2
+		record.BoolVal(true),      // f3
+		record.U64Val(1<<63),      // f4: above int64 range
+	)
+	for _, tc := range []struct {
+		expr string
+		want bool
+	}{
+		{"f0=42", true}, {"f0==42", true}, {"f0!=42", false}, {"f0>41", true},
+		{"f0>=42", true}, {"f0<42", false}, {"f0<=42", true}, {"f0>42", false},
+		{"f1>3", true}, {"f1<3.6", true}, {"f1=3.5", true},
+		{"f2=\"checkout\"", true}, {"f2='checkout'", true}, {"f2!='cart'", true},
+		{"f2<'d'", true}, {"f2>'d'", false},
+		{"f3=true", true}, {"f3=false", false}, {"f3!=false", true},
+		// Uint64 compares by its unsigned value.
+		{"f4>0", true},
+		// Missing field never matches.
+		{"f7=1", false},
+		// String predicate on a numeric field (and vice versa) never matches.
+		{"f0='x'", false}, {"f2=42", false},
+		// Mixed with metadata clauses.
+		{"event=9 f0=42", true}, {"event=8 f0=42", false},
+	} {
+		f := mustFilter(t, tc.expr)
+		got := f.MatchMeta(rec.Node, rec.Event, rec.TS, rec.HasTS) &&
+			(!f.NeedsFields() || f.MatchFields(&rec))
+		if got != tc.want {
+			t.Errorf("%q: match=%v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, expr := range []string{
+		"node=x",                      // bad node id
+		"node>3",                      // source sets only support '='
+		"event=256",                   // event class out of uint8 range
+		"event!=1",                    // event sets only support '='
+		"ts=abc",                      // bad timestamp
+		"ts!=5",                       // ts does not support !=
+		"f9=1",                        // field index out of range
+		"f=1",                         // no index digits
+		"fx=1",                        // non-numeric index
+		"f0='oops",                    // unterminated string
+		"f0=zzz",                      // bad literal
+		"bogus=1",                     // unknown key
+		"node",                        // no operator
+		"node=",                       // missing value
+		"f0<!3",                       // mangled operator
+		"ts>" + "9223372036854775807", // ts>max overflows
+	} {
+		if _, err := ParseFilter(expr); err == nil {
+			t.Errorf("ParseFilter(%q): expected error", expr)
+		}
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	const expr = "node=1 event=2"
+	f := mustFilter(t, expr)
+	if f.String() != expr {
+		t.Fatalf("String() = %q, want %q", f.String(), expr)
+	}
+}
+
+func TestShardMask(t *testing.T) {
+	// Low bits of the node id select the shard.
+	f := mustFilter(t, "node=0,9") // 0&7=0, 9&7=1
+	if got := f.shardMask(8); got != 0b11 {
+		t.Fatalf("shardMask(8) = %#b, want 0b11", got)
+	}
+	if got := f.shardMask(64); got == 0 {
+		t.Fatal("64-shard mask must not be empty")
+	}
+	all := mustFilter(t, "event=5")
+	if got := all.shardMask(4); got != 0xF {
+		t.Fatalf("no-source filter shardMask(4) = %#x, want 0xF", got)
+	}
+}
+
+func TestEventOverlap(t *testing.T) {
+	f := mustFilter(t, "event=5,70")
+	var seen [4]uint64
+	if f.eventOverlap(&seen) {
+		t.Fatal("empty seen set must not overlap an event filter")
+	}
+	seen[70>>6] |= 1 << (70 & 63)
+	if !f.eventOverlap(&seen) {
+		t.Fatal("seen class 70 must overlap event=5,70")
+	}
+	any := mustFilter(t, "node=1")
+	var none [4]uint64
+	if !any.eventOverlap(&none) {
+		t.Fatal("filter without event clause must always overlap")
+	}
+}
+
+func TestFilterTSOpenRange(t *testing.T) {
+	f := mustFilter(t, "node=1")
+	// No ts clause: records without timestamps still match.
+	if !f.MatchMeta(1, 0, 0, false) {
+		t.Fatal("no-ts-clause filter must accept timestamp-less records")
+	}
+	if f.tsMin != math.MinInt64 || f.tsMax != math.MaxInt64 {
+		t.Fatal("default ts range must be open")
+	}
+}
+
+func TestMatchFieldsAllocationFree(t *testing.T) {
+	rec := record.New(9, record.I32Val(42), record.StrVal(strings.Repeat("x", 64)))
+	f := mustFilter(t, "f0>=42 f1!='y'")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !f.MatchFields(&rec) {
+			t.Fatal("must match")
+		}
+		if !f.MatchMeta(rec.Node, rec.Event, rec.TS, rec.HasTS) {
+			t.Fatal("must match")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("filter evaluation allocates %v per run, want 0", allocs)
+	}
+}

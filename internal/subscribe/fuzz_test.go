@@ -1,0 +1,67 @@
+package subscribe
+
+import (
+	"testing"
+
+	"brisk/internal/record"
+)
+
+// FuzzFilterExpr throws arbitrary expressions at the filter compiler and,
+// when one compiles, at the evaluator. The properties under test: the
+// parser never panics, a compiled filter never panics on any record
+// shape, and evaluation is pure (same record, same verdict twice).
+func FuzzFilterExpr(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"node=1,2,3",
+		"event=5,7,255",
+		"ts>=100 ts<200",
+		"node=3 && event=1,2 && ts>=10",
+		"f0>100 && f2==\"checkout\"",
+		"f1<=3.5 f3=true",
+		"source=9 f7!='x'",
+		"node=-1 ts=0",
+		"f0<!3",
+		"ts>9223372036854775807",
+		"node=999999999999",
+		"f0='unterminated",
+	} {
+		f.Add(seed)
+	}
+	recs := []record.Record{
+		record.New(1),
+		record.New(5, record.TSVal(150), record.I32Val(-7)),
+		record.New(255, record.StrVal("checkout"), record.F64Val(3.5), record.BoolVal(true)),
+		record.New(7, record.U64Val(1<<63), record.ReasonVal(3), record.ConseqVal(4)),
+		record.NewLossMarker(10, 0, 99),
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		flt, err := ParseFilter(expr)
+		if err != nil {
+			return
+		}
+		if flt.String() != expr {
+			t.Fatalf("String() = %q, want the source expression %q", flt.String(), expr)
+		}
+		for i := range recs {
+			r := &recs[i]
+			m1 := flt.MatchMeta(r.Node, r.Event, r.TS, r.HasTS)
+			m2 := flt.MatchMeta(r.Node, r.Event, r.TS, r.HasTS)
+			if m1 != m2 {
+				t.Fatalf("MatchMeta not deterministic for %q", expr)
+			}
+			f1 := flt.MatchFields(r)
+			f2 := flt.MatchFields(r)
+			if f1 != f2 {
+				t.Fatalf("MatchFields not deterministic for %q", expr)
+			}
+		}
+		var seen [4]uint64
+		flt.eventOverlap(&seen)
+		for _, shards := range []int{1, 2, 8, 64} {
+			if m := flt.shardMask(shards); shards < 64 && m>>shards != 0 {
+				t.Fatalf("shardMask(%d) = %#x has bits past the shard count", shards, m)
+			}
+		}
+	})
+}

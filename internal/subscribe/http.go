@@ -1,0 +1,199 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"brisk/internal/record"
+)
+
+// wireEvent is the JSON rendering of one delivered event — one NDJSON
+// line on /subscribe, one array element on /query.
+type wireEvent struct {
+	Seq   uint64      `json:"seq"`
+	Node  int32       `json:"node"`
+	Event uint8       `json:"event"`
+	TS    *int64      `json:"ts,omitempty"`
+	Loss  *wireLoss   `json:"loss,omitempty"`
+	Field []wireField `json:"fields,omitempty"`
+}
+
+// wireLoss makes a read-side gap explicit on the wire: count records
+// were missed; the marker's shard locates it; last_ts ends the covered
+// range (first_ts is 0 when unknown).
+type wireLoss struct {
+	Count   uint64 `json:"count"`
+	Shard   int    `json:"shard"`
+	FirstTS int64  `json:"first_ts"`
+	LastTS  int64  `json:"last_ts"`
+}
+
+type wireField struct {
+	Type string  `json:"type"`
+	Int  *int64  `json:"int,omitempty"`
+	Uint *uint64 `json:"uint,omitempty"`
+	F    *string `json:"float,omitempty"` // rendered, avoids NaN/Inf JSON issues
+	Str  *string `json:"str,omitempty"`
+	Bool *bool   `json:"bool,omitempty"`
+}
+
+func renderEvent(ev *Event) wireEvent {
+	w := wireEvent{Seq: ev.Seq, Node: ev.Record.Node, Event: ev.Record.Event}
+	if count, firstTS, lastTS, ok := record.LossInfo(&ev.Record); ok {
+		w.Loss = &wireLoss{Count: count, Shard: ev.Shard, FirstTS: firstTS, LastTS: lastTS}
+		return w
+	}
+	if ev.Record.HasTS {
+		ts := ev.Record.TS
+		w.TS = &ts
+	}
+	for _, f := range ev.Record.Fields {
+		wf := wireField{Type: f.Type.String()}
+		switch f.Type {
+		case record.TS:
+			continue // already on the event envelope
+		case record.Int8, record.Int16, record.Int32, record.Int64:
+			v := f.Int()
+			wf.Int = &v
+		case record.Uint8, record.Uint16, record.Uint32, record.Uint64,
+			record.Reason, record.Conseq:
+			v := f.Uint()
+			wf.Uint = &v
+		case record.Float32, record.Float64:
+			v := strconv.FormatFloat(f.Float(), 'g', -1, 64)
+			wf.F = &v
+		case record.String:
+			s := f.Str
+			wf.Str = &s
+		case record.Bool:
+			v := f.Bool()
+			wf.Bool = &v
+		}
+		w.Field = append(w.Field, wf)
+	}
+	return w
+}
+
+// Handler returns the engine's HTTP API as one handler serving
+//
+//   - /subscribe — streaming NDJSON tail of the sorted stream
+//     (?filter=expr&replay=oldest to catch up from the hot window)
+//   - /query     — bounded window read (?filter=expr&limit=N), JSON array
+//   - /topk      — heavy hitters (?by=source|event&k=N), JSON array
+//
+// Mount it (or the individual methods below) on the observability
+// server. See OBSERVABILITY.md for the filter grammar.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/subscribe", e.ServeSubscribe)
+	mux.HandleFunc("/query", e.ServeQuery)
+	mux.HandleFunc("/topk", e.ServeTopK)
+	return mux
+}
+
+func parseFilterParam(w http.ResponseWriter, req *http.Request) (*Filter, bool) {
+	f, err := ParseFilter(req.URL.Query().Get("filter"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return f, true
+}
+
+// ServeSubscribe streams matching events as NDJSON until the client
+// disconnects or the engine shuts down; shutdown ends the response
+// cleanly (terminated chunked body), so well-behaved clients see EOF,
+// not a reset.
+func (e *Engine) ServeSubscribe(w http.ResponseWriter, req *http.Request) {
+	f, ok := parseFilterParam(w, req)
+	if !ok {
+		return
+	}
+	fromOldest := req.URL.Query().Get("replay") == "oldest"
+	sub, err := e.Subscribe(f, fromOldest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers so the client sees the stream open
+	}
+	enc := json.NewEncoder(w)
+	ctx := req.Context()
+	for {
+		evs, err := sub.Next(ctx)
+		if err != nil {
+			return // client gone or engine closed: end the body cleanly
+		}
+		for i := range evs {
+			we := renderEvent(&evs[i])
+			if err := enc.Encode(&we); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// ServeQuery answers a bounded catch-up read from the hot window.
+func (e *Engine) ServeQuery(w http.ResponseWriter, req *http.Request) {
+	f, ok := parseFilterParam(w, req)
+	if !ok {
+		return
+	}
+	limit := 1000
+	if s := req.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", s), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	evs := e.Query(f, limit)
+	out := make([]wireEvent, 0, len(evs))
+	for i := range evs {
+		out = append(out, renderEvent(&evs[i]))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(out)
+}
+
+// ServeTopK answers the sketch's heavy-hitter estimate.
+func (e *Engine) ServeTopK(w http.ResponseWriter, req *http.Request) {
+	k := 10
+	if s := req.URL.Query().Get("k"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad k %q", s), http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	by := req.URL.Query().Get("by")
+	var entries []TopEntry
+	switch by {
+	case "", "source", "node":
+		by = "source"
+		entries = e.TopSources(k)
+	case "event":
+		entries = e.TopEvents(k)
+	default:
+		http.Error(w, fmt.Sprintf("bad by %q (want source or event)", by), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(struct {
+		By      string     `json:"by"`
+		Entries []TopEntry `json:"entries"`
+	}{By: by, Entries: entries})
+}

@@ -1,0 +1,143 @@
+package subscribe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"brisk/internal/record"
+)
+
+// TestSoakConservation runs the read side under -race conditions: one
+// publisher (the merger-goroutine role), a set of durable subscribers
+// that read slowly enough to be overrun by the tiny hot window, and a
+// churn of short-lived subscribers attaching and detaching throughout.
+// The invariant under test is the read-side delivery contract: for every
+// durable subscriber and every shard, records delivered plus records
+// covered by loss markers equals records published — loss is always
+// explicit, never silent.
+func TestSoakConservation(t *testing.T) {
+	const (
+		shards   = 4
+		perNode  = 3000 // records per source; node i -> shard i (identity low bits)
+		durable  = 4
+		churners = 6
+	)
+	e := New(Config{Shards: shards, WindowBytes: 4 * 1024 * shards, BatchRecords: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	type tally struct {
+		data [shards]uint64
+		lost [shards]uint64
+	}
+	results := make([]tally, durable)
+	var wg sync.WaitGroup
+
+	// Durable subscribers: subscribe from the stream head before the
+	// first publish, read with small sleeps so cursors fall behind.
+	for d := 0; d < durable; d++ {
+		sub, err := e.Subscribe(nil, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(d int, sub *Subscription) {
+			defer wg.Done()
+			defer sub.Close()
+			res := &results[d]
+			for {
+				evs, err := sub.Next(ctx)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Errorf("durable %d: Next: %v", d, err)
+					return
+				}
+				for i := range evs {
+					ev := &evs[i]
+					if count, _, _, ok := record.LossInfo(&ev.Record); ok {
+						res.lost[ev.Shard] += count
+						continue
+					}
+					res.data[ev.Shard]++
+				}
+				if d%2 == 0 {
+					time.Sleep(time.Millisecond) // slow reader: forces overruns
+				}
+			}
+		}(d, sub)
+	}
+
+	// Churners: attach with assorted filters, read a little, detach,
+	// repeat until the publisher finishes. They assert nothing — they
+	// exist to race subscribe/close against publish and other readers.
+	pubDone := make(chan struct{})
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			exprs := []string{"", "event=1", fmt.Sprintf("node=%d", c%shards), "f1>100"}
+			for i := 0; ; i++ {
+				select {
+				case <-pubDone:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				sub, err := e.Subscribe(mustFilter(t, exprs[i%len(exprs)]), i%2 == 0)
+				if err != nil {
+					return // engine closed under us: churn is over
+				}
+				short, cancelShort := context.WithTimeout(ctx, 2*time.Millisecond)
+				for {
+					if _, err := sub.Next(short); err != nil {
+						break
+					}
+				}
+				cancelShort()
+				sub.Close()
+			}
+		}(c)
+	}
+
+	// Publisher: interleave sources so every shard grows together.
+	go func() {
+		defer close(pubDone)
+		for i := 0; i < perNode; i++ {
+			for node := 0; node < shards; node++ {
+				rec := record.New(uint8(i%4), record.TSVal(int64(i)), record.I32Val(int32(i)))
+				rec.Node = int32(node)
+				e.Publish(&rec, encode(t, &rec), int64(i))
+			}
+			if i%16 == 0 {
+				e.EndFlush()
+			}
+		}
+		e.EndFlush()
+	}()
+
+	<-pubDone
+	// Close detaches everyone; durable readers drain what they reached
+	// and then see EOF with their tallies complete.
+	e.Close()
+	wg.Wait()
+	if ctx.Err() != nil {
+		t.Fatal("soak timed out")
+	}
+
+	for d := range results {
+		for s := 0; s < shards; s++ {
+			got := results[d].data[s] + results[d].lost[s]
+			if got != perNode {
+				t.Errorf("durable %d shard %d: delivered %d + marker-covered %d = %d, want %d",
+					d, s, results[d].data[s], results[d].lost[s], got, perNode)
+			}
+		}
+	}
+}

@@ -2,12 +2,14 @@ package brisk
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"brisk/internal/clocksync"
 	"brisk/internal/ism"
 	"brisk/internal/ols"
 	"brisk/internal/picl"
+	"brisk/internal/subscribe"
 	"brisk/internal/visual"
 )
 
@@ -100,6 +102,33 @@ type PICLOptions struct {
 	Start int64
 }
 
+// SubscribeOptions configures the manager's read-side subscription
+// engine: a consumer layer tapped into the post-merge sorted stream that
+// serves streaming subscribers (/subscribe), bounded catch-up queries
+// (/query) and top-K frequency summaries (/topk) out of a sharded
+// in-memory hot window, without perturbing the ingest path. The zero
+// value is a working configuration; see TUNING.md for sizing the window
+// against the memory budget.
+type SubscribeOptions struct {
+	// Shards is the hot-window shard count (power of two, max 64;
+	// default 8).
+	Shards int
+	// WindowBytes is the hot window's byte budget across shards
+	// (default 8 MiB).
+	WindowBytes int
+	// WindowTTL bounds entry age (default 30 s; negative disables).
+	WindowTTL time.Duration
+	// BatchRecords caps entries copied per shard lock hold on reads
+	// (default 256).
+	BatchRecords int
+	// SketchWidth and SketchDepth size the count-min sketch behind
+	// /topk (defaults 1024 and 4).
+	SketchWidth, SketchDepth int
+	// TopK is the number of heavy-hitter candidates tracked per
+	// dimension (default 16).
+	TopK int
+}
+
 // ManagerOptions configures StartManager. The zero value listens on an
 // ephemeral localhost port with default tuning.
 type ManagerOptions struct {
@@ -143,6 +172,9 @@ type ManagerOptions struct {
 	SessionRetention time.Duration
 	// PICL, when non-nil, enables trace-file output.
 	PICL *PICLOptions
+	// Subscribe, when non-nil, enables the read-side subscription
+	// engine (see Manager.Subscriptions and Manager.MountSubscribe).
+	Subscribe *SubscribeOptions
 	// Filter, when non-nil, selects which sorted records reach the
 	// sinks. See FilterEvents for the common case of selecting event
 	// classes. The filter runs after sorting and causal repair.
@@ -189,12 +221,31 @@ type ManagerStats = ism.Stats
 type Manager struct {
 	inner *ism.Manager
 	disp  *visual.Dispatcher
+	sub   *subscribe.Engine
 }
 
 // StartManager creates and starts a manager.
 func StartManager(opts ManagerOptions) (*Manager, error) {
 	if opts.Addr == "" {
 		opts.Addr = "127.0.0.1:0"
+	}
+	var eng *subscribe.Engine
+	if opts.Subscribe != nil {
+		// The engine's series land in the same registry as the
+		// manager's, so one observability endpoint serves both.
+		if opts.Metrics == nil {
+			opts.Metrics = NewMetrics()
+		}
+		eng = subscribe.New(subscribe.Config{
+			Shards:       opts.Subscribe.Shards,
+			WindowBytes:  opts.Subscribe.WindowBytes,
+			WindowTTL:    opts.Subscribe.WindowTTL,
+			BatchRecords: opts.Subscribe.BatchRecords,
+			SketchWidth:  opts.Subscribe.SketchWidth,
+			SketchDepth:  opts.Subscribe.SketchDepth,
+			TopK:         opts.Subscribe.TopK,
+			Metrics:      opts.Metrics,
+		})
 	}
 	cfg := ism.Config{
 		Addr:  opts.Addr,
@@ -241,12 +292,15 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 	}
 	disp := visual.NewDispatcher()
 	cfg.Visual = disp
+	if eng != nil {
+		cfg.Tap = eng
+	}
 	m, err := ism.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	m.Start()
-	return &Manager{inner: m, disp: disp}, nil
+	return &Manager{inner: m, disp: disp, sub: eng}, nil
 }
 
 // Addr returns the manager's bound TCP address, which nodes connect to.
@@ -281,9 +335,57 @@ func (m *Manager) Consume() *Consumer {
 	return &Consumer{cur: m.inner.NewCursor()}
 }
 
+// SubscriptionEngine is the read-side subscription engine created when
+// ManagerOptions.Subscribe is set: programmatic subscriptions
+// (Engine.Subscribe / Subscription.Next), bounded queries (Engine.Query)
+// and top-K summaries, plus the HTTP handlers MountSubscribe wires up.
+type SubscriptionEngine = subscribe.Engine
+
+// Subscription is one attached reader of the sorted stream.
+type Subscription = subscribe.Subscription
+
+// SubscribeFilter is a compiled subscription filter; build one with
+// ParseSubscribeFilter. A nil filter matches everything.
+type SubscribeFilter = subscribe.Filter
+
+// ParseSubscribeFilter compiles a filter expression — a conjunction of
+// clauses like "node=1,2 event=5 ts>=1000 f0>3.5" (see OBSERVABILITY.md
+// for the grammar). The empty expression matches everything.
+func ParseSubscribeFilter(expr string) (*SubscribeFilter, error) {
+	return subscribe.ParseFilter(expr)
+}
+
+// Subscriptions returns the manager's read-side subscription engine, or
+// nil when ManagerOptions.Subscribe was not set. Use it to attach
+// programmatic subscribers (Engine.Subscribe), run bounded queries, or
+// mount its HTTP API; MountSubscribe covers the common case.
+func (m *Manager) Subscriptions() *SubscriptionEngine { return m.sub }
+
+// MountSubscribe registers the subscription API on an observability
+// server: /subscribe (streaming NDJSON), /query (bounded window) and
+// /topk (sketch heavy hitters). Returns false when the manager was
+// started without SubscribeOptions.
+func (m *Manager) MountSubscribe(srv *ObservabilityServer) bool {
+	if m.sub == nil {
+		return false
+	}
+	srv.Handle("/subscribe", http.HandlerFunc(m.sub.ServeSubscribe))
+	srv.Handle("/query", http.HandlerFunc(m.sub.ServeQuery))
+	srv.Handle("/topk", http.HandlerFunc(m.sub.ServeTopK))
+	return true
+}
+
 // Close shuts the manager down, flushing the sorter and every sink.
+// Streaming subscribers receive everything flushed, then a clean
+// end-of-stream.
 func (m *Manager) Close() error {
 	err := m.inner.Close()
+	if m.sub != nil {
+		// After inner.Close the merger has flushed its final batch
+		// through the tap; closing the engine lets subscribers drain
+		// what they can reach and then see io.EOF.
+		m.sub.Close()
+	}
 	if cerr := m.disp.Close(); err == nil {
 		err = cerr
 	}
