@@ -8,7 +8,15 @@ GO ?= go
 # and shard-scaling gates stay strict everywhere.
 BENCH_MAXLOSS ?= 0.15
 
-.PHONY: all check build vet staticcheck staticcheck-strict test test-race race bench bench-check scenario-smoke scenario-full fuzz fuzz-smoke eval examples docs-check clean
+# COVER=1 folds a coverage profile into the `test` target (and therefore
+# into `check`) instead of adding a separate test run: the same suite
+# executes once, writing coverage.out for CI's summary table.
+COVER ?=
+ifeq ($(COVER),1)
+TESTFLAGS += -coverprofile=coverage.out -covermode=atomic
+endif
+
+.PHONY: all check build vet staticcheck staticcheck-strict test test-race race bench bench-check sync-gate scenario-smoke scenario-full fuzz fuzz-smoke eval examples docs-check clean
 
 all: build vet test test-race
 
@@ -45,13 +53,14 @@ docs-check:
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 # Race-detector pass over the concurrent core: the packages where
 # reconnect, resume, fault injection, sharded sorting, subscription
-# fan-out, and the pooled record paths hammer shared state.
+# fan-out, rate-extrapolating clocks, and the pooled record paths hammer
+# shared state.
 test-race:
-	$(GO) test -race ./internal/exs ./internal/ism ./internal/relay ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/subscribe ./internal/workload
+	$(GO) test -race ./internal/exs ./internal/ism ./internal/relay ./internal/faultnet ./internal/wire ./internal/metrics ./internal/ols ./internal/cre ./internal/record ./internal/shm ./internal/scenario ./internal/subscribe ./internal/workload ./internal/clocksync ./internal/vclock
 
 # Full suite under the race detector (slower).
 race:
@@ -73,6 +82,13 @@ bench:
 bench-check:
 	$(GO) test -run 'TestAllocs' ./internal/record ./internal/ols ./internal/picl ./internal/shm ./internal/wire ./internal/clocksync
 	$(GO) run ./cmd/briskbench benchgate -baseline BENCH_baseline.json -out BENCH_current.json -maxloss $(BENCH_MAXLOSS)
+
+# Probe-efficiency gate: the model-based sync scheduler must hit the E6
+# skew bounds at ≥5× fewer probe RTTs than fixed cadence on both the
+# quiet and disturbed LANs (deterministic simulation; skipped below
+# 4 CPUs like the sorter-scaling gate).
+sync-gate:
+	$(GO) run ./cmd/briskbench sync -assert-reduction 5
 
 # The smoke slice of the declarative scenario matrix (scenarios/*.json):
 # every smoke-tagged workload × topology × clock × fault cell runs against

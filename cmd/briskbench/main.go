@@ -15,6 +15,7 @@
 //	briskbench ingest [-sessions 1,8] [-records 150000] [-batch 256] [-json FILE]
 //	briskbench sorter [-cores calendar,heap] [-shards 1,2,4,8] [-sources 8] [-records 100000]
 //	briskbench subscribe [-subs 0,64,1024] [-records 150000] [-batch 256]
+//	briskbench sync [-seed 1] [-assert-reduction 5]
 //	briskbench benchgate -baseline BENCH_baseline.json [-out BENCH_current.json]
 //	briskbench matrix [-scenarios scenarios] [-filter smoke] [-out BENCH_scenarios.json]
 //
@@ -65,6 +66,8 @@ func main() {
 		err = runSorter(args)
 	case "subscribe":
 		err = runSubscribe(args)
+	case "sync":
+		err = runSyncEfficiency(args)
 	case "benchgate":
 		err = runBenchGate(args)
 	case "matrix":
@@ -97,6 +100,7 @@ experiments:
   ingest      manager ingest capacity vs session count (bench-check suite)
   sorter      sorter-stage throughput vs core (calendar/heap) and shard count
   subscribe   ingest capacity with the subscription tap at each idle-subscriber count
+  sync        probe efficiency: fixed-cadence vs model-based clock sync (CI sync-gate)
   benchgate   run the ingest suite and fail on regression vs a baseline file
   matrix      scenario matrix: workload × topology × clock × fault cells with contract checks
   intrusion   ablation: instrumentation overhead on a computation
@@ -321,6 +325,48 @@ func runSubscribe(args []string) error {
 		return err
 	}
 	bench.SubscribeTable(rows).Render(os.Stdout)
+	return nil
+}
+
+// runSyncEfficiency compares fixed-cadence against model-based probe
+// scheduling on identical simulated clusters and, when -assert-reduction
+// is set, fails unless the model matches fixed-cadence steady-state skew
+// at the required probe-RTT reduction. This is the CI sync-gate. Like
+// the sorter-stage gates, the assertion is skipped on boxes too small to
+// run the gate's companion -race property test meaningfully, so a laptop
+// `make check` and CI behave the same.
+func runSyncEfficiency(args []string) error {
+	fs := flag.NewFlagSet("sync", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	assert := fs.Float64("assert-reduction", 0,
+		"fail unless model-based sync reduces probe RTTs by at least this factor at equal-or-better steady skew (0 = report only)")
+	fs.Parse(args)
+	results := bench.RunSyncEfficiency(bench.SyncEfficiencyScenarios(*seed))
+	bench.SyncEfficiencyTable(results).Render(os.Stdout)
+	if *assert <= 0 {
+		return nil
+	}
+	if procs := runtime.GOMAXPROCS(0); procs < 4 {
+		fmt.Printf("sync: SKIP probe-reduction gate (GOMAXPROCS=%d < 4)\n", procs)
+		return nil
+	}
+	var bad []string
+	for _, r := range results {
+		if r.Reduction < *assert {
+			bad = append(bad, fmt.Sprintf("%s: probe reduction %.1fx < %.1fx", r.Name, r.Reduction, *assert))
+		}
+		if r.Model.SteadyMaxMicros > r.Fixed.SteadyMaxMicros {
+			bad = append(bad, fmt.Sprintf("%s: model steady max %.0f µs worse than fixed %.0f µs",
+				r.Name, r.Model.SteadyMaxMicros, r.Fixed.SteadyMaxMicros))
+		}
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "sync: FAIL %s\n", b)
+		}
+		return fmt.Errorf("%d sync-gate failure(s)", len(bad))
+	}
+	fmt.Printf("sync: PASS probe reduction >= %.1fx at equal-or-better steady skew\n", *assert)
 	return nil
 }
 

@@ -29,6 +29,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
 		syncPeriod = flag.Duration("sync", 5*time.Second, "clock-sync polling period (0 disables)")
+		syncBound  = flag.Int64("sync-uncertainty", 0, "model-based probe scheduling: probe a slave only when its predicted offset uncertainty (µs) crosses this bound (0 = fixed cadence)")
 		initialT   = flag.Int64("T", 1000, "initial sorter time frame (µs)")
 		halfLife   = flag.Int64("halflife", 0, "time-frame decay half-life (µs, 0=no decay)")
 		policy     = flag.String("grow", "lateness", "time-frame growth policy: lateness|double|fixed")
@@ -63,7 +64,7 @@ func main() {
 			MaxBuffered: *maxBuf,
 			SourceQuota: *srcQuota,
 		},
-		Sync:              brisk.SyncOptions{Period: *syncPeriod},
+		Sync:              brisk.SyncOptions{Period: *syncPeriod, UncertaintyBound: *syncBound},
 		HeartbeatInterval: *heartbeat,
 		SessionRetention:  *retention,
 		TraceSampleEvery:  *traceEvery,

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"brisk/internal/clocksync"
 	"brisk/internal/simnet"
 	"brisk/internal/stats"
@@ -30,6 +32,11 @@ type SyncScenario struct {
 type SyncResult struct {
 	Scenario         SyncScenario
 	RoundsToConverge int
+	// Probes is the total probe round trips issued over the run — the
+	// traffic the model-based scheduler trades against skew.
+	Probes int
+	// Fallbacks counts model-divergence events (0 in fixed-cadence mode).
+	Fallbacks uint64
 	// SteadyMeanMicros/SteadyP95/SteadyMax summarize the post-convergence
 	// (second-half) mutual skew.
 	SteadyMeanMicros float64
@@ -46,7 +53,13 @@ type SyncResult struct {
 func RunSync(sc SyncScenario) SyncResult {
 	c := clocksync.NewSimCluster(sc.Nodes, sc.Net, sc.OffsetSpread, sc.DriftSpread, sc.Seed)
 	run := c.Run(sc.Sync, sc.Rounds, sc.PollPeriod, 100)
-	res := SyncResult{Scenario: sc, RoundsToConverge: run.RoundsToConverge, Series: run.SkewAfterRound}
+	res := SyncResult{
+		Scenario:         sc,
+		RoundsToConverge: run.RoundsToConverge,
+		Probes:           run.TotalProbes,
+		Fallbacks:        run.Fallbacks,
+		Series:           run.SkewAfterRound,
+	}
 	half := run.SkewAfterRound[len(run.SkewAfterRound)/2:]
 	var running stats.Running
 	rsv := stats.NewReservoir(len(half))
@@ -136,4 +149,87 @@ func FilterAblationScenarios(seed uint64) []SyncScenario {
 	filtered.Name = "mean + MaxRTT 1.5 ms filter"
 	filtered.Sync = clocksync.Config{MaxRTT: 1500}
 	return []SyncScenario{mean, minRTT, filtered}
+}
+
+// ModelSyncConfig is the tuned model-based scheduler configuration the
+// probe-efficiency comparison (and the CI sync-gate) runs: probe a slave
+// when its predicted one-σ offset uncertainty crosses 150 µs, never
+// sooner than the 5 s poll period, never later than every 2 minutes.
+func ModelSyncConfig() clocksync.Config {
+	return clocksync.Config{
+		MaxRTT:           1500,
+		UncertaintyBound: 150,
+		MinProbeInterval: 5_000_000,
+		MaxProbeInterval: 120_000_000,
+		MeasurementNoise: 30,
+		DriftWalkPPM:     0.01,
+	}
+}
+
+// SyncEfficiencyResult pairs a fixed-cadence run with its model-based
+// twin on identical seeds: same cluster, same latency draws, only the
+// scheduler differs.
+type SyncEfficiencyResult struct {
+	Name         string
+	Fixed, Model SyncResult
+	// Reduction is fixed probes over model probes — the factor the
+	// ROADMAP targets at 5–10×.
+	Reduction float64
+}
+
+// SyncEfficiencyScenarios builds the fixed/model scenario pairs: the E6
+// quiet and disturbed LANs.
+func SyncEfficiencyScenarios(seed uint64) []SyncScenario {
+	base := SyncScenario{
+		Nodes:        8,
+		OffsetSpread: 5_000_000,
+		DriftSpread:  2,
+		Rounds:       120,
+		PollPeriod:   5_000_000,
+		Seed:         seed,
+	}
+	quietSc := base
+	quietSc.Name = "quiet LAN"
+	quietSc.Net = simnet.QuietLAN(seed)
+	disturbed := base
+	disturbed.Name = "disturbed LAN"
+	disturbed.Net = simnet.LAN(seed + 1)
+	disturbed.Sync = clocksync.Config{MaxRTT: 1500}
+	return []SyncScenario{quietSc, disturbed}
+}
+
+// RunSyncEfficiency runs each scenario twice — fixed cadence as given,
+// then model-based under ModelSyncConfig — and reports the probe
+// reduction alongside both skew summaries.
+func RunSyncEfficiency(scenarios []SyncScenario) []SyncEfficiencyResult {
+	var out []SyncEfficiencyResult
+	for _, sc := range scenarios {
+		fixed := RunSync(sc)
+		msc := sc
+		msc.Sync = ModelSyncConfig()
+		model := RunSync(msc)
+		r := SyncEfficiencyResult{Name: sc.Name, Fixed: fixed, Model: model}
+		if model.Probes > 0 {
+			r.Reduction = float64(fixed.Probes) / float64(model.Probes)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SyncEfficiencyTable renders the fixed-vs-model comparison.
+func SyncEfficiencyTable(results []SyncEfficiencyResult) *Table {
+	t := &Table{
+		Title: "sync probe efficiency: fixed cadence vs model-based scheduling " +
+			"(ROADMAP target: equal-or-better skew at 5–10× fewer probe RTTs)",
+		Header: []string{"scenario", "sched", "probes", "reduction",
+			"steady p95 µs", "steady max µs", "fallbacks"},
+	}
+	for _, r := range results {
+		t.Add(r.Name, "fixed", r.Fixed.Probes, "",
+			r.Fixed.SteadyP95Micros, r.Fixed.SteadyMaxMicros, r.Fixed.Fallbacks)
+		t.Add(r.Name, "model", r.Model.Probes, fmt.Sprintf("%.1fx", r.Reduction),
+			r.Model.SteadyP95Micros, r.Model.SteadyMaxMicros, r.Model.Fallbacks)
+	}
+	return t
 }

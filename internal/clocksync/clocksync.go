@@ -116,7 +116,44 @@ type Config struct {
 	// safe to apply as instantaneous steps — the structural reason it
 	// converges faster.
 	MaxSlew int64
+
+	// UncertaintyBound, when > 0, enables model-based probe scheduling
+	// (see model.go): each slave carries a drift + offset estimator and
+	// is probed only when its predicted offset uncertainty (one standard
+	// deviation, µs) exceeds this bound. 0 keeps the memoryless fixed-
+	// cadence rounds, byte-identical to the base algorithm.
+	UncertaintyBound int64
+	// MinProbeInterval and MaxProbeInterval bracket the per-slave probe
+	// gap under model-based scheduling (µs of master time): a slave is
+	// never probed again sooner than Min even if its uncertainty has
+	// crossed the bound, and never left unprobed longer than Max even if
+	// the model still claims confidence. Defaults: Min = 0, Max = 32
+	// Min (or 60 s when Min is 0 too).
+	MinProbeInterval int64
+	MaxProbeInterval int64
+	// MeasurementNoise is the assumed standard deviation of one reduced
+	// offset estimate (µs); it sets the estimator's measurement variance
+	// and the innovation outlier gate's scale. Default 100 µs.
+	MeasurementNoise int64
+	// DriftWalkPPM is the assumed drift wander: the slave oscillator's
+	// frequency error is modelled as a random walk gaining this many ppm
+	// of standard deviation per second. Larger values make uncertainty
+	// grow faster between probes (more probing, tighter tracking);
+	// smaller values trust the drift estimate longer. Default 0.02.
+	DriftWalkPPM float64
+	// OutlierSigma is the innovation gate: a measurement farther than
+	// this many predicted standard deviations from the model's
+	// prediction is rejected as an outlier. Default 6.
+	OutlierSigma float64
+	// FallbackStreak is how many consecutive outliers declare the model
+	// diverged, resetting the estimator and falling back to full
+	// AlgBRISK rounds until it re-warms. Default 3.
+	FallbackStreak int
 }
+
+// ModelEnabled reports whether the config selects model-based probe
+// scheduling.
+func (c Config) ModelEnabled() bool { return c.UncertaintyBound > 0 }
 
 func (c Config) withDefaults() Config {
 	if c.ProbesPerSlave <= 0 {
@@ -127,6 +164,31 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Damping <= 0 || c.Damping > 1 {
 		c.Damping = 0.7
+	}
+	if c.MinProbeInterval < 0 {
+		c.MinProbeInterval = 0
+	}
+	if c.MaxProbeInterval <= 0 {
+		if c.MinProbeInterval > 0 {
+			c.MaxProbeInterval = 32 * c.MinProbeInterval
+		} else {
+			c.MaxProbeInterval = 60_000_000
+		}
+	}
+	if c.MaxProbeInterval < c.MinProbeInterval {
+		c.MaxProbeInterval = c.MinProbeInterval
+	}
+	if c.MeasurementNoise <= 0 {
+		c.MeasurementNoise = 100
+	}
+	if c.DriftWalkPPM <= 0 {
+		c.DriftWalkPPM = 0.02
+	}
+	if c.OutlierSigma <= 0 {
+		c.OutlierSigma = 6
+	}
+	if c.FallbackStreak <= 0 {
+		c.FallbackStreak = 3
 	}
 	return c
 }

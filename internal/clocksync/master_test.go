@@ -1,0 +1,189 @@
+package clocksync
+
+import (
+	"errors"
+	"testing"
+)
+
+// stepClock is a hand-advanced master clock for failure-path tests.
+type stepClock struct{ now int64 }
+
+func (c *stepClock) NowMicros() int64 { return c.now }
+
+// fakeSlave is a scriptable SlaveConn: a fixed offset against the master
+// clock, a fixed probe RTT, and injectable exchange/adjust failures.
+type fakeSlave struct {
+	clk       *stepClock
+	offset    int64
+	rtt       int64
+	adjustErr error
+	adjusts   []int64
+	rates     []float64
+}
+
+func (f *fakeSlave) Exchange() (int64, error) {
+	f.clk.now += f.rtt / 2
+	st := f.clk.now + f.offset
+	f.clk.now += f.rtt - f.rtt/2
+	return st, nil
+}
+
+func (f *fakeSlave) Adjust(d int64) error {
+	if f.adjustErr != nil {
+		return f.adjustErr
+	}
+	f.offset += d
+	f.adjusts = append(f.adjusts, d)
+	return nil
+}
+
+func (f *fakeSlave) AdjustRate(ppm float64) error {
+	f.rates = append(f.rates, ppm)
+	return nil
+}
+
+// TestMasterAdjustFailureAccounting drives a slave whose Adjust send
+// persistently errors: every failed send must be counted in AdjustFailed
+// (never in Adjusted), the slave's own clock must stay untouched, and
+// after the failure streak the master must drop the slave's model state
+// so it is relearned from scratch.
+func TestMasterAdjustFailureAccounting(t *testing.T) {
+	clk := &stepClock{}
+	bad := &fakeSlave{clk: clk, offset: -200_000, rtt: 500, adjustErr: errors.New("conn reset")}
+	mid := &fakeSlave{clk: clk, offset: -100_000, rtt: 500}
+	ref := &fakeSlave{clk: clk, offset: 0, rtt: 500}
+	slaves := []SlaveConn{bad, mid, ref}
+
+	cfg := modelConfig()
+	m := NewMaster(clk, cfg, slaves)
+
+	failedRounds := 0
+	for r := 0; r < 6; r++ {
+		rep, err := m.Round()
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if rep.Corrections.Advance[0] > 0 {
+			if rep.AdjustFailed < 1 {
+				t.Fatalf("round %d: advance pending on failing slave but AdjustFailed=%d",
+					r, rep.AdjustFailed)
+			}
+			failedRounds++
+		}
+		if rep.Adjusted > 0 && len(bad.adjusts) > 0 {
+			t.Fatalf("round %d: failing slave recorded an applied adjustment", r)
+		}
+		if failedRounds == adjustErrLimit {
+			// The streak just completed: the model state must be gone.
+			sm := m.models[0]
+			if sm.est.Warm() || sm.est.n != 0 {
+				t.Fatalf("round %d: model state survived %d failed adjusts", r, failedRounds)
+			}
+			if sm.lastProbe != 0 || sm.ratePPM != 0 {
+				t.Fatalf("round %d: probe/rate state survived reset (lastProbe=%d rate=%f)",
+					r, sm.lastProbe, sm.ratePPM)
+			}
+			return
+		}
+		clk.now += fiveSeconds
+	}
+	if failedRounds < adjustErrLimit {
+		t.Fatalf("only %d failed-adjust rounds in 6 rounds; streak never completed", failedRounds)
+	}
+}
+
+// TestMasterAdjustRecoveryResetsStreak checks the converse: a transient
+// Adjust failure is repaired by the next successful round and does not
+// cost the slave its model.
+func TestMasterAdjustRecoveryResetsStreak(t *testing.T) {
+	clk := &stepClock{}
+	flaky := &fakeSlave{clk: clk, offset: -200_000, rtt: 500, adjustErr: errors.New("transient")}
+	ref := &fakeSlave{clk: clk, offset: 0, rtt: 500}
+	m := NewMaster(clk, modelConfig(), []SlaveConn{flaky, ref})
+
+	if _, err := m.Round(); err != nil {
+		t.Fatal(err)
+	}
+	if m.models[0].adjustErrs != 1 {
+		t.Fatalf("adjustErrs = %d after one failed round, want 1", m.models[0].adjustErrs)
+	}
+	flaky.adjustErr = nil
+	clk.now += fiveSeconds
+	rep, err := m.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adjusted < 1 || len(flaky.adjusts) == 0 {
+		t.Fatal("recovered slave was not adjusted")
+	}
+	if m.models[0].adjustErrs != 0 {
+		t.Fatalf("adjustErrs = %d after recovery, want 0", m.models[0].adjustErrs)
+	}
+	if m.models[0].est.n == 0 {
+		t.Fatal("model state dropped on a transient failure")
+	}
+}
+
+// TestMasterAllSamplesRTTFiltered runs a round in which every probe of
+// every slave exceeds MaxRTT: each slave must be reported Failed (not
+// Valid), no adjustments may be issued, and the round as a whole must
+// return ErrNoSlaves.
+func TestMasterAllSamplesRTTFiltered(t *testing.T) {
+	clk := &stepClock{}
+	a := &fakeSlave{clk: clk, offset: 50_000, rtt: 10_000}
+	b := &fakeSlave{clk: clk, offset: -50_000, rtt: 10_000}
+	cfg := Config{MaxRTT: 1500}
+	m := NewMaster(clk, cfg, []SlaveConn{a, b})
+
+	rep, err := m.Round()
+	if !errors.Is(err, ErrNoSlaves) {
+		t.Fatalf("err = %v, want ErrNoSlaves", err)
+	}
+	if rep.Failed != 2 {
+		t.Fatalf("Failed = %d, want 2", rep.Failed)
+	}
+	for i, v := range rep.Valid {
+		if v {
+			t.Fatalf("slave %d marked valid with all samples RTT-filtered", i)
+		}
+	}
+	if rep.Adjusted != 0 || len(a.adjusts)+len(b.adjusts) != 0 {
+		t.Fatal("adjustments issued in an unusable round")
+	}
+	// Every probe was still issued (and counted) before being filtered.
+	if rep.Probes != 2*5 {
+		t.Fatalf("Probes = %d, want 10", rep.Probes)
+	}
+}
+
+// TestMasterSetSlavesKeyedReconcile checks that models follow their keys
+// across fleet changes: a surviving key keeps its estimator, a new key
+// starts cold, a departed key's state is dropped.
+func TestMasterSetSlavesKeyedReconcile(t *testing.T) {
+	clk := &stepClock{}
+	s1 := &fakeSlave{clk: clk, offset: 10_000, rtt: 500}
+	s2 := &fakeSlave{clk: clk, offset: 0, rtt: 500}
+	m := NewMaster(clk, modelConfig(), nil)
+	m.SetSlaves([]SlaveConn{s1, s2}, []uint64{101, 102})
+
+	for r := 0; r < 4; r++ {
+		if _, err := m.Round(); err != nil {
+			t.Fatal(err)
+		}
+		clk.now += fiveSeconds
+	}
+	if !m.models[0].est.Warm() {
+		t.Fatal("estimator not warm after 4 probed rounds")
+	}
+	obs := m.models[0].est.n
+
+	// Reorder, drop 102, add 103: 101's model must move with it.
+	s3 := &fakeSlave{clk: clk, offset: 5_000, rtt: 500}
+	m.SetSlaves([]SlaveConn{s3, s1}, []uint64{103, 101})
+	if m.models[1].est.n != obs {
+		t.Fatalf("key 101 lost its model across SetSlaves (n=%d, want %d)", m.models[1].est.n, obs)
+	}
+	if m.models[0].est.n != 0 {
+		t.Fatal("new key 103 did not start cold")
+	}
+}

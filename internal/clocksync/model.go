@@ -1,0 +1,186 @@
+package clocksync
+
+import "math"
+
+// This file holds the model-based side of the synchronization master: a
+// per-slave drift + offset estimator in the style of the model-based
+// clock-synchronization protocol of Freris/Borkar/Kumar. The memoryless
+// rounds of the base algorithm probe every slave at a fixed cadence, so
+// sync traffic grows linearly with fleet size; the estimator instead
+// tracks each slave's clock as
+//
+//	offset(t) = offset(t0) + drift · (t − t0) + noise
+//
+// against master time, with an explicit uncertainty that grows between
+// observations. Between probes the master extrapolates the slave's offset
+// from the estimated drift; a slave is probed again only when its
+// predicted uncertainty exceeds Config.UncertaintyBound (bracketed by
+// MinProbeInterval/MaxProbeInterval). Measurements whose innovation is
+// wildly outside the predicted spread are rejected as outliers; a streak
+// of them means the constant-drift model has diverged (a clock step, a
+// temperature event) and triggers a fall back to full AlgBRISK rounds
+// while the estimator relearns.
+
+// Estimator is a two-state scalar Kalman filter over (masterTime, offset)
+// observations for one slave: state [offset µs, drift µs/µs], constant-
+// velocity process model with a drift random walk. The zero value is an
+// uninitialized estimator; the first observation seeds it.
+type Estimator struct {
+	n     int   // accepted observations
+	lastT int64 // master time of the last accepted observation (µs)
+
+	off   float64 // offset estimate at lastT (µs, slave − master)
+	drift float64 // drift estimate (µs per µs of master time)
+
+	// Covariance of [off, drift], symmetric.
+	pOO, pOD, pDD float64
+
+	// Noise model (copied from Config at first use).
+	measVar   float64 // measurement noise variance (µs²)
+	qOffset   float64 // offset process noise density (µs²/µs)
+	qDrift    float64 // drift process noise density ((µs/µs)²/µs)
+	sigma     float64 // innovation outlier gate, in predicted std devs
+	streakMax int     // consecutive outliers that mean divergence
+
+	outliers int // current consecutive-outlier streak
+}
+
+// estimatorDefaults derive the noise model from the Config.
+func (e *Estimator) configure(cfg Config) {
+	mn := float64(cfg.MeasurementNoise)
+	e.measVar = mn * mn
+	// Offset process noise: a small floor so the uncertainty keeps
+	// growing even with a perfect drift estimate, forcing an occasional
+	// confirming probe.
+	e.qOffset = 1e-4 // 0.1 µs² per second
+	// Drift random walk: DriftWalkPPM² of drift variance per second.
+	w := cfg.DriftWalkPPM * 1e-6
+	e.qDrift = w * w / 1e6
+	e.sigma = cfg.OutlierSigma
+	e.streakMax = cfg.FallbackStreak
+}
+
+// initialDriftSpreadPPM sizes the drift prior: slave oscillators are
+// assumed within ±100 ppm of the master, a generous bound for quartz.
+const initialDriftSpreadPPM = 100.0
+
+// Warm reports whether the estimator has seen enough observations for
+// its drift estimate (and so its extrapolation) to be trustworthy.
+func (e *Estimator) Warm() bool { return e.n >= 3 }
+
+// DriftPPM returns the drift estimate in parts per million.
+func (e *Estimator) DriftPPM() float64 { return e.drift * 1e6 }
+
+// Reset discards all learned state; the next observation re-seeds.
+func (e *Estimator) Reset() { *e = Estimator{} }
+
+// predictCov returns the covariance propagated dt microseconds ahead.
+func (e *Estimator) predictCov(dt float64) (pOO, pOD, pDD float64) {
+	pOO = e.pOO + 2*dt*e.pOD + dt*dt*e.pDD + e.qOffset*dt
+	pOD = e.pOD + dt*e.pDD
+	pDD = e.pDD + e.qDrift*dt
+	return
+}
+
+// PredictAt extrapolates the offset estimate to master time t and returns
+// it with its predicted standard deviation (µs). It does not mutate the
+// estimator, so the scheduler can poll it every round.
+func (e *Estimator) PredictAt(t int64) (offset float64, stddev float64) {
+	if e.n == 0 {
+		return 0, math.Inf(1)
+	}
+	dt := float64(t - e.lastT)
+	if dt < 0 {
+		dt = 0
+	}
+	pOO, _, _ := e.predictCov(dt)
+	return e.off + e.drift*dt, math.Sqrt(pOO)
+}
+
+// ObserveResult reports what one measurement did to the estimator.
+type ObserveResult struct {
+	// Innovation is the measurement minus the prediction (µs).
+	Innovation float64
+	// Outlier marks a measurement rejected by the innovation gate.
+	Outlier bool
+	// Diverged marks the rejection that completed an outlier streak: the
+	// estimator has reset itself (re-seeded from this measurement) and
+	// the caller should fall back to full rounds until it re-warms.
+	Diverged bool
+}
+
+// Observe folds one reduced offset measurement taken at master time t
+// into the estimate.
+func (e *Estimator) Observe(t int64, offset int64, cfg Config) ObserveResult {
+	z := float64(offset)
+	if e.n == 0 {
+		e.configure(cfg)
+		e.seed(t, z)
+		return ObserveResult{}
+	}
+	dt := float64(t - e.lastT)
+	if dt < 0 {
+		dt = 0
+	}
+	pOO, pOD, pDD := e.predictCov(dt)
+	pred := e.off + e.drift*dt
+	innov := z - pred
+	s := pOO + e.measVar
+
+	if e.n >= 2 && innov*innov > e.sigma*e.sigma*s {
+		// The measurement is far outside what the model predicts. One or
+		// two of these are network noise that survived the RTT filter;
+		// a streak means the model itself is wrong.
+		e.outliers++
+		if e.outliers >= e.streakMax {
+			e.configure(cfg)
+			e.seed(t, z)
+			return ObserveResult{Innovation: innov, Outlier: true, Diverged: true}
+		}
+		return ObserveResult{Innovation: innov, Outlier: true}
+	}
+	e.outliers = 0
+
+	kO := pOO / s
+	kD := pOD / s
+	e.off = pred + kO*innov
+	e.drift += kD * innov
+	e.pOO = (1 - kO) * pOO
+	e.pOD = (1 - kO) * pOD
+	e.pDD = pDD - kD*pOD
+	e.lastT = t
+	e.n++
+	return ObserveResult{Innovation: innov}
+}
+
+// seed (re)initializes the state from a single measurement: the offset is
+// the measurement, the drift is unknown within the oscillator prior.
+func (e *Estimator) seed(t int64, z float64) {
+	d := initialDriftSpreadPPM * 1e-6
+	e.off = z
+	e.drift = 0
+	e.pOO = e.measVar
+	e.pOD = 0
+	e.pDD = d * d
+	e.lastT = t
+	e.n = 1
+	e.outliers = 0
+}
+
+// ShiftOffset informs the estimator that the slave's clock was stepped by
+// delta µs (a master-issued Adjust): the slave−master offset grows by the
+// same amount, with no change to uncertainty.
+func (e *Estimator) ShiftOffset(delta int64) {
+	if e.n > 0 {
+		e.off += float64(delta)
+	}
+}
+
+// ShiftDrift informs the estimator that the slave's effective rate was
+// changed by deltaPPM (a master-issued rate command): the residual drift
+// the estimator will observe from now on shrinks by the same amount.
+func (e *Estimator) ShiftDrift(deltaPPM float64) {
+	if e.n > 0 {
+		e.drift += deltaPPM * 1e-6
+	}
+}

@@ -1,0 +1,267 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+
+	"brisk/internal/simnet"
+)
+
+// modelConfig is the tuned model-based configuration the property tests
+// exercise: probe a slave when its predicted uncertainty crosses 150 µs,
+// never more often than the 5 s poll period, never less often than every
+// 2 minutes.
+func modelConfig() Config {
+	return Config{
+		MaxRTT:           1500,
+		UncertaintyBound: 150,
+		MinProbeInterval: 5_000_000,
+		MaxProbeInterval: 120_000_000,
+		MeasurementNoise: 30,
+		DriftWalkPPM:     0.01,
+	}
+}
+
+// maxOf returns the maximum of the last n entries.
+func maxOf(skews []int64, n int) int64 {
+	var m int64
+	for _, s := range skews[len(skews)-n:] {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// TestEstimatorTracksConstantDrift feeds the estimator synthetic
+// observations of a linearly drifting clock and checks it recovers the
+// drift rate and predicts ahead accurately.
+func TestEstimatorTracksConstantDrift(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	var e Estimator
+	const driftPPM = 17.0 // 17 µs/s
+	for i := 0; i < 10; i++ {
+		tm := int64(i) * 5_000_000
+		off := int64(1000 + driftPPM*1e-6*float64(tm))
+		res := e.Observe(tm, off, cfg)
+		if res.Outlier {
+			t.Fatalf("obs %d flagged outlier (innov %.1f)", i, res.Innovation)
+		}
+	}
+	if !e.Warm() {
+		t.Fatal("estimator not warm after 10 observations")
+	}
+	if got := e.DriftPPM(); math.Abs(got-driftPPM) > 1 {
+		t.Fatalf("drift estimate %.2f ppm, want ~%.0f", got, driftPPM)
+	}
+	// Predict 60 s ahead: error should be well under the drift's effect
+	// (17 ppm over 60 s = 1020 µs).
+	at := int64(10 * 5_000_000 * 6)
+	want := 1000 + driftPPM*1e-6*float64(at)
+	got, sd := e.PredictAt(at)
+	if math.Abs(got-want) > 100 {
+		t.Fatalf("prediction at %d: got %.0f want %.0f (sd %.0f)", at, got, want, sd)
+	}
+	if sd <= 0 || math.IsInf(sd, 1) {
+		t.Fatalf("prediction stddev %v", sd)
+	}
+}
+
+// TestEstimatorOutlierStreakDiverges checks the innovation gate: isolated
+// wild measurements are rejected without disturbing the state, and a
+// streak of them re-seeds the estimator and reports divergence.
+func TestEstimatorOutlierStreakDiverges(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	var e Estimator
+	for i := 0; i < 6; i++ {
+		e.Observe(int64(i)*5_000_000, 500, cfg)
+	}
+	driftBefore := e.DriftPPM()
+
+	// One outlier: rejected, state untouched.
+	res := e.Observe(6*5_000_000, 500_000, cfg)
+	if !res.Outlier || res.Diverged {
+		t.Fatalf("single wild measurement: outlier=%v diverged=%v", res.Outlier, res.Diverged)
+	}
+	if e.DriftPPM() != driftBefore {
+		t.Fatal("outlier mutated the drift estimate")
+	}
+
+	// Two more complete the default streak of 3: divergence, re-seeded
+	// from the last measurement.
+	e.Observe(7*5_000_000, 500_000, cfg)
+	res = e.Observe(8*5_000_000, 500_000, cfg)
+	if !res.Diverged {
+		t.Fatal("outlier streak did not report divergence")
+	}
+	if e.Warm() {
+		t.Fatal("estimator still warm after divergence re-seed")
+	}
+	off, _ := e.PredictAt(8 * 5_000_000)
+	if math.Abs(off-500_000) > 1 {
+		t.Fatalf("re-seed offset %.0f, want ~500000", off)
+	}
+}
+
+// TestModelProbeEfficiencyQuietLAN is the headline property test: on the
+// paper's E6 quiet-LAN scenario, model-based scheduling must match or
+// beat fixed-cadence steady-state skew at ≥5× fewer probe round trips —
+// across several deterministic seeds.
+func TestModelProbeEfficiencyQuietLAN(t *testing.T) {
+	for _, seed := range []uint64{99, 7, 31, 42, 2026} {
+		fixedC := NewSimCluster(8, simnet.QuietLAN(seed), 5_000_000, 2, seed)
+		fixed := fixedC.Run(Config{}, 120, fiveSeconds, 100)
+
+		modelC := NewSimCluster(8, simnet.QuietLAN(seed), 5_000_000, 2, seed)
+		model := modelC.Run(modelConfig(), 120, fiveSeconds, 100)
+
+		if model.TotalProbes*5 > fixed.TotalProbes {
+			t.Errorf("seed %d: model used %d probes, fixed %d — reduction %.1fx < 5x",
+				seed, model.TotalProbes, fixed.TotalProbes,
+				float64(fixed.TotalProbes)/float64(model.TotalProbes))
+		}
+		fm, mm := maxOf(fixed.SkewAfterRound, 50), maxOf(model.SkewAfterRound, 50)
+		if mm > fm {
+			t.Errorf("seed %d: model steady skew %d µs worse than fixed %d µs", seed, mm, fm)
+		}
+		if model.RoundsToConverge < 0 {
+			t.Errorf("seed %d: model run never converged under 100 µs", seed)
+		}
+	}
+}
+
+// TestModelProbeEfficiencyDisturbedLAN repeats the probe-budget property
+// under LAN disturbances: the model must keep the paper's "under 200 µs
+// most of the time" bound at least as well as fixed cadence, still at
+// ≥5× fewer probes.
+func TestModelProbeEfficiencyDisturbedLAN(t *testing.T) {
+	overFrac := func(skews []int64) float64 {
+		over := 0
+		for _, s := range skews[20:] {
+			if s > 200 {
+				over++
+			}
+		}
+		return float64(over) / float64(len(skews)-20)
+	}
+	fixedC := NewSimCluster(8, simnet.LAN(2), 5_000_000, 2, 7)
+	fixed := fixedC.Run(Config{MaxRTT: 1500}, 120, fiveSeconds, 200)
+
+	modelC := NewSimCluster(8, simnet.LAN(2), 5_000_000, 2, 7)
+	model := modelC.Run(modelConfig(), 120, fiveSeconds, 200)
+
+	if model.TotalProbes*5 > fixed.TotalProbes {
+		t.Errorf("model used %d probes, fixed %d — reduction < 5x",
+			model.TotalProbes, fixed.TotalProbes)
+	}
+	ff, mf := overFrac(fixed.SkewAfterRound), overFrac(model.SkewAfterRound)
+	if mf > ff {
+		t.Errorf("model over-200µs fraction %.2f worse than fixed %.2f", mf, ff)
+	}
+	if mf > 0.25 {
+		t.Errorf("model over-200µs fraction %.2f exceeds the paper's bound", mf)
+	}
+}
+
+// TestModelNeverSetBack verifies the paper's invariant survives rate
+// extrapolation: with the model commanding rates and step corrections,
+// no corrected clock ever reads earlier than it did before.
+func TestModelNeverSetBack(t *testing.T) {
+	c := NewSimCluster(6, simnet.QuietLAN(3), 1_000_000, 10, 17)
+	m := NewMaster(c.MasterClock, modelConfig(), c.Conns())
+	prev := c.Readings()
+	for r := 0; r < 60; r++ {
+		if _, err := m.Round(); err != nil {
+			t.Fatal(err)
+		}
+		// Sample at sub-round granularity so extrapolation between
+		// adjustments is covered too.
+		for k := 0; k < 5; k++ {
+			c.Sim.RunUntil(c.Sim.Now() + fiveSeconds/5)
+			cur := c.Readings()
+			for i := range cur {
+				if cur[i] < prev[i] {
+					t.Fatalf("round %d: slave %d clock moved backward (%d -> %d)",
+						r, i, prev[i], cur[i])
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestModelTempRampTracked runs the temperature-ramp regime: node
+// frequency errors slew over the run, which the drift random walk must
+// track without diverging, still at a probe discount.
+func TestModelTempRampTracked(t *testing.T) {
+	regime := DriftRegime{Kind: DriftTempRamp, SpreadPPM: 2, RampPPMPerHour: 10}
+	fixedC := NewSimClusterRegime(8, simnet.QuietLAN(5), 5_000_000, regime, 13)
+	fixed := fixedC.Run(Config{}, 120, fiveSeconds, 100)
+
+	modelC := NewSimClusterRegime(8, simnet.QuietLAN(5), 5_000_000, regime, 13)
+	cfg := modelConfig()
+	// Expect wander: a larger assumed drift walk and a tighter bracket
+	// make the scheduler probe more readily — the regime's stated price.
+	cfg.DriftWalkPPM = 0.05
+	cfg.UncertaintyBound = 100
+	cfg.MaxProbeInterval = 60_000_000
+	model := modelC.Run(cfg, 120, fiveSeconds, 100)
+
+	if model.TotalProbes*3 > fixed.TotalProbes {
+		t.Errorf("ramp regime: model %d probes vs fixed %d — expected ≥3x reduction",
+			model.TotalProbes, fixed.TotalProbes)
+	}
+	fm, mm := maxOf(fixed.SkewAfterRound, 40), maxOf(model.SkewAfterRound, 40)
+	if mm > fm && mm > 100 {
+		t.Errorf("ramp regime: model steady skew %d µs vs fixed %d µs", mm, fm)
+	}
+}
+
+// TestModelStepChangeFallsBack runs the step-change regime: a frequency
+// jump mid-run must trip the innovation gate, reset the affected
+// estimators, and force full rounds until they relearn — after which the
+// cluster re-converges.
+func TestModelStepChangeFallsBack(t *testing.T) {
+	regime := DriftRegime{
+		Kind: DriftStep, SpreadPPM: 2,
+		StepAtMicros: 250_000_000, // 250 s in: well after warm-up
+		StepPPM:      40,
+	}
+	c := NewSimClusterRegime(8, simnet.QuietLAN(9), 5_000_000, regime, 21)
+	res := c.Run(modelConfig(), 160, fiveSeconds, 100)
+
+	if res.Fallbacks == 0 {
+		t.Error("step regime triggered no model fallbacks")
+	}
+	// Recovered: the last quarter of the run is back under the paper's
+	// disturbed bound.
+	if mm := maxOf(res.SkewAfterRound, 40); mm > 200 {
+		t.Errorf("step regime: skew %d µs in final quarter — did not recover", mm)
+	}
+	if res.RoundsToConverge < 0 {
+		t.Error("step regime never converged")
+	}
+}
+
+// TestModelFixedCadenceUnchanged pins the compatibility contract: with
+// UncertaintyBound zero the master's round-by-round behaviour is
+// byte-identical to the pre-model algorithm (same probes, same skew
+// trajectory), so existing deployments see no change.
+func TestModelFixedCadenceUnchanged(t *testing.T) {
+	run := func() RunResult {
+		c := NewSimCluster(5, simnet.LAN(77), 2_000_000, 25, 42)
+		return c.Run(Config{}, 20, fiveSeconds, 100)
+	}
+	a, b := run(), run()
+	for i := range a.SkewAfterRound {
+		if a.SkewAfterRound[i] != b.SkewAfterRound[i] {
+			t.Fatalf("round %d skew differs: %d vs %d", i, a.SkewAfterRound[i], b.SkewAfterRound[i])
+		}
+	}
+	if a.TotalProbes != 20*5*5 {
+		t.Fatalf("fixed cadence issued %d probes, want %d", a.TotalProbes, 20*5*5)
+	}
+	if a.Fallbacks != 0 {
+		t.Fatalf("fixed cadence recorded %d fallbacks", a.Fallbacks)
+	}
+}

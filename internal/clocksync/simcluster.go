@@ -6,6 +6,88 @@ import (
 	"brisk/internal/vclock"
 )
 
+// DriftKind selects how a simulated node's frequency error behaves over
+// time — the regimes the model-based scheduler must survive.
+type DriftKind int
+
+const (
+	// DriftConstant is a fixed per-node frequency error: the regime the
+	// constant-drift model describes exactly.
+	DriftConstant DriftKind = iota
+	// DriftTempRamp slews each node's frequency error linearly over the
+	// run, like a machine room warming up: the model tracks it through
+	// its drift random walk, at the price of more frequent probes.
+	DriftTempRamp
+	// DriftStep jumps each node's frequency error at a fixed instant,
+	// like a fan failure: the model diverges (innovation outlier streak)
+	// and must fall back to full rounds while it relearns.
+	DriftStep
+)
+
+// String names the regime.
+func (k DriftKind) String() string {
+	switch k {
+	case DriftConstant:
+		return "constant"
+	case DriftTempRamp:
+		return "temp-ramp"
+	case DriftStep:
+		return "step-change"
+	default:
+		return "DriftKind(?)"
+	}
+}
+
+// DriftRegime describes the per-node frequency-error behaviour of a
+// simulated cluster. Each node draws its parameters from the cluster
+// seed, so regimes replay deterministically.
+type DriftRegime struct {
+	Kind DriftKind
+	// SpreadPPM is the half-width of the initial frequency errors:
+	// each node draws uniform in ±SpreadPPM.
+	SpreadPPM float64
+	// RampPPMPerHour (DriftTempRamp) is the half-width of each node's
+	// frequency slew rate: drawn uniform in ±RampPPMPerHour.
+	RampPPMPerHour float64
+	// StepAtMicros and StepPPM (DriftStep): at StepAtMicros of virtual
+	// time each node's frequency error jumps by a draw in ±StepPPM.
+	StepAtMicros int64
+	StepPPM      float64
+}
+
+// varDrift is a simulated node clock whose frequency error varies over
+// virtual time per a DriftRegime. The accumulated skew is the closed-form
+// integral of the drift profile, so readings are exact at any instant.
+// The simulator is single-threaded, so no locking is needed; the fields
+// are immutable after construction in any case.
+type varDrift struct {
+	ref    vclock.Clock
+	epoch  int64
+	offset int64
+	base   float64 // ppm
+	ramp   float64 // ppm per µs
+	stepAt int64   // elapsed µs; 0 = no step
+	step   float64 // ppm added after stepAt
+}
+
+// NowMicros returns the skewed reading: elapsed true time plus the
+// integral of the drift profile.
+func (v *varDrift) NowMicros() int64 {
+	elapsed := v.ref.NowMicros() - v.epoch
+	skew := v.base * float64(elapsed)
+	skew += 0.5 * v.ramp * float64(elapsed) * float64(elapsed)
+	if v.stepAt > 0 && elapsed > v.stepAt {
+		skew += v.step * float64(elapsed-v.stepAt)
+	}
+	return v.epoch + v.offset + elapsed + int64(skew*1e-6)
+}
+
+// SkewAgainstRef returns the clock's current raw offset from the
+// reference — what a correction must cancel.
+func (v *varDrift) SkewAgainstRef() int64 {
+	return v.NowMicros() - v.ref.NowMicros()
+}
+
 // SimNode is one simulated external-sensor node: a drifting clock wrapped
 // by the correction layer the synchronization protocol adjusts.
 type SimNode struct {
@@ -40,8 +122,16 @@ type SimCluster struct {
 // NewSimCluster assembles a cluster of n nodes whose initial offsets and
 // drifts are drawn from the given spreads: offsets uniform in
 // [-offsetSpread, +offsetSpread] µs, drifts uniform in [-driftSpread,
-// +driftSpread] ppm.
+// +driftSpread] ppm (the constant-drift regime).
 func NewSimCluster(n int, netParams simnet.Params, offsetSpread int64, driftSpread float64, seed uint64) *SimCluster {
+	return NewSimClusterRegime(n, netParams, offsetSpread,
+		DriftRegime{Kind: DriftConstant, SpreadPPM: driftSpread}, seed)
+}
+
+// NewSimClusterRegime assembles a cluster whose node clocks follow the
+// given drift regime. Parameter draws are identical to NewSimCluster for
+// the constant regime, so existing seeds replay unchanged.
+func NewSimClusterRegime(n int, netParams simnet.Params, offsetSpread int64, regime DriftRegime, seed uint64) *SimCluster {
 	sim := des.New()
 	rng := des.NewRNG(seed ^ 0xC1045)
 	c := &SimCluster{
@@ -54,9 +144,24 @@ func NewSimCluster(n int, netParams simnet.Params, offsetSpread int64, driftSpre
 		if offsetSpread > 0 {
 			off = rng.Int63n(2*offsetSpread+1) - offsetSpread
 		}
-		drift := (2*rng.Float64() - 1) * driftSpread
+		drift := (2*rng.Float64() - 1) * regime.SpreadPPM
 		proc := int64(5 + rng.Intn(10))
-		c.Nodes = append(c.Nodes, NewSimNode(sim, off, drift, proc))
+		var raw vclock.Clock
+		switch regime.Kind {
+		case DriftTempRamp:
+			ramp := (2*rng.Float64() - 1) * regime.RampPPMPerHour / 3.6e9
+			raw = &varDrift{ref: sim, epoch: sim.Now(), offset: off, base: drift, ramp: ramp}
+		case DriftStep:
+			step := (2*rng.Float64() - 1) * regime.StepPPM
+			raw = &varDrift{ref: sim, epoch: sim.Now(), offset: off, base: drift,
+				stepAt: regime.StepAtMicros, step: step}
+		default:
+			raw = vclock.NewDrift(sim, off, drift)
+		}
+		c.Nodes = append(c.Nodes, &SimNode{
+			Clock:     vclock.NewCorrected(raw),
+			ProcDelay: proc,
+		})
 	}
 	return c
 }
@@ -85,6 +190,14 @@ func (s *simConn) Exchange() (int64, error) {
 func (s *simConn) Adjust(delta int64) error {
 	node := s.node
 	s.c.Net.Send(func() { node.Clock.Adjust(delta) })
+	return nil
+}
+
+// AdjustRate delivers an extrapolation-rate command after a one-way
+// latency, implementing RateConn for the model-based master.
+func (s *simConn) AdjustRate(ppm float64) error {
+	node := s.node
+	s.c.Net.Send(func() { node.Clock.SetRatePPM(ppm) })
 	return nil
 }
 
@@ -138,6 +251,11 @@ type RunResult struct {
 	// RoundsToConverge is the first round after which skew stayed under
 	// the convergence bound, or -1 if it never did.
 	RoundsToConverge int
+	// TotalProbes is the probe round trips issued over the run — the
+	// sync traffic the model-based scheduler trades against skew.
+	TotalProbes int
+	// Fallbacks counts model-divergence events (0 in fixed-cadence mode).
+	Fallbacks uint64
 }
 
 // Run drives rounds separated by pollPeriod microseconds and samples the
@@ -149,7 +267,7 @@ func (c *SimCluster) Run(cfg Config, rounds int, pollPeriod int64, convergeBound
 	var rttN int
 	for r := 0; r < rounds; r++ {
 		rep, err := m.Round()
-		if err == nil {
+		if err == nil && rep.Probes > 0 {
 			rttSum += rep.MeanRTT
 			rttN++
 		}
@@ -158,6 +276,8 @@ func (c *SimCluster) Run(cfg Config, rounds int, pollPeriod int64, convergeBound
 		res.SkewAfterRound = append(res.SkewAfterRound, c.MaxMutualSkew())
 		c.Sim.RunUntil(c.Sim.Now() + pollPeriod)
 	}
+	res.TotalProbes = int(m.ProbeRTTs())
+	res.Fallbacks = m.ModelFallbacks()
 	if rttN > 0 {
 		res.MeanRTT = rttSum / float64(rttN)
 	}

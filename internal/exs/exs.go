@@ -1243,6 +1243,11 @@ func (e *EXS) controlLoop(c *wire.Conn) {
 		case *wire.Adjust:
 			e.adjusts.Add(1)
 			e.clock.Adjust(t.DeltaMicros)
+			if t.RatePPB >= 0 {
+				// Model-based master: track the reference clock between
+				// probes by extrapolating the correction at this rate.
+				e.clock.SetRatePPM(float64(t.RatePPB) / 1000)
+			}
 		case *wire.DataAck:
 			e.ackTo(t.Seq)
 			e.applyWindow(t.Window)

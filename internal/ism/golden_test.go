@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"brisk/internal/clocksync"
 	"brisk/internal/picl"
 	"brisk/internal/record"
 	"brisk/internal/vclock"
@@ -22,10 +23,22 @@ import (
 // trace bytes, a pure function of the workload — for any shard count.
 func goldenTrace(t *testing.T, shards int, tap SinkTap) []byte {
 	t.Helper()
+	trace, _ := goldenTraceSync(t, shards, tap, false)
+	return trace
+}
+
+// goldenTraceSync is goldenTrace with an optional model-based sync
+// scheduler: when sync is true the manager runs the uncertainty-driven
+// probe master over the same raw sessions — a round forced between
+// batches, probes answered from the pinned clock — so control traffic
+// interleaves with the data batches on the same connections. Returns the
+// trace plus the manager's final counters.
+func goldenTraceSync(t *testing.T, shards int, tap SinkTap, sync bool) ([]byte, Stats) {
+	t.Helper()
 	var trace bytes.Buffer
 	pw := picl.NewWriter(&trace, picl.TimeUTC, 0)
 	clock := vclock.NewManual(1)
-	m, err := New(Config{
+	cfg := Config{
 		Addr:              "127.0.0.1:0",
 		Clock:             clock,
 		PICL:              pw,
@@ -34,7 +47,20 @@ func goldenTrace(t *testing.T, shards int, tap SinkTap) []byte {
 		OLSShards:         shards,
 		Tap:               tap,
 		Logf:              quietLog,
-	})
+	}
+	if sync {
+		// Rounds are driven explicitly via SyncRound; the hour-long
+		// period keeps the ticker from racing the forced rounds.
+		cfg.SyncPeriod = time.Hour
+		cfg.Sync = clocksync.Config{
+			UncertaintyBound: 100,
+			MinProbeInterval: 1_000,
+			MaxProbeInterval: 50_000,
+			MeasurementNoise: 30,
+			DriftWalkPPM:     0.01,
+		}
+	}
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +114,10 @@ func goldenTrace(t *testing.T, shards int, tap SinkTap) []byte {
 			if err := wc.Send(&wire.DataBatch{Seq: seq, Count: uint32(end - off), Payload: payload}); err != nil {
 				t.Fatal(err)
 			}
-			if a := recvAck(t, wc); a.Seq != seq {
+			if sync && end < len(recs) {
+				m.SyncRound()
+			}
+			if a := recvAckSync(t, wc, clock); a.Seq != seq {
 				t.Fatalf("ack %d, want %d", a.Seq, seq)
 			}
 		}
@@ -97,10 +126,34 @@ func goldenTrace(t *testing.T, shards int, tap SinkTap) []byte {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := int(m.Stats().Emitted), len(events); got != want {
+	st := m.Stats()
+	if got, want := int(st.Emitted), len(events); got != want {
 		t.Fatalf("emitted %d records, want %d", got, want)
 	}
-	return trace.Bytes()
+	return trace.Bytes(), st
+}
+
+// recvAckSync reads until a DataAck arrives, answering the sync master's
+// probes from the pinned slave clock along the way (and ignoring any
+// other control frames) — the client half of the control plane the
+// sync-enabled golden run exercises.
+func recvAckSync(t *testing.T, wc *wire.Conn, slave vclock.Clock) *wire.DataAck {
+	t.Helper()
+	for {
+		msg, err := wc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch f := msg.(type) {
+		case *wire.DataAck:
+			return f
+		case *wire.Probe:
+			reply := &wire.ProbeReply{Seq: f.Seq, MasterSend: f.MasterSend, SlaveTime: slave.NowMicros()}
+			if err := wc.Send(reply); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 }
 
 // TestGoldenTraceDeterminism locks the pipeline's output bytes: the same
@@ -148,5 +201,26 @@ func TestGoldenTraceShardTransparent(t *testing.T) {
 			t.Fatalf("shards=%d: trace diverges from the single-sorter golden trace (%d bytes vs %d)",
 				shards, len(got), len(want))
 		}
+	}
+}
+
+// TestGoldenTraceModelSyncTransparent locks the probe scheduler's
+// data-path transparency at the byte level: with the model-based sync
+// master enabled, probes and replies interleave with the data batches on
+// the same session connections, yet the emitted trace must equal the
+// committed golden file byte for byte. The scheduler may touch slave-side
+// corrections, never the records in flight.
+func TestGoldenTraceModelSyncTransparent(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.picl"))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	got, st := goldenTraceSync(t, 1, nil, true)
+	if st.SyncProbes == 0 {
+		t.Fatal("sync master issued no probes; the scheduler never engaged")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sync-enabled trace diverges from the golden file (%d bytes vs %d): control traffic must not perturb the data path",
+			len(got), len(want))
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"runtime"
 	"strconv"
@@ -194,6 +195,12 @@ type Stats struct {
 	CRE    cre.Stats
 	// SyncRounds counts completed synchronization rounds.
 	SyncRounds uint64
+	// SyncProbes counts probe round trips the synchronization master has
+	// issued — the traffic the model-based scheduler trades against
+	// skew; SyncFallbacks counts model-divergence events that forced
+	// full-round fallbacks.
+	SyncProbes    uint64
+	SyncFallbacks uint64
 	// TachyonSyncs counts extra rounds requested by the CRE matcher.
 	TachyonSyncs uint64
 	// Filtered counts sorted records suppressed by the configured filter.
@@ -402,6 +409,15 @@ type Manager struct {
 	syncFailed   *metrics.Counter
 	syncSkew     *metrics.Histogram
 
+	// Model-based synchronization state, owned by the syncLoop goroutine:
+	// the persistent master (estimators survive across rounds, keyed by
+	// node id so they survive reconnects too) and its exported series.
+	syncMaster      *clocksync.Master
+	syncProbes      *metrics.Counter
+	syncFallbacks   *metrics.Counter
+	syncUncertainty *metrics.Gauge
+	driftGauges     map[int32]*atomic.Uint64 // float64 bits, per slave node
+
 	visualBuf  *lineBuffer
 	visualPICL *picl.Writer
 }
@@ -578,6 +594,14 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 	m.syncSkew = reg.Histogram(metrics.Desc{Name: "brisk_ism_sync_skew_microseconds",
 		Help: "mean relative clock skew observed per synchronization round",
 		Unit: "microseconds"})
+	m.syncProbes = reg.Counter(metrics.Desc{Name: "brisk_sync_probes_total",
+		Help: "clock-synchronization probe round trips issued", Unit: "probes"})
+	m.syncFallbacks = reg.Counter(metrics.Desc{Name: "brisk_sync_model_fallback_total",
+		Help: "model-divergence events that forced full-round fallbacks", Unit: "events"})
+	m.syncUncertainty = reg.Gauge(metrics.Desc{Name: "brisk_sync_uncertainty_us",
+		Help: "largest predicted one-sigma offset uncertainty across slaves at the last sync round",
+		Unit: "microseconds"})
+	m.driftGauges = make(map[int32]*atomic.Uint64)
 	m.queueStalls = reg.Counter(metrics.Desc{Name: "brisk_ism_decode_queue_stalls_total",
 		Help: "data batches that found their session's decode queue full (the reader blocked, pushing backpressure into TCP)",
 		Unit: "batches"})
@@ -1576,9 +1600,17 @@ func (s *connSlave) Exchange() (int64, error) {
 	}
 }
 
-// Adjust implements clocksync.SlaveConn.
+// Adjust implements clocksync.SlaveConn. RatePPB −1 leaves the slave's
+// extrapolation rate untouched: under the fixed-cadence master slaves
+// never extrapolate, exactly as before rates existed.
 func (s *connSlave) Adjust(delta int64) error {
-	return s.c.wc.Send(&wire.Adjust{DeltaMicros: delta})
+	return s.c.wc.Send(&wire.Adjust{DeltaMicros: delta, RatePPB: -1})
+}
+
+// AdjustRate implements clocksync.RateConn: a zero-step adjustment whose
+// rate field steers the slave's correction growth between probes.
+func (s *connSlave) AdjustRate(ppm float64) error {
+	return s.c.wc.Send(&wire.Adjust{RatePPB: int64(ppm * 1000)})
 }
 
 // syncLoop runs periodic synchronization rounds, plus the immediate extra
@@ -1600,19 +1632,32 @@ func (m *Manager) syncLoop() {
 }
 
 // runSyncRound builds the slave set from the currently attached sensors
-// and performs one round.
+// and performs one round. The master persists across rounds: under
+// model-based scheduling (Sync.UncertaintyBound > 0) each slave's drift +
+// offset estimator is keyed by node id, so it survives both round
+// boundaries and reconnections, and only the slaves whose model
+// uncertainty demands it are actually probed.
 func (m *Manager) runSyncRound() {
 	m.mu.Lock()
 	slaves := make([]clocksync.SlaveConn, 0, len(m.conns))
+	keys := make([]uint64, 0, len(m.conns))
+	nodes := make([]int32, 0, len(m.conns))
 	for _, c := range m.conns {
 		slaves = append(slaves, &connSlave{m: m, c: c})
+		keys = append(keys, uint64(uint32(c.node)))
+		nodes = append(nodes, c.node)
 	}
 	m.mu.Unlock()
 	if len(slaves) == 0 {
 		return
 	}
-	master := clocksync.NewMaster(m.clock, m.cfg.Sync, slaves)
-	rep, err := master.Round()
+	if m.syncMaster == nil {
+		m.syncMaster = clocksync.NewMaster(m.clock, m.cfg.Sync, nil)
+	}
+	m.syncMaster.SetSlaves(slaves, keys)
+	rep, err := m.syncMaster.Round()
+	m.syncProbes.Add(uint64(rep.Probes))
+	m.publishSyncModel(nodes, rep)
 	if err != nil {
 		m.logf("ism: sync round: %v", err)
 		return
@@ -1621,8 +1666,46 @@ func (m *Manager) runSyncRound() {
 		m.logf("ism: sync round %d: %d slave(s) unreachable", rep.Round, rep.Failed)
 		m.syncFailed.Add(uint64(rep.Failed))
 	}
+	if rep.Fallbacks > 0 {
+		m.logf("ism: sync round %d: %d model divergence(s), falling back to full rounds", rep.Round, rep.Fallbacks)
+		m.syncFallbacks.Add(uint64(rep.Fallbacks))
+	}
 	m.syncSkew.Observe(int64(rep.Corrections.AvgRelSkew))
 	m.syncRounds.Inc()
+}
+
+// publishSyncModel exports the round's per-slave model state: one
+// brisk_sync_drift_ppm gauge per node (milli-ppm resolution) and the
+// fleet-wide worst predicted uncertainty.
+func (m *Manager) publishSyncModel(nodes []int32, rep clocksync.RoundReport) {
+	var maxU float64
+	haveU := false
+	for i, node := range nodes {
+		if i < len(rep.UncertaintyUS) && !math.IsNaN(rep.UncertaintyUS[i]) {
+			if !haveU || rep.UncertaintyUS[i] > maxU {
+				maxU = rep.UncertaintyUS[i]
+				haveU = true
+			}
+		}
+		if i >= len(rep.DriftPPM) || math.IsNaN(rep.DriftPPM[i]) {
+			continue
+		}
+		v, ok := m.driftGauges[node]
+		if !ok {
+			v = new(atomic.Uint64)
+			vv := v
+			m.reg.GaugeFunc(metrics.Desc{Name: "brisk_sync_drift_ppm",
+				Help:   "estimated residual clock drift per slave",
+				Unit:   "ppm",
+				Labels: metrics.L("slave", strconv.FormatInt(int64(node), 10))},
+				func() float64 { return math.Float64frombits(vv.Load()) })
+			m.driftGauges[node] = v
+		}
+		v.Store(math.Float64bits(rep.DriftPPM[i]))
+	}
+	if haveU {
+		m.syncUncertainty.Set(int64(maxU))
+	}
 }
 
 // SyncRound triggers one synchronization round immediately (used by tests
@@ -1656,6 +1739,8 @@ func (m *Manager) Stats() Stats {
 		Sorter:                ss,
 		CRE:                   cs,
 		SyncRounds:            m.syncRounds.Value(),
+		SyncProbes:            m.syncProbes.Value(),
+		SyncFallbacks:         m.syncFallbacks.Value(),
 		TachyonSyncs:          m.tachyonSyncs.Value(),
 		Filtered:              m.filtered.Value(),
 		ResumedSessions:       m.resumed.Value(),

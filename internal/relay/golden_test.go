@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"brisk/internal/clocksync"
 	"brisk/internal/ism"
 	"brisk/internal/picl"
 	"brisk/internal/record"
@@ -28,9 +29,28 @@ import (
 // trace bytes — a pure function of the workload, whatever the topology.
 func goldenFederatedTrace(t *testing.T, relays, shards int) []byte {
 	t.Helper()
+	trace, _ := goldenFederatedTraceSync(t, relays, shards, false)
+	return trace
+}
+
+// goldenFederatedTraceSync is goldenFederatedTrace with an optional
+// model-based sync scheduler at BOTH tiers: the root's master probes the
+// relay uplinks (which answer natively and apply adjusts), each relay's
+// embedded manager probes its leaf sessions (answered by waitAck from the
+// pinned clock), and the control traffic shares every connection with the
+// data batches. Returns the trace plus the root's probe count.
+func goldenFederatedTraceSync(t *testing.T, relays, shards int, sync bool) ([]byte, uint64) {
+	t.Helper()
+	syncCfg := clocksync.Config{
+		UncertaintyBound: 100,
+		MinProbeInterval: 1_000,
+		MaxProbeInterval: 50_000,
+		MeasurementNoise: 30,
+		DriftWalkPPM:     0.01,
+	}
 	var trace bytes.Buffer
 	pw := picl.NewWriter(&trace, picl.TimeUTC, 0)
-	root, err := ism.New(ism.Config{
+	rootCfg := ism.Config{
 		Addr:              "127.0.0.1:0",
 		Clock:             vclock.NewManual(1),
 		PICL:              pw,
@@ -38,7 +58,12 @@ func goldenFederatedTrace(t *testing.T, relays, shards int) []byte {
 		HeartbeatInterval: -1,
 		OLSShards:         shards,
 		Logf:              quietLog,
-	})
+	}
+	if sync {
+		rootCfg.SyncPeriod = time.Millisecond
+		rootCfg.Sync = syncCfg
+	}
+	root, err := ism.New(rootCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,18 +86,23 @@ func goldenFederatedTrace(t *testing.T, relays, shards int) []byte {
 	}
 	tier := make([]*Relay, relays)
 	for r := 0; r < relays; r++ {
+		relayISM := ism.Config{
+			MergeInterval:     time.Millisecond,
+			HeartbeatInterval: -1,
+			OLSShards:         shards,
+			Logf:              quietLog,
+		}
+		if sync {
+			relayISM.SyncPeriod = time.Millisecond
+			relayISM.Sync = syncCfg
+		}
 		tier[r], err = New(Config{
-			Addr:     "127.0.0.1:0",
-			Parent:   root.Addr(),
-			Name:     fmt.Sprintf("relay%d", r),
-			NodeBase: int32(base[r]),
-			Clock:    vclock.NewManual(1),
-			ISM: ism.Config{
-				MergeInterval:     time.Millisecond,
-				HeartbeatInterval: -1,
-				OLSShards:         shards,
-				Logf:              quietLog,
-			},
+			Addr:          "127.0.0.1:0",
+			Parent:        root.Addr(),
+			Name:          fmt.Sprintf("relay%d", r),
+			NodeBase:      int32(base[r]),
+			Clock:         vclock.NewManual(1),
+			ISM:           relayISM,
 			FlushInterval: time.Millisecond,
 			Logf:          quietLog,
 		})
@@ -138,10 +168,11 @@ func goldenFederatedTrace(t *testing.T, relays, shards int) []byte {
 	if err := root.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := int(root.Stats().Emitted), len(events); got != want {
+	st := root.Stats()
+	if got, want := int(st.Emitted), len(events); got != want {
 		t.Fatalf("relays=%d shards=%d: emitted %d records, want %d", relays, shards, got, want)
 	}
-	return trace.Bytes()
+	return trace.Bytes(), st.SyncProbes
 }
 
 // TestGoldenTraceFederationTransparent locks the federation tier's
@@ -168,5 +199,31 @@ func TestGoldenTraceFederationTransparent(t *testing.T) {
 					relays, shards, len(got), len(want))
 			}
 		}
+	}
+}
+
+// TestGoldenTraceFederatedModelSync locks the probe scheduler's data-path
+// transparency across the federation: with the model-based sync master
+// running at both the root tier (probing relay uplinks) and the relay
+// tier (probing leaf sessions), the root's trace must still equal the
+// committed golden file byte for byte. Control traffic shares every
+// connection with the data batches; it may never reorder, drop, or
+// mutate a record.
+func TestGoldenTraceFederatedModelSync(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("..", "ism", "testdata", "golden_trace.picl"))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate in internal/ism with GOLDEN_UPDATE=1): %v", err)
+	}
+	var probes uint64
+	for _, relays := range []int{1, 2} {
+		got, p := goldenFederatedTraceSync(t, relays, 1, true)
+		probes += p
+		if !bytes.Equal(got, want) {
+			t.Fatalf("relays=%d: sync-enabled trace diverges from the golden file (%d bytes vs %d)",
+				relays, len(got), len(want))
+		}
+	}
+	if probes == 0 {
+		t.Fatal("root sync master issued no probes across both topologies; the scheduler never engaged")
 	}
 }

@@ -889,6 +889,12 @@ func (r *Relay) controlLoop(c *wire.Conn) {
 		case *wire.Adjust:
 			r.adjusts.Inc()
 			r.clock.Adjust(t.DeltaMicros)
+			if t.RatePPB >= 0 {
+				// Model-based parent: this hop's correction extrapolates
+				// between the parent's probes, and composes additively
+				// with the child tier exactly like step corrections.
+				r.clock.SetRatePPM(float64(t.RatePPB) / 1000)
+			}
 		case *wire.DataAck:
 			r.ackTo(t.Seq)
 			r.applyWindow(t.Window)

@@ -98,8 +98,9 @@ func (l *rawLeaf) send(recs ...record.Record) uint64 {
 	return l.seq
 }
 
-// waitAck blocks until a DataAck with Seq ≥ seq arrives (other frames
-// are skipped).
+// waitAck blocks until a DataAck with Seq ≥ seq arrives. Sync-master
+// probes are answered from the tests' pinned skew-free clock (time 1);
+// any other frame is skipped.
 func (l *rawLeaf) waitAck(seq uint64) {
 	l.t.Helper()
 	for {
@@ -107,8 +108,16 @@ func (l *rawLeaf) waitAck(seq uint64) {
 		if err != nil {
 			l.t.Fatalf("waiting for ack %d: %v", seq, err)
 		}
-		if a, ok := msg.(*wire.DataAck); ok && a.Seq >= seq {
-			return
+		switch f := msg.(type) {
+		case *wire.DataAck:
+			if f.Seq >= seq {
+				return
+			}
+		case *wire.Probe:
+			reply := &wire.ProbeReply{Seq: f.Seq, MasterSend: f.MasterSend, SlaveTime: 1}
+			if err := l.conn.Send(reply); err != nil {
+				l.t.Fatal(err)
+			}
 		}
 	}
 }

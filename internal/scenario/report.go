@@ -62,6 +62,12 @@ type CellResult struct {
 	// with both hops' corrections applied in relayed topologies.
 	MaxAbsSkewMicros int64 `json:"max_abs_skew_micros"`
 
+	// SyncProbes counts probe round trips the root synchronization
+	// master issued over the cell; SyncFallbacks counts model-divergence
+	// events. Both zero with synchronization off.
+	SyncProbes    uint64 `json:"sync_probes,omitempty"`
+	SyncFallbacks uint64 `json:"sync_fallbacks,omitempty"`
+
 	// Federation-tier observables (zero in direct topologies): the relay
 	// count, records marked lost by relay sorters and uplink queues, and
 	// relay uplink reconnections.

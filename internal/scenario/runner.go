@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"brisk/internal/clocksync"
 	"brisk/internal/des"
 	"brisk/internal/exs"
 	"brisk/internal/faultnet"
@@ -38,6 +39,7 @@ const (
 	ContractMonotone     = "monotone"     // monotone TS emission (markers exempt)
 	ContractLoss         = "loss"         // acked ⇒ emitted or loss-marker
 	ContractFIFO         = "fifo"         // per-source order preserved
+	ContractProbeBudget  = "probe-budget" // sync probe RTTs within the cell's budget
 )
 
 // RunOptions configures a matrix run.
@@ -162,6 +164,15 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 			int64(4*(params.MergeIntervalMS+params.FlushIntervalMS)+10)*1000
 	}
 
+	// Synchronization configuration shared by the root and relay masters:
+	// fixed-cadence rounds by default; model-based probe scheduling when
+	// the regime sets an uncertainty bound.
+	syncCfg := clocksync.Config{
+		UncertaintyBound: c.Clock.SyncUncertaintyUS,
+		MinProbeInterval: int64(c.Clock.SyncMinProbeMS) * 1000,
+		MaxProbeInterval: int64(c.Clock.SyncMaxProbeMS) * 1000,
+	}
+
 	mgr, err := ism.New(ism.Config{
 		Addr: "127.0.0.1:0",
 		Sorter: ols.Config{
@@ -173,6 +184,7 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		BufferRecords:     2*expect + 8192,
 		HeartbeatInterval: 250 * time.Millisecond,
 		SyncPeriod:        time.Duration(c.Clock.SyncPeriodMS) * time.Millisecond,
+		Sync:              syncCfg,
 		Logf:              quiet,
 	})
 	if err != nil {
@@ -216,6 +228,7 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 				BufferRecords:     2*expect + 8192,
 				HeartbeatInterval: 250 * time.Millisecond,
 				SyncPeriod:        time.Duration(c.Clock.SyncPeriodMS) * time.Millisecond,
+				Sync:              syncCfg,
 				Logf:              quiet,
 			},
 			FlushInterval: time.Duration(params.FlushIntervalMS) * time.Millisecond,
@@ -249,6 +262,11 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 		// of regime.
 		offset := rng.Int63n(2*c.Clock.OffsetSpreadMicros+1) - c.Clock.OffsetSpreadMicros
 		driftPPM := (rng.Float64()*2 - 1) * c.Clock.DriftSpreadPPM
+		if i < len(c.Clock.NodeDriftPPM) {
+			// Pinned drift: the draw above still happens so the regime's
+			// stream stays aligned with unpinned cells of the same seed.
+			driftPPM = c.Clock.NodeDriftPPM[i]
+		}
 		noiseSeed := rng.Uint64()
 		var raw vclock.Clock = vclock.System{}
 		if c.Workload.Shape == ShapeDelayed {
@@ -533,6 +551,8 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	res.DedupedBatches = st.DedupedBatches
 	res.Inversions = st.Sorter.Inversions
 	res.MaxAbsSkewMicros = maxSkew
+	res.SyncProbes = st.SyncProbes
+	res.SyncFallbacks = st.SyncFallbacks
 	res.Relays = relays
 	res.RelayMarkedLost = relayMarked
 	res.RelayReconnects = relayReconnects
@@ -599,6 +619,19 @@ func RunCell(c *Cell, timeoutOverride time.Duration) (res CellResult) {
 	res.Contracts[ContractFIFO] = fifoViolations == 0
 	if fifoViolations > 0 {
 		fail("fifo: %d per-source order violations", fifoViolations)
+	}
+
+	// Probe-budget contract (only in cells that declare one): the root
+	// master's probe RTTs stay within the per-node budget — the cell-level
+	// assertion that model-based scheduling actually pays for itself.
+	if budget := c.Clock.MaxProbesPerNode; budget > 0 {
+		limit := uint64(budget) * uint64(c.Topology.Nodes)
+		ok := st.SyncProbes <= limit
+		res.Contracts[ContractProbeBudget] = ok
+		if !ok {
+			fail("probe budget: %d probe RTTs > %d (%d per node × %d nodes)",
+				st.SyncProbes, limit, budget, c.Topology.Nodes)
+		}
 	}
 	return res
 }

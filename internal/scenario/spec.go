@@ -194,6 +194,26 @@ type ClockRegime struct {
 	// SyncPeriodMS enables the manager's clock-synchronization master at
 	// this round period; 0 leaves synchronization off.
 	SyncPeriodMS int `json:"sync_period_ms,omitempty"`
+	// NodeDriftPPM pins per-node drift rates explicitly: node i uses
+	// entry i instead of its DriftSpreadPPM draw (nodes beyond the list
+	// still draw). Signed ppm. Lets a cell stage known drift contrasts
+	// for the model-based scheduler to learn.
+	NodeDriftPPM []float64 `json:"node_drift_ppm,omitempty"`
+	// SyncUncertaintyUS switches the cell's synchronization masters
+	// (root and relay tiers) to model-based probe scheduling: a slave is
+	// probed only when its predicted one-σ offset uncertainty exceeds
+	// this bound (µs). 0 keeps the fixed-cadence rounds. Requires
+	// SyncPeriodMS > 0.
+	SyncUncertaintyUS int64 `json:"sync_uncertainty_us,omitempty"`
+	// SyncMinProbeMS / SyncMaxProbeMS bracket the per-slave probe gap
+	// under model-based scheduling (defaults from clocksync.Config).
+	SyncMinProbeMS int `json:"sync_min_probe_ms,omitempty"`
+	SyncMaxProbeMS int `json:"sync_max_probe_ms,omitempty"`
+	// MaxProbesPerNode is the cell's probe-budget contract: when set,
+	// the root master must issue at most this many probe RTTs per node
+	// over the whole cell, asserted like the pipeline contracts.
+	// Requires SyncPeriodMS > 0.
+	MaxProbesPerNode int `json:"max_probes_per_node,omitempty"`
 }
 
 // FaultStep is one scripted fault action, applied AtMS milliseconds after
@@ -324,6 +344,15 @@ func (m *Matrix) Validate() error {
 		}
 		if c.OffsetSpreadMicros < 0 || c.DriftSpreadPPM < 0 || c.NoiseMeanMicros < 0 || c.SyncPeriodMS < 0 {
 			return fmt.Errorf("scenario %q: clock %q: spreads must be non-negative", m.Name, c.Name)
+		}
+		if c.SyncUncertaintyUS < 0 || c.SyncMinProbeMS < 0 || c.SyncMaxProbeMS < 0 || c.MaxProbesPerNode < 0 {
+			return fmt.Errorf("scenario %q: clock %q: sync knobs must be non-negative", m.Name, c.Name)
+		}
+		if (c.SyncUncertaintyUS > 0 || c.MaxProbesPerNode > 0) && c.SyncPeriodMS == 0 {
+			return fmt.Errorf("scenario %q: clock %q: sync_uncertainty_us/max_probes_per_node need sync_period_ms", m.Name, c.Name)
+		}
+		if c.SyncMaxProbeMS > 0 && c.SyncMaxProbeMS < c.SyncMinProbeMS {
+			return fmt.Errorf("scenario %q: clock %q: sync_max_probe_ms below sync_min_probe_ms", m.Name, c.Name)
 		}
 	}
 	for i := range m.Faults {

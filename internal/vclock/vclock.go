@@ -151,9 +151,40 @@ func (n *Noisy) NowMicros() int64 {
 // clock. Sensors write raw timestamps; the EXS adds Correction() before
 // shipping records, and the synchronization slave calls Adjust when told
 // to advance. Reads and adjustments are lock-free.
+//
+// Beyond the step correction, Corrected can extrapolate: the model-based
+// synchronization master estimates each slave's drift against the round's
+// reference clock and tells the slave to advance continuously at that rate
+// (SetRatePPM) between probes, so skew no longer grows linearly over a
+// probe gap. The rate is clamped non-negative — like step adjustments, the
+// extrapolation only ever moves the corrected clock forward, preserving
+// BRISK's never-set-back invariant (timestamp order within a node).
 type Corrected struct {
 	raw        Clock
 	correction atomic.Int64
+	rate       atomic.Pointer[rateState]
+}
+
+// rateState is one immutable extrapolation regime: at raw reading epoch
+// the extrapolation had contributed base microseconds, and from there the
+// corrected clock gains ppm microseconds per raw second. Replacing the
+// regime is a single pointer store whose value is continuous at the
+// switch instant, so concurrent readers never see the clock jump.
+type rateState struct {
+	ppm   float64
+	epoch int64
+	base  int64
+}
+
+// at returns the extrapolation contribution at raw reading r.
+func (rs *rateState) at(r int64) int64 {
+	if rs == nil {
+		return 0
+	}
+	if d := r - rs.epoch; d > 0 {
+		return rs.base + int64(float64(d)*rs.ppm*1e-6)
+	}
+	return rs.base
 }
 
 // NewCorrected wraps raw with a zero correction.
@@ -161,17 +192,57 @@ func NewCorrected(raw Clock) *Corrected {
 	return &Corrected{raw: raw}
 }
 
-// NowMicros returns the corrected time: raw reading plus correction.
+// NowMicros returns the corrected time: raw reading plus the step
+// correction plus any rate extrapolation accrued since the rate was set.
 func (c *Corrected) NowMicros() int64 {
-	return c.raw.NowMicros() + c.correction.Load()
+	r := c.raw.NowMicros()
+	return r + c.correction.Load() + c.rate.Load().at(r)
 }
 
 // Raw returns the underlying clock's uncorrected reading.
 func (c *Corrected) Raw() int64 { return c.raw.NowMicros() }
 
-// Correction returns the current correction value in microseconds.
-func (c *Corrected) Correction() int64 { return c.correction.Load() }
+// Correction returns the current effective correction value in
+// microseconds: the step corrections plus accrued extrapolation.
+func (c *Corrected) Correction() int64 {
+	rs := c.rate.Load()
+	if rs == nil {
+		return c.correction.Load()
+	}
+	return c.correction.Load() + rs.at(c.raw.NowMicros())
+}
 
 // Adjust adds delta microseconds to the correction value and returns the
-// new correction.
-func (c *Corrected) Adjust(delta int64) int64 { return c.correction.Add(delta) }
+// new effective correction.
+func (c *Corrected) Adjust(delta int64) int64 {
+	v := c.correction.Add(delta)
+	if rs := c.rate.Load(); rs != nil {
+		v += rs.at(c.raw.NowMicros())
+	}
+	return v
+}
+
+// SetRatePPM replaces the extrapolation rate (µs gained per raw second).
+// The new regime starts from the extrapolation value the old one reached,
+// so the corrected reading is continuous across the switch and — with the
+// rate clamped at zero — never moves backwards. SetRatePPM is meant to be
+// called from the slave's single control loop; reads are safe anytime.
+func (c *Corrected) SetRatePPM(ppm float64) {
+	if ppm < 0 {
+		ppm = 0
+	}
+	old := c.rate.Load()
+	if ppm == 0 && old == nil {
+		return
+	}
+	r := c.raw.NowMicros()
+	c.rate.Store(&rateState{ppm: ppm, epoch: r, base: old.at(r)})
+}
+
+// RatePPM returns the current extrapolation rate.
+func (c *Corrected) RatePPM() float64 {
+	if rs := c.rate.Load(); rs != nil {
+		return rs.ppm
+	}
+	return 0
+}

@@ -144,3 +144,106 @@ func TestCorrectedConcurrentAdjust(t *testing.T) {
 		t.Fatalf("concurrent adjusts lost: %d", c.Correction())
 	}
 }
+
+func TestCorrectedRateExtrapolation(t *testing.T) {
+	m := NewManual(1_000_000)
+	c := NewCorrected(m)
+	c.SetRatePPM(100) // 100 µs per second
+	if got := c.NowMicros(); got != 1_000_000 {
+		t.Fatalf("reading moved at rate-set instant: %d", got)
+	}
+	m.Advance(10_000_000) // 10 s
+	if got := c.NowMicros(); got != 11_000_000+1000 {
+		t.Fatalf("after 10 s at 100 ppm: got %d want %d", got, 11_000_000+1000)
+	}
+	if got := c.Correction(); got != 1000 {
+		t.Fatalf("Correction() = %d, want 1000", got)
+	}
+	if got := c.RatePPM(); got != 100 {
+		t.Fatalf("RatePPM() = %v, want 100", got)
+	}
+}
+
+func TestCorrectedRateSwitchContinuous(t *testing.T) {
+	m := NewManual(0)
+	c := NewCorrected(m)
+	c.SetRatePPM(50)
+	m.Advance(20_000_000) // accrues 1000 µs
+	before := c.NowMicros()
+	c.SetRatePPM(10) // regime switch must not move the reading
+	if got := c.NowMicros(); got != before {
+		t.Fatalf("reading jumped across rate switch: %d -> %d", before, got)
+	}
+	m.Advance(10_000_000) // 10 s at 10 ppm = 100 µs more
+	if got := c.NowMicros(); got != before+10_000_000+100 {
+		t.Fatalf("after switch: got %d want %d", got, before+10_000_000+100)
+	}
+	// Dropping to zero freezes the accrued extrapolation in place.
+	c.SetRatePPM(0)
+	frozen := c.Correction()
+	m.Advance(30_000_000)
+	if got := c.Correction(); got != frozen {
+		t.Fatalf("correction moved with rate 0: %d -> %d", frozen, got)
+	}
+}
+
+func TestCorrectedRateNeverNegative(t *testing.T) {
+	m := NewManual(0)
+	c := NewCorrected(m)
+	c.SetRatePPM(-500)
+	if got := c.RatePPM(); got != 0 {
+		t.Fatalf("negative rate accepted: %v", got)
+	}
+	m.Advance(1_000_000)
+	if got := c.NowMicros(); got != 1_000_000 {
+		t.Fatalf("clock moved under clamped rate: %d", got)
+	}
+}
+
+func TestCorrectedRateAdjustCompose(t *testing.T) {
+	m := NewManual(0)
+	c := NewCorrected(m)
+	c.SetRatePPM(100)
+	m.Advance(5_000_000) // 500 µs accrued
+	c.Adjust(2000)
+	if got := c.Correction(); got != 2500 {
+		t.Fatalf("Correction() = %d, want 2500", got)
+	}
+	if got := c.NowMicros(); got != 5_000_000+2500 {
+		t.Fatalf("NowMicros() = %d, want %d", got, 5_000_000+2500)
+	}
+}
+
+// TestCorrectedRateConcurrentReads hammers readers against rate switches
+// and checks monotonicity — the invariant the single-store regime switch
+// exists to protect (run under -race).
+func TestCorrectedRateConcurrentReads(t *testing.T) {
+	m := NewManual(0)
+	c := NewCorrected(m)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			m.Advance(1000)
+			c.SetRatePPM(float64(i % 7 * 25))
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		go func() {
+			var last int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				now := c.NowMicros()
+				if now < last {
+					panic("corrected clock ran backwards")
+				}
+				last = now
+			}
+		}()
+	}
+	<-done
+}

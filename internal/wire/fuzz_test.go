@@ -21,7 +21,7 @@ func FuzzRecv(f *testing.F) {
 		&DataBatch{Seq: 5, Count: 1, Payload: []byte{1, 2, 3, 4}},
 		&Probe{Seq: 1, MasterSend: 2},
 		&ProbeReply{Seq: 1, MasterSend: 2, SlaveTime: 3},
-		&Adjust{DeltaMicros: -4},
+		&Adjust{DeltaMicros: -4, RatePPB: 2500},
 		&Bye{},
 		&DataAck{Seq: 5},
 		&Ping{Seq: 3},

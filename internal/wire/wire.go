@@ -407,23 +407,36 @@ func (m *ProbeReply) decode(d *xdr.Decoder) error {
 	return err
 }
 
-// Adjust advances the slave's clock correction by DeltaMicros. The BRISK
-// algorithm only ever advances clocks, so DeltaMicros is non-negative in
-// normal operation.
+// Adjust advances the slave's clock correction by DeltaMicros and,
+// under the model-based synchronization master, steers the correction's
+// extrapolation rate. The BRISK algorithm only ever advances clocks, so
+// DeltaMicros is non-negative in normal operation.
 type Adjust struct {
 	// DeltaMicros is the amount (µs, ≥ 0 under AlgBRISK) to advance the
 	// slave's clock correction by.
 	DeltaMicros int64
+	// RatePPB sets the slave's correction extrapolation rate in parts
+	// per billion (µs gained per 1000 s of raw time; the integer keeps
+	// the frame XDR-plain while carrying sub-ppm precision). Negative
+	// means "leave the current rate untouched" — the fixed-cadence
+	// master always sends -1, so its slaves never extrapolate.
+	RatePPB int64
 }
 
 // Type implements Message.
 func (*Adjust) Type() MsgType { return MsgAdjust }
 
-func (m *Adjust) encode(e *xdr.Encoder) { e.Int64(m.DeltaMicros) }
+func (m *Adjust) encode(e *xdr.Encoder) {
+	e.Int64(m.DeltaMicros)
+	e.Int64(m.RatePPB)
+}
 
 func (m *Adjust) decode(d *xdr.Decoder) error {
 	var err error
-	m.DeltaMicros, err = d.Int64()
+	if m.DeltaMicros, err = d.Int64(); err != nil {
+		return err
+	}
+	m.RatePPB, err = d.Int64()
 	return err
 }
 

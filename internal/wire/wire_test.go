@@ -49,6 +49,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&Probe{Seq: 9, MasterSend: 123456789},
 		&ProbeReply{Seq: 9, MasterSend: 123456789, SlaveTime: 123456800},
 		&Adjust{DeltaMicros: 250},
+		&Adjust{DeltaMicros: 250, RatePPB: 12_500},
 		&Bye{},
 		&DataAck{Seq: 99},
 		&DataAck{Seq: 99, Window: 128},
@@ -288,7 +289,7 @@ func TestPropertyMessageStreamRoundTrip(t *testing.T) {
 			case 4:
 				m = &ProbeReply{Seq: rng.Uint32(), MasterSend: rng.Int63(), SlaveTime: -rng.Int63()}
 			case 5:
-				m = &Adjust{DeltaMicros: rng.Int63() - rng.Int63()}
+				m = &Adjust{DeltaMicros: rng.Int63() - rng.Int63(), RatePPB: rng.Int63() - rng.Int63()}
 			case 6:
 				m = &DataAck{Seq: rng.Uint64()}
 			case 7:

@@ -89,6 +89,18 @@ type SyncOptions struct {
 	Damping float64
 	// MaxRTT discards probes with round trips above this bound (µs).
 	MaxRTT int64
+	// UncertaintyBound, when > 0, switches the master to model-based
+	// probe scheduling: each slave carries a drift + offset estimator,
+	// corrections extrapolate from estimated drift between probes, and
+	// a slave is probed only when its predicted one-σ offset
+	// uncertainty (µs) crosses this bound. See TUNING.md, "The probe
+	// budget".
+	UncertaintyBound int64
+	// MinProbeInterval and MaxProbeInterval bracket the per-slave probe
+	// gap (µs) under model-based scheduling. Zero values pick the
+	// clocksync defaults.
+	MinProbeInterval int64
+	MaxProbeInterval int64
 }
 
 // PICLOptions configures trace-file output.
@@ -270,10 +282,13 @@ func StartManager(opts ManagerOptions) (*Manager, error) {
 		DecodeQueueDepth: opts.DecodeQueueDepth,
 		SinkBatchRecords: opts.SinkBatchRecords,
 		Sync: clocksync.Config{
-			ProbesPerSlave: opts.Sync.ProbesPerSlave,
-			Threshold:      opts.Sync.Threshold,
-			Damping:        opts.Sync.Damping,
-			MaxRTT:         opts.Sync.MaxRTT,
+			ProbesPerSlave:   opts.Sync.ProbesPerSlave,
+			Threshold:        opts.Sync.Threshold,
+			Damping:          opts.Sync.Damping,
+			MaxRTT:           opts.Sync.MaxRTT,
+			UncertaintyBound: opts.Sync.UncertaintyBound,
+			MinProbeInterval: opts.Sync.MinProbeInterval,
+			MaxProbeInterval: opts.Sync.MaxProbeInterval,
 		},
 		SyncPeriod:        opts.Sync.Period,
 		HeartbeatInterval: opts.HeartbeatInterval,
