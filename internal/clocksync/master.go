@@ -213,12 +213,16 @@ func (m *Master) Round() (RoundReport, error) {
 		rep.UncertaintyUS[i] = math.NaN()
 	}
 	model := m.cfg.ModelEnabled()
-	now := m.clock.NowMicros()
 
 	var rttSum int64
 	var rttN int
 	for i, conn := range m.slaves {
 		sm := m.models[i]
+		// Read the clock per slave: the serial probe exchanges of earlier
+		// slaves advance time by their cumulative RTTs, so a hoisted
+		// timestamp would understate gaps and predicted uncertainty for
+		// the slaves late in a large fleet.
+		now := m.clock.NowMicros()
 		if model && !m.slaveDue(sm, now) {
 			// Trust the model: extrapolate the offset to now.
 			off, sd := sm.est.PredictAt(now)

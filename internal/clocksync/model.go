@@ -49,10 +49,13 @@ type Estimator struct {
 func (e *Estimator) configure(cfg Config) {
 	mn := float64(cfg.MeasurementNoise)
 	e.measVar = mn * mn
-	// Offset process noise: a small floor so the uncertainty keeps
+	// Offset process noise: a floor so the predicted uncertainty keeps
 	// growing even with a perfect drift estimate, forcing an occasional
-	// confirming probe.
-	e.qOffset = 1e-4 // 0.1 µs² per second
+	// confirming probe. 1e-4 µs²/µs is 100 µs² per second — one σ of
+	// unmodeled offset wander reaches 10 µs after a second of silence,
+	// so against the ~100–150 µs bounds used in practice this floor alone
+	// caps the probe gap at a few minutes.
+	e.qOffset = 1e-4 // 100 µs² per second
 	// Drift random walk: DriftWalkPPM² of drift variance per second.
 	w := cfg.DriftWalkPPM * 1e-6
 	e.qDrift = w * w / 1e6

@@ -501,6 +501,10 @@ func (e *EXS) connect(resume bool) (net.Conn, *wire.Conn, *wire.HelloAck, error)
 		raw.Close()
 		return nil, nil, nil, fmt.Errorf("exs: expected HELLO_ACK, got %v", msg.Type())
 	}
+	if ack.Version >= wire.MinProtocolVersion && ack.Version <= wire.ProtocolVersion {
+		// Pin the connection to the version the manager negotiated.
+		conn.SetVersion(ack.Version)
+	}
 	raw.SetDeadline(time.Time{})
 	return raw, conn, ack, nil
 }

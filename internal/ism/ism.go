@@ -826,10 +826,14 @@ func (m *Manager) handleConn(raw net.Conn) {
 		return
 	}
 	hello, ok := msg.(*wire.Hello)
-	if !ok || hello.Version != wire.ProtocolVersion {
+	if !ok || hello.Version < wire.MinProtocolVersion || hello.Version > wire.ProtocolVersion {
 		m.logf("ism: bad hello from %v", raw.RemoteAddr())
 		return
 	}
+	// Pin the connection to the peer's version: a v3 sensor or relay gets
+	// v3-shaped frames (no ADJUST rate field, no ack version echo) in both
+	// directions for the life of the connection.
+	wc.SetVersion(hello.Version)
 	c := &conn{
 		name:    hello.Name,
 		wc:      wc,
@@ -935,7 +939,8 @@ func (m *Manager) handleConn(raw net.Conn) {
 	if !open {
 		helloWindow = 1
 	}
-	if err := wc.Send(&wire.HelloAck{Node: c.node, Resumed: resumed, LastSeq: lastSeq, Window: helloWindow}); err != nil {
+	if err := wc.Send(&wire.HelloAck{Node: c.node, Resumed: resumed, LastSeq: lastSeq,
+		Window: helloWindow, Version: hello.Version}); err != nil {
 		return
 	}
 	if resumed {
@@ -1608,8 +1613,13 @@ func (s *connSlave) Adjust(delta int64) error {
 }
 
 // AdjustRate implements clocksync.RateConn: a zero-step adjustment whose
-// rate field steers the slave's correction growth between probes.
+// rate field steers the slave's correction growth between probes. A v3
+// peer has no rate field to steer, so the command is refused and the
+// master leaves the slave on step corrections only.
 func (s *connSlave) AdjustRate(ppm float64) error {
+	if s.c.wc.Version() < wire.VersionRates {
+		return errors.New("ism: peer protocol version predates rate steering")
+	}
 	return s.c.wc.Send(&wire.Adjust{RatePPB: int64(ppm * 1000)})
 }
 
@@ -1676,8 +1686,23 @@ func (m *Manager) runSyncRound() {
 
 // publishSyncModel exports the round's per-slave model state: one
 // brisk_sync_drift_ppm gauge per node (milli-ppm resolution) and the
-// fleet-wide worst predicted uncertainty.
+// fleet-wide worst predicted uncertainty. Gauges of nodes that left the
+// fleet are unregistered so a long-lived manager with churning node ids
+// does not accumulate series without bound.
 func (m *Manager) publishSyncModel(nodes []int32, rep clocksync.RoundReport) {
+	if len(m.driftGauges) > len(nodes) {
+		current := make(map[int32]bool, len(nodes))
+		for _, node := range nodes {
+			current[node] = true
+		}
+		for node := range m.driftGauges {
+			if !current[node] {
+				m.reg.Unregister("brisk_sync_drift_ppm",
+					metrics.L("slave", strconv.FormatInt(int64(node), 10)))
+				delete(m.driftGauges, node)
+			}
+		}
+	}
 	var maxU float64
 	haveU := false
 	for i, node := range nodes {

@@ -421,6 +421,10 @@ func (r *Relay) connect(resume bool) (net.Conn, *wire.Conn, *wire.HelloAck, erro
 		raw.Close()
 		return nil, nil, nil, fmt.Errorf("relay: expected HELLO_ACK, got %v", msg.Type())
 	}
+	if ack.Version >= wire.MinProtocolVersion && ack.Version <= wire.ProtocolVersion {
+		// Pin the uplink to the version the parent negotiated.
+		conn.SetVersion(ack.Version)
+	}
 	raw.SetDeadline(time.Time{})
 	return raw, conn, ack, nil
 }
